@@ -1,0 +1,61 @@
+// Command benchtab regenerates the reproduction tables and figures of
+// EXPERIMENTS.md (DESIGN.md §5 maps each to the paper statement it
+// validates).
+//
+// Usage:
+//
+//	benchtab                 # run every experiment (can take tens of minutes)
+//	benchtab -quick          # reduced sizes and seeds (a few minutes)
+//	benchtab -experiment T7  # a single experiment
+//	benchtab -list           # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sspp/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "reduced sizes and seed counts")
+		exp   = flag.String("experiment", "", "run a single experiment by ID (e.g. T7)")
+		seeds = flag.Int("seeds", 0, "override the number of seeds per point")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		if registry[*exp] == nil {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table := registry[id](cfg)
+		table.Render(os.Stdout)
+		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command statespace prints the state-complexity landscape of the paper
+// (Figures 1–4 formulas plus the Section 2 baselines): for each n it tabulates
+// the bit complexity (log₂ of the state count) of ElectLeader_r across the
+// r trade-off, next to the n-state silent protocols and the time-optimal
+// regime of Burman et al. (PODC'21).
+//
+// Usage:
+//
+//	statespace -n 1024
+//	statespace -n 4096 -module detect   # per-module breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"sspp/internal/core"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1024, "population size")
+		module = flag.String("module", "", "per-module breakdown: detect|ranking|verify")
+	)
+	flag.Parse()
+	if *n < 4 {
+		fmt.Fprintln(os.Stderr, "statespace: n must be at least 4")
+		os.Exit(1)
+	}
+	nf := float64(*n)
+	logN := math.Log2(nf)
+
+	if *module != "" {
+		printModule(*module, nf)
+		return
+	}
+
+	fmt.Printf("State complexity at n = %d (bits = log₂ of per-agent state count)\n\n", *n)
+	fmt.Printf("%-14s %-22s %-24s\n", "r", "ElectLeader_r bits", "time bound (interactions)")
+	rs := []float64{1, 2, logN, logN * logN, math.Sqrt(nf), nf / 4, nf / 2}
+	sort.Float64s(rs)
+	for _, r := range rs {
+		if r < 1 || r > nf/2 {
+			continue
+		}
+		bits := core.ElectLeaderBits(nf, r)
+		bound := nf * nf / r * math.Log(nf)
+		fmt.Printf("%-14.0f %-22.0f %-24.3g\n", r, bits, bound)
+	}
+	fmt.Println("\nBaselines (Section 2):")
+	fmt.Printf("  %-44s %12.1f bits, time Θ(n²) exp.\n", "Cai-Izumi-Wada (n states, silent)", core.CaiIzumiWadaBits(nf))
+	fmt.Printf("  %-44s %12.1f bits, time O(n·log n) whp\n", "Gąsieniec et al. '25 (n+O(log n) states)", core.GasieniecBits(nf))
+	fmt.Printf("  %-44s %12.3g bits, time O(n·log n) whp\n", "Burman et al. '21 (time-optimal regime)", core.BurmanBits(nf))
+	fmt.Printf("\nHeadline (Thm 1.1): at r=Θ(n), ElectLeader_r needs Θ(n²·log n) = %.3g bits\n",
+		core.ElectLeaderBits(nf, nf/2))
+	fmt.Printf("where Burman et al. need n^Θ(log n) = %.3g bits: super-polynomial → sub-cubic.\n",
+		core.BurmanBits(nf))
+}
+
+// printModule prints a per-module breakdown across group sizes / r values.
+func printModule(module string, nf float64) {
+	switch module {
+	case "detect":
+		fmt.Printf("DetectCollision_r bits by group size g (Fig. 3: 2^O(g²·log g))\n")
+		for _, g := range []float64{2, 4, 8, 16, 32, 64, 128} {
+			fmt.Printf("  g=%-6.0f %18.0f bits\n", g, core.DetectBits(g))
+		}
+	case "ranking":
+		fmt.Printf("AssignRanks_r bits at n=%.0f (Appendix D: 2^O(r·log n))\n", nf)
+		for _, r := range []float64{1, 4, 16, 64, nf / 4} {
+			if r > nf/2 {
+				continue
+			}
+			fmt.Printf("  r=%-6.0f %18.0f bits\n", r, core.RankingBits(nf, r))
+		}
+	case "verify":
+		fmt.Printf("StableVerify_r bits at n=%.0f (Fig. 2)\n", nf)
+		for _, r := range []float64{1, 4, 16, 64, nf / 4} {
+			if r > nf/2 {
+				continue
+			}
+			fmt.Printf("  r=%-6.0f %18.0f bits\n", r, core.VerifyBits(nf, r))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "statespace: unknown module %q\n", module)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,136 @@
+// Command verifyspace runs the repository's exhaustive/bounded verification
+// artifacts (internal/modelcheck):
+//
+//   - detect soundness: enumerate every schedule and every random draw of
+//     DetectCollision_r from a correct initialization and confirm the error
+//     state ⊤ is unreachable (Lemma E.2, exhaustively for tiny n, bounded
+//     otherwise);
+//   - detect completeness: with a duplicated rank, confirm ⊤ is reachable;
+//   - verify-closure: Lemma 6.1 for the StableVerify_r layer — from safe
+//     configurations (single-generation and the two-generation soft-reset
+//     wave) no schedule and no draws ever request a hard reset;
+//   - ciw: full state-space analysis of the n-state CIW baseline —
+//     closure (permutations are silent) and probabilistic stabilization
+//     (every configuration reaches a permutation).
+//
+// Usage:
+//
+//	verifyspace -check detect-sound -n 3 -budget 50000
+//	verifyspace -check detect-complete -n 3
+//	verifyspace -check verify-closure -n 2
+//	verifyspace -check ciw -n 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sspp/internal/modelcheck"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "verifyspace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		check   = flag.String("check", "detect-sound", "detect-sound | detect-complete | verify-closure | ciw")
+		n       = flag.Int("n", 3, "population size")
+		budget  = flag.Int("budget", 100_000, "configuration budget for bounded checks")
+		sig     = flag.Int("sig", 2, "signature-space override (detect checks)")
+		refresh = flag.Int("refresh", 3, "signature refresh constant (detect checks)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	switch *check {
+	case "detect-sound":
+		m, err := modelcheck.NewDetectMachine(*n, *n, nil, int32(*sig), *refresh)
+		if err != nil {
+			return err
+		}
+		rep := modelcheck.Explore(m, anyTop, true, modelcheck.Options{MaxStates: *budget})
+		fmt.Printf("detect soundness (Lemma E.2), n=%d, sig space=%d, refresh c=%d\n", *n, *sig, *refresh)
+		printReport(rep, start)
+		if rep.Violations > 0 {
+			return fmt.Errorf("⊤ reachable from a correct initialization — soundness violated")
+		}
+		if rep.Truncated {
+			fmt.Println("verdict: NO ⊤ within the explored bound (bounded guarantee)")
+		} else {
+			fmt.Println("verdict: reachable space fully closed — ⊤ unreachable, soundness PROVED at this size")
+		}
+	case "detect-complete":
+		ranks := make([]int32, *n)
+		for i := range ranks {
+			ranks[i] = int32(i + 1)
+		}
+		if *n >= 2 {
+			ranks[1] = 1 // duplicate
+		}
+		m, err := modelcheck.NewDetectMachine(*n, *n, ranks, int32(*sig), *refresh)
+		if err != nil {
+			return err
+		}
+		rep := modelcheck.Explore(m, anyTop, true, modelcheck.Options{MaxStates: *budget})
+		fmt.Printf("detect completeness (Lemma E.1(b) dual), n=%d with duplicated rank 1\n", *n)
+		printReport(rep, start)
+		if rep.Violations == 0 {
+			return fmt.Errorf("⊤ not reachable despite a duplicate rank — completeness violated")
+		}
+		fmt.Printf("verdict: ⊤ reachable (first at depth %d) — detection cannot be evaded\n",
+			rep.FirstViolationDepth)
+	case "verify-closure":
+		m, err := modelcheck.NewVerifyMachine(*n, *n, nil, int32(*sig), *refresh, 3)
+		if err != nil {
+			return err
+		}
+		bad := func(s modelcheck.State) bool { return s.(*modelcheck.VerifyConfig).HardReset() }
+		rep := modelcheck.Explore(m, bad, true, modelcheck.Options{MaxStates: *budget})
+		fmt.Printf("verify-layer closure (Lemma 6.1), n=%d, sig space=%d, refresh c=%d\n", *n, *sig, *refresh)
+		printReport(rep, start)
+		if rep.Violations > 0 {
+			return fmt.Errorf("hard reset reachable from a safe configuration — closure violated")
+		}
+		if rep.Truncated {
+			fmt.Println("verdict: no hard reset within the explored bound (bounded guarantee)")
+		} else {
+			fmt.Println("verdict: reachable space fully closed — safe configurations stay safe, closure PROVED at this size")
+		}
+	case "ciw":
+		rep, err := modelcheck.CheckCIW(*n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CIW baseline full analysis, n=%d: %d configurations\n", rep.N, rep.States)
+		fmt.Printf("  permutations (silent targets): %d\n", rep.Permutations)
+		fmt.Printf("  permutations silent:           %v\n", rep.PermutationsSilent)
+		fmt.Printf("  all configurations reach one:  %v\n", rep.AllReachStable)
+		fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		if !rep.AllReachStable || !rep.PermutationsSilent {
+			return fmt.Errorf("CIW verification failed")
+		}
+		fmt.Println("verdict: closure + probabilistic stabilization PROVED exactly at this size")
+	default:
+		return fmt.Errorf("unknown check %q", *check)
+	}
+	return nil
+}
+
+// anyTop is the bad-state predicate for the detect machine.
+func anyTop(s modelcheck.State) bool {
+	return s.(*modelcheck.DetectConfig).AnyTop()
+}
+
+// printReport prints the exploration statistics.
+func printReport(rep modelcheck.Report, start time.Time) {
+	fmt.Printf("  configurations explored: %d (truncated: %v, max depth %d)\n",
+		rep.Explored, rep.Truncated, rep.MaxDepth)
+	fmt.Printf("  violations: %d\n", rep.Violations)
+	fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,55 @@
+// Looseleader: contrast the paper's strict self-stabilization with the
+// loosely-stabilizing leader election of the related work (Sudo et al.):
+// loose stabilization converges fast from any configuration but holds the
+// leader only for a finite, τ-controlled time.
+//
+//	go run ./examples/looseleader [-n 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"sspp/internal/baseline"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+func main() {
+	n := flag.Int("n", 64, "population size")
+	flag.Parse()
+
+	nln := float64(*n) * math.Log(float64(*n))
+	fmt.Printf("loosely-stabilizing leader election, n = %d\n\n", *n)
+	fmt.Printf("%-12s %-16s %-18s\n", "τ/(n·ln n)", "converged after", "held unique leader")
+
+	for _, factor := range []float64{0.25, 1, 4, 16} {
+		tau := int32(factor * nln)
+		l := baseline.NewLooseLE(*n, tau)
+		r := rng.New(7)
+		res := sim.Run(l, r, sim.Options{
+			MaxInteractions:    uint64(64 * nln),
+			StopAfterStableFor: uint64(4 * *n),
+		})
+		conv := "never"
+		if res.Stabilized {
+			conv = fmt.Sprintf("%d", res.StabilizedAt)
+		}
+		// Holding fraction over a follow-up window.
+		held, polls := 0, 0
+		for i := 0; i < 400; i++ {
+			sim.Steps(l, r, uint64(*n))
+			polls++
+			if l.Correct() {
+				held++
+			}
+		}
+		fmt.Printf("%-12.2f %-16s %6.1f%% of the time\n",
+			factor, conv, 100*float64(held)/float64(polls))
+	}
+
+	fmt.Println("\nsmall τ: timers expire before the leader's heartbeat epidemic arrives,")
+	fmt.Println("so spurious leaders keep appearing; large τ holds the leader long — but")
+	fmt.Println("never forever. ElectLeader_r (examples/quickstart) holds it forever.")
+}

@@ -1,0 +1,65 @@
+// Recovery: walk every adversarial configuration class and watch
+// ElectLeader_r recover, printing which faults are repaired softly (the
+// ranking survives) and which require a full reset — the §3.2 soft-reset
+// mechanism in action.
+//
+//	go run ./examples/recovery [-n 24] [-r 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sspp"
+)
+
+func main() {
+	n := flag.Int("n", 24, "population size")
+	r := flag.Int("r", 6, "trade-off parameter")
+	flag.Parse()
+
+	fmt.Printf("recovery from every adversarial class (n=%d, r=%d)\n\n", *n, *r)
+	fmt.Printf("%-20s %-14s %-12s %-12s %-16s\n",
+		"class", "interactions", "hard resets", "soft resets", "ranking survived")
+
+	for _, class := range sspp.AdversaryClasses() {
+		sys, err := sspp.New(sspp.Config{N: *n, R: *r, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Inject(class, 43); err != nil {
+			fmt.Printf("%-20s (not realizable at this n, r: %v)\n", class, err)
+			continue
+		}
+		before := sys.Ranks()
+		hadRanking := sys.CorrectRanking()
+		res := sys.RunToSafeSet(44, 0)
+		if !res.Stabilized {
+			fmt.Printf("%-20s did not stabilize within budget\n", class)
+			continue
+		}
+		survived := "n/a (no initial ranking)"
+		switch {
+		case !hadRanking:
+		case sys.HardResets() > 0:
+			survived = "no (hard reset)"
+		default:
+			survived = "yes"
+			after := sys.Ranks()
+			for i := range before {
+				if before[i] != after[i] {
+					survived = "changed"
+					break
+				}
+			}
+		}
+		fmt.Printf("%-20s %-14d %-12d %-12d %-16s\n",
+			class, res.Interactions, sys.HardResets(),
+			sys.EventCount("verify.soft_reset"), survived)
+	}
+
+	fmt.Println("\nmessage-layer faults (corrupt-messages, duplicate-messages) must be")
+	fmt.Println("repaired with zero hard resets — the soft-reset guarantee of §3.2;")
+	fmt.Println("rank-layer faults force a full reset and a fresh ranking.")
+}

@@ -1,0 +1,53 @@
+// Substrates: demonstrate the two probabilistic primitives the paper's
+// analysis leans on — one-way epidemics (Lemma A.2) and token load balancing
+// (Lemma E.6 / Berenbrink et al. 2019) — and measure their constants.
+//
+//	go run ./examples/substrates [-n 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"sspp/internal/epidemic"
+	"sspp/internal/loadbalance"
+	"sspp/internal/rng"
+	"sspp/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 512, "population size")
+	runs := flag.Int("runs", 20, "runs per measurement")
+	flag.Parse()
+
+	nln := float64(*n) * math.Log(float64(*n))
+
+	// Lemma A.2: epidemics complete within c_epi·n·log n, c_epi < 7.
+	var one, two stats.Acc
+	for s := 0; s < *runs; s++ {
+		one.Add(float64(epidemic.CompletionTime(*n, rng.New(uint64(s)), false)))
+		two.Add(float64(epidemic.CompletionTime(*n, rng.New(uint64(s)+500), true)))
+	}
+	fmt.Printf("epidemics at n = %d (%d runs):\n", *n, *runs)
+	fmt.Printf("  one-way:  mean %-9.0f interactions  = %.2f · n·ln n (max %.2f)\n",
+		one.Mean(), one.Mean()/nln, one.Max()/nln)
+	fmt.Printf("  two-way:  mean %-9.0f interactions  = %.2f · n·ln n (max %.2f)\n",
+		two.Mean(), two.Mean()/nln, two.Max()/nln)
+	fmt.Printf("  Lemma A.2 claims completion within c_epi·n·log n for c_epi < 7\n\n")
+
+	// Lemma E.6 substrate: load balancing from a point mass of 2n tokens.
+	var lb stats.Acc
+	for s := 0; s < *runs; s++ {
+		p := loadbalance.NewPointMass(*n, int64(2**n))
+		took, ok := loadbalance.RunUntilDiscrepancy(p, rng.New(uint64(s)+900), 3,
+			uint64(200*nln))
+		if ok {
+			lb.Add(float64(took))
+		}
+	}
+	fmt.Printf("load balancing at n = %d, 2n tokens on one agent (%d runs):\n", *n, *runs)
+	fmt.Printf("  discrepancy ≤ 3 after mean %-9.0f interactions = %.2f · n·ln n\n",
+		lb.Mean(), lb.Mean()/nln)
+	fmt.Printf("  ([9] Thm 1, which Lemma E.6 couples to message dispersal)\n")
+}

@@ -1,0 +1,67 @@
+// Tradeoff: sweep the parameter r at fixed n and print the space-time
+// trade-off of Theorem 1.1 — stabilization time falls like 1/r while the
+// per-agent state count explodes like 2^O(r²·log n).
+//
+//	go run ./examples/tradeoff [-n 48] [-seeds 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sspp"
+)
+
+func main() {
+	n := flag.Int("n", 48, "population size")
+	seeds := flag.Int("seeds", 3, "runs per r")
+	flag.Parse()
+
+	fmt.Printf("space-time trade-off at n = %d (averaged over %d seeds)\n\n", *n, *seeds)
+	fmt.Printf("%-6s %-18s %-16s %-20s %-10s\n",
+		"r", "interactions", "parallel time", "state bits (2^b)", "speedup")
+
+	var base float64
+	for r := 1; r <= *n/4; r *= 2 {
+		mean, ok := averageStabilization(*n, r, *seeds)
+		if !ok {
+			fmt.Printf("%-6d (did not stabilize within budget)\n", r)
+			continue
+		}
+		if base == 0 {
+			base = mean
+		}
+		fmt.Printf("%-6d %-18.0f %-16.1f %-20.0f %-10.2f\n",
+			r, mean, mean/float64(*n), sspp.StateBits(*n, r), base/mean)
+	}
+	fmt.Println("\nTheorem 1.1: interactions = O((n²/r)·log n) — doubling r should")
+	fmt.Println("roughly halve the time until the Θ(n·log n) floor; the state bits")
+	fmt.Println("column is the price being paid (2^O(r²·log n)).")
+}
+
+// averageStabilization runs ElectLeader_r from a full reset `seeds` times
+// and returns the mean safe-set arrival in interactions.
+func averageStabilization(n, r, seeds int) (float64, bool) {
+	var sum float64
+	count := 0
+	for s := 0; s < seeds; s++ {
+		sys, err := sspp.New(sspp.Config{N: n, R: r, Seed: uint64(s + 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Inject(sspp.AdversaryTriggered, uint64(s+100)); err != nil {
+			log.Fatal(err)
+		}
+		res := sys.RunToSafeSet(uint64(s+200), 0)
+		if !res.Stabilized {
+			continue
+		}
+		sum += float64(res.Interactions)
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}

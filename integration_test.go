@@ -1,0 +1,229 @@
+package sspp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestIntegrationRecoverFromEveryAdversary drives the public API through the
+// full adversary catalogue: every class recovers to the safe set, and
+// message-layer faults keep the ranking intact (the §3.2 soft-reset
+// guarantee), observed purely through exported surface.
+func TestIntegrationRecoverFromEveryAdversary(t *testing.T) {
+	const n, r = 16, 4
+	for i, class := range AdversaryClasses() {
+		class := class
+		seed := uint64(i + 1)
+		t.Run(string(class), func(t *testing.T) {
+			sys, err := New(Config{N: n, R: r, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Inject(class, seed+50); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			rankingFault := class == AdversaryCorruptMessages || class == AdversaryDuplicateMessages
+			var before []int
+			if rankingFault {
+				before = sys.Ranks()
+			}
+			res := sys.RunToSafeSet(seed+99, 0)
+			if !res.Stabilized {
+				t.Fatalf("no stabilization (events %s)", sys.Events())
+			}
+			if _, ok := sys.Leader(); !ok {
+				t.Fatal("no unique leader in safe set")
+			}
+			if rankingFault {
+				if sys.HardResets() != 0 {
+					t.Fatalf("message fault caused %d hard resets", sys.HardResets())
+				}
+				after := sys.Ranks()
+				for j := range before {
+					if before[j] != after[j] {
+						t.Fatalf("rank of agent %d changed %d -> %d", j, before[j], after[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationClosureLongRun stabilizes and then runs 40 more
+// default-budget chunks: the output must never regress (closure, Lemma 6.1).
+func TestIntegrationClosureLongRun(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.RunToSafeSet(3, 0); !res.Stabilized {
+		t.Fatal("setup failed")
+	}
+	leaderBefore, _ := sys.Leader()
+	hard := sys.HardResets()
+	for chunk := uint64(0); chunk < 40; chunk++ {
+		sys.Step(100+chunk, 10_000)
+		if !sys.Correct() {
+			t.Fatalf("correctness lost at chunk %d", chunk)
+		}
+	}
+	leaderAfter, ok := sys.Leader()
+	if !ok || leaderAfter != leaderBefore {
+		t.Fatalf("leader changed %d -> %d after stabilization", leaderBefore, leaderAfter)
+	}
+	if sys.HardResets() != hard {
+		t.Fatal("hard reset after stabilization")
+	}
+}
+
+// TestIntegrationTraceObservesLifecycle checks that the Trace API reports
+// the full lifecycle from a triggered start: a resetting phase, a ranking
+// phase, a verifying phase, and finally the safe set.
+func TestIntegrationTraceObservesLifecycle(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(AdversaryTriggered, 5); err != nil {
+		t.Fatal(err)
+	}
+	var sawResetting, sawRanking, sawVerifying, sawSafe bool
+	res := sys.Trace(6, 0, uint64(sys.N()), func(s Snapshot) {
+		if s.Resetting == sys.N() {
+			sawResetting = true
+		}
+		if s.Ranking == sys.N() {
+			sawRanking = true
+		}
+		if s.Verifying == sys.N() {
+			sawVerifying = true
+		}
+		if s.InSafeSet {
+			sawSafe = true
+		}
+	})
+	if !res.Stabilized {
+		t.Fatal("trace run did not stabilize")
+	}
+	if !sawResetting || !sawRanking || !sawVerifying || !sawSafe {
+		t.Fatalf("lifecycle incomplete: resetting=%v ranking=%v verifying=%v safe=%v",
+			sawResetting, sawRanking, sawVerifying, sawSafe)
+	}
+}
+
+// TestIntegrationTradeoffDirection verifies the headline trade-off end to
+// end through the public API: at fixed n, larger r stabilizes in fewer
+// interactions (averaged over seeds), while the state bound grows.
+func TestIntegrationTradeoffDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	const n = 32
+	mean := func(r int) float64 {
+		var sum float64
+		const seeds = 3
+		for s := uint64(0); s < seeds; s++ {
+			sys, err := New(Config{N: n, R: r, Seed: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Inject(AdversaryTriggered, s+9); err != nil {
+				t.Fatal(err)
+			}
+			res := sys.RunToSafeSet(s+17, 0)
+			if !res.Stabilized {
+				t.Fatalf("r=%d seed=%d: no stabilization", r, s)
+			}
+			sum += float64(res.Interactions)
+		}
+		return sum / seeds
+	}
+	slow, fast := mean(1), mean(8)
+	if fast >= slow {
+		t.Fatalf("trade-off inverted: r=8 took %.0f >= r=1's %.0f", fast, slow)
+	}
+	if StateBits(n, 8) <= StateBits(n, 1) {
+		t.Fatal("state bits must grow with r")
+	}
+	t.Logf("n=%d: r=1 -> %.0f interactions, r=8 -> %.0f (%.1fx faster)", n, slow, fast, slow/fast)
+}
+
+// TestIntegrationDeterministicReproduction: identical seeds reproduce the
+// identical trajectory, interaction for interaction.
+func TestIntegrationDeterministicReproduction(t *testing.T) {
+	run := func() (uint64, []int, string) {
+		sys, err := New(Config{N: 16, R: 4, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryRandomGarbage, 12); err != nil {
+			t.Fatal(err)
+		}
+		res := sys.RunToSafeSet(13, 0)
+		if !res.Stabilized {
+			t.Fatal("no stabilization")
+		}
+		return res.Interactions, sys.Ranks(), sys.Events()
+	}
+	i1, r1, e1 := run()
+	i2, r2, e2 := run()
+	if i1 != i2 || e1 != e2 || fmt.Sprint(r1) != fmt.Sprint(r2) {
+		t.Fatalf("non-deterministic: (%d,%v,%s) vs (%d,%v,%s)", i1, r1, e1, i2, r2, e2)
+	}
+}
+
+// TestIntegrationTransientFaults: a stabilized population struck by a
+// mid-run fault burst recovers on its own — the raison d'être of
+// self-stabilization, through the public API.
+func TestIntegrationTransientFaults(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.RunToSafeSet(42, 0); !res.Stabilized {
+		t.Fatal("setup failed")
+	}
+	for round := uint64(0); round < 3; round++ {
+		victims := sys.InjectTransient(4, 43+round)
+		if len(victims) != 4 {
+			t.Fatalf("round %d: %d victims, want 4", round, len(victims))
+		}
+		if res := sys.RunToSafeSet(50+round, 0); !res.Stabilized {
+			t.Fatalf("round %d: no recovery from transient burst", round)
+		}
+		if sys.Leaders() != 1 {
+			t.Fatalf("round %d: %d leaders after recovery", round, sys.Leaders())
+		}
+	}
+	// Whole-population burst.
+	sys.InjectTransient(100, 99) // clamps to n
+	if res := sys.RunToSafeSet(60, 0); !res.Stabilized {
+		t.Fatal("no recovery from full-population burst")
+	}
+}
+
+// TestIntegrationSnapshotConsistency: snapshot fields must agree with the
+// predicate methods at all times.
+func TestIntegrationSnapshotConsistency(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := uint64(0); chunk < 20; chunk++ {
+		sys.Step(30+chunk, 500)
+		snap := sys.Snapshot()
+		resetting, rankingCount, verifying := sys.Roles()
+		if snap.Resetting != resetting || snap.Ranking != rankingCount || snap.Verifying != verifying {
+			t.Fatalf("role mismatch at chunk %d", chunk)
+		}
+		if snap.Resetting+snap.Ranking+snap.Verifying != sys.N() {
+			t.Fatalf("roles do not partition the population at chunk %d", chunk)
+		}
+		if snap.Leaders != sys.Leaders() {
+			t.Fatalf("leader mismatch at chunk %d", chunk)
+		}
+		if snap.InSafeSet != sys.InSafeSet() {
+			t.Fatalf("safe-set mismatch at chunk %d", chunk)
+		}
+	}
+}

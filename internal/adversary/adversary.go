@@ -1,0 +1,282 @@
+// Package adversary builds the adversarial starting configurations used to
+// exercise self-stabilization. Self-stabilizing correctness (Theorem 1.1)
+// quantifies over every type-valid configuration; the classes below cover
+// the recovery hierarchy ℰ₀ ⊃ ℰ₁ ⊃ … ⊃ ℰ₅ of Lemma 6.3 plus the canonical
+// failure modes (two leaders, no leader, corrupted or duplicated messages),
+// each landing the population in a specific rung of the ladder.
+//
+// All generators use only the type-valid mutators of internal/core, so the
+// §5.1 state restriction always holds — exactly the set of configurations
+// the paper's analysis quantifies over.
+package adversary
+
+import (
+	"fmt"
+
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/verify"
+)
+
+// Class identifies an adversarial configuration generator.
+type Class string
+
+// The supported configuration classes.
+const (
+	// ClassCleanRankers: all agents fresh rankers (the post-awakening
+	// configuration; baseline for Lemma 6.2 measurements).
+	ClassCleanRankers Class = "clean-rankers"
+	// ClassTriggered: all agents freshly triggered resetters (a triggered
+	// configuration, Lemma 6.2's starting point).
+	ClassTriggered Class = "triggered"
+	// ClassMixedRoles: random mix of resetters (random counters), rankers
+	// (random countdowns) and verifiers (random ranks) — a generic ℰ₀
+	// configuration.
+	ClassMixedRoles Class = "mixed-roles"
+	// ClassStuckRankers: all rankers with nearly-expired countdowns, so the
+	// population is forced through the ℰ₁→ℰ₂ transition with an incomplete
+	// ranking.
+	ClassStuckRankers Class = "stuck-rankers"
+	// ClassMixedGenerations: verifiers with a correct ranking but
+	// generations scattered over ℤ₆ (ℰ₂ \ ℰ₃).
+	ClassMixedGenerations Class = "mixed-generations"
+	// ClassProbationSkew: verifiers, correct ranking, one generation, but
+	// random positive probation timers (ℰ₃ \ ℰ₄).
+	ClassProbationSkew Class = "probation-skew"
+	// ClassTwoLeaders: correct-looking verifiers except two agents claim
+	// rank 1 (ℰ₄ \ ℰ₅; the canonical duplicate-leader fault).
+	ClassTwoLeaders Class = "two-leaders"
+	// ClassNoLeader: no agent holds rank 1 (some other rank duplicated).
+	ClassNoLeader Class = "no-leader"
+	// ClassDuplicateRanks: k random ranks duplicated among verifiers.
+	ClassDuplicateRanks Class = "duplicate-ranks"
+	// ClassCorruptMessages: correct ranking, zero probation, but several
+	// circulating messages corrupted — the soft-reset scenario of §3.2.
+	ClassCorruptMessages Class = "corrupt-messages"
+	// ClassDuplicateMessages: correct ranking but duplicated circulating
+	// messages (two holders of one (rank, ID)).
+	ClassDuplicateMessages Class = "duplicate-messages"
+	// ClassRandomGarbage: every field randomized through the type-valid
+	// mutators — the closest generator to "arbitrary configuration".
+	ClassRandomGarbage Class = "random-garbage"
+)
+
+// Classes returns all supported classes in a stable order.
+func Classes() []Class {
+	return []Class{
+		ClassCleanRankers,
+		ClassTriggered,
+		ClassMixedRoles,
+		ClassStuckRankers,
+		ClassMixedGenerations,
+		ClassProbationSkew,
+		ClassTwoLeaders,
+		ClassNoLeader,
+		ClassDuplicateRanks,
+		ClassCorruptMessages,
+		ClassDuplicateMessages,
+		ClassRandomGarbage,
+	}
+}
+
+// Describe returns a one-line description of the class.
+func Describe(c Class) string {
+	switch c {
+	case ClassCleanRankers:
+		return "all agents fresh rankers (post-awakening)"
+	case ClassTriggered:
+		return "all agents triggered resetters (Lemma 6.2 start)"
+	case ClassMixedRoles:
+		return "random roles, counters and ranks (generic E0)"
+	case ClassStuckRankers:
+		return "rankers with nearly-expired countdowns (E1\\E2)"
+	case ClassMixedGenerations:
+		return "verifiers with generations scattered over Z6 (E2\\E3)"
+	case ClassProbationSkew:
+		return "verifiers with random positive probation timers (E3\\E4)"
+	case ClassTwoLeaders:
+		return "two agents claim rank 1 (E4\\E5)"
+	case ClassNoLeader:
+		return "no agent holds rank 1 (duplicate elsewhere)"
+	case ClassDuplicateRanks:
+		return "several random rank collisions among verifiers"
+	case ClassCorruptMessages:
+		return "correct ranking, corrupted circulating messages (soft-reset case)"
+	case ClassDuplicateMessages:
+		return "correct ranking, duplicated circulating messages"
+	case ClassRandomGarbage:
+		return "everything randomized (arbitrary configuration proxy)"
+	default:
+		return "unknown class"
+	}
+}
+
+// ExpectsRankingPreserved reports whether recovery from the class must keep
+// the initial ranking intact (no hard reset) — true exactly for the classes
+// whose ranking is correct and whose faults live only in the detection layer.
+func ExpectsRankingPreserved(c Class) bool {
+	return c == ClassCorruptMessages || c == ClassDuplicateMessages
+}
+
+// Apply rewrites p's configuration in place according to class, drawing any
+// needed randomness from r.
+func Apply(p *core.Protocol, class Class, r *rng.PRNG) error {
+	n := p.N()
+	switch class {
+	case ClassCleanRankers:
+		for i := 0; i < n; i++ {
+			p.ForceRanker(i)
+		}
+	case ClassTriggered:
+		for i := 0; i < n; i++ {
+			p.ForceTriggered(i)
+		}
+	case ClassMixedRoles:
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				p.ForceTriggered(i)
+			case 1:
+				p.ForceDormant(i, int32(1+r.Intn(int(p.Constants().Reset.DMax))))
+			case 2:
+				p.ForceRanker(i)
+				p.SetCountdown(i, int32(r.Intn(int(p.Constants().CountdownMax))))
+			default:
+				p.ForceVerifier(i, int32(1+r.Intn(n)))
+				p.SetProbation(i, int32(r.Intn(int(p.Constants().PMax))))
+				p.SetGeneration(i, uint8(r.Intn(verify.Generations)))
+			}
+		}
+	case ClassStuckRankers:
+		for i := 0; i < n; i++ {
+			p.ForceRanker(i)
+			p.SetCountdown(i, int32(1+r.Intn(4)))
+		}
+	case ClassMixedGenerations:
+		applyPermutation(p, r)
+		for i := 0; i < n; i++ {
+			p.SetGeneration(i, uint8(r.Intn(verify.Generations)))
+			p.SetProbation(i, 0)
+		}
+	case ClassProbationSkew:
+		applyPermutation(p, r)
+		for i := 0; i < n; i++ {
+			p.SetProbation(i, int32(1+r.Intn(int(p.Constants().PMax))))
+		}
+	case ClassTwoLeaders:
+		applyPermutation(p, r)
+		// Give the rank-2 holder a second rank-1 claim.
+		for i := 0; i < n; i++ {
+			if p.Agent(i).Rank == 2 {
+				p.ForceVerifier(i, 1)
+				break
+			}
+		}
+		zeroProbation(p)
+	case ClassNoLeader:
+		applyPermutation(p, r)
+		for i := 0; i < n; i++ {
+			if p.Agent(i).Rank == 1 {
+				p.ForceVerifier(i, 2)
+				break
+			}
+		}
+		zeroProbation(p)
+	case ClassDuplicateRanks:
+		applyPermutation(p, r)
+		k := 1 + r.Intn(3)
+		for d := 0; d < k; d++ {
+			i, j := r.Pair(n)
+			p.ForceVerifier(i, p.Agent(j).Rank)
+		}
+		zeroProbation(p)
+	case ClassCorruptMessages:
+		applyPermutation(p, r)
+		zeroProbation(p)
+		corrupted := 0
+		for attempts := 0; attempts < 4*n && corrupted < 3; attempts++ {
+			if p.TamperMessages(r.Intn(n)) {
+				corrupted++
+			}
+		}
+		if corrupted == 0 {
+			return fmt.Errorf("adversary: failed to corrupt any message")
+		}
+	case ClassDuplicateMessages:
+		applyPermutation(p, r)
+		zeroProbation(p)
+		duplicated := 0
+		for attempts := 0; attempts < 8*n && duplicated < 2; attempts++ {
+			i, j := r.Pair(n)
+			if p.DuplicateMessage(i, j) {
+				duplicated++
+			}
+		}
+		if duplicated == 0 {
+			return fmt.Errorf("adversary: failed to duplicate any message")
+		}
+	case ClassRandomGarbage:
+		if err := Apply(p, ClassMixedRoles, r); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				p.TamperMessages(i)
+			}
+		}
+	default:
+		return fmt.Errorf("adversary: unknown class %q", class)
+	}
+	return nil
+}
+
+// Transient corrupts k uniformly chosen agents in place, leaving the rest
+// of the population untouched — the mid-run transient-fault model that
+// motivates self-stabilization (memory corruption striking a subset of a
+// running system, §1). Each victim receives a random type-valid state:
+// a random rank claim, scrambled generation/probation/countdown, a
+// triggered reset, or corrupted messages. It returns the victim indices.
+func Transient(p *core.Protocol, k int, r *rng.PRNG) []int {
+	n := p.N()
+	if k > n {
+		k = n
+	}
+	victims := r.Perm(n)[:k]
+	for _, i := range victims {
+		switch r.Intn(5) {
+		case 0:
+			p.ForceVerifier(i, int32(1+r.Intn(n)))
+			p.SetProbation(i, int32(r.Intn(int(p.Constants().PMax))))
+			p.SetGeneration(i, uint8(r.Intn(verify.Generations)))
+		case 1:
+			p.ForceTriggered(i)
+		case 2:
+			p.ForceRanker(i)
+			p.SetCountdown(i, int32(r.Intn(int(p.Constants().CountdownMax))))
+		case 3:
+			if !p.TamperMessages(i) {
+				p.ForceVerifier(i, int32(1+r.Intn(n)))
+			}
+		default:
+			p.ForceDormant(i, int32(1+r.Intn(int(p.Constants().Reset.DMax))))
+		}
+	}
+	return victims
+}
+
+// applyPermutation makes every agent a verifier with a uniformly random
+// correct ranking.
+func applyPermutation(p *core.Protocol, r *rng.PRNG) {
+	perm := r.Perm(p.N())
+	for i, rank := range perm {
+		p.ForceVerifier(i, int32(rank+1))
+	}
+}
+
+// zeroProbation sets every verifier's probation timer to zero, placing the
+// configuration past the ℰ₃→ℰ₄ rung.
+func zeroProbation(p *core.Protocol) {
+	for i := 0; i < p.N(); i++ {
+		p.SetProbation(i, 0)
+	}
+}

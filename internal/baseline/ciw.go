@@ -1,0 +1,92 @@
+// Package baseline implements the comparison protocols that anchor the
+// paper's trade-off (Section 2, Related Work):
+//
+//   - CIW: the classic n-state silent self-stabilizing ranking in the style
+//     of Cai, Izumi, and Wada (Theory Comput. Syst. 2012) — the
+//     state-optimal anchor with Θ(n²) expected stabilization time.
+//   - NameRank: the O(n³)-names broadcast ranking described by [16] and in
+//     Appendix D as the state-heavy alternative for the time-optimal regime
+//     (O(n·log n) bits, O(n·log n) interactions, not self-stabilizing).
+//   - LooseLE: a loosely-stabilizing leader election in the style of Sudo
+//     et al. (TCS 2012 / DISC 2021): fast convergence from any
+//     configuration, but the leader is only held for a finite (tunable)
+//     time rather than forever.
+package baseline
+
+import (
+	"sspp/internal/sim"
+)
+
+// CIW is an n-state silent self-stabilizing ranking protocol: each agent's
+// whole state is its rank in [1, n]; when two agents with the same rank k
+// interact, the responder moves to rank k mod n + 1. Stable configurations
+// are exactly the permutations (the protocol is silent there), and from any
+// configuration a permutation is reached with probability 1, in Θ(n²)
+// expected interactions for the leader-election output.
+type CIW struct {
+	ranks []int32
+}
+
+var _ sim.Protocol = (*CIW)(nil)
+
+// NewCIW returns a CIW instance over n agents starting from the all-rank-1
+// configuration (the canonical worst-ish case).
+func NewCIW(n int) *CIW {
+	ranks := make([]int32, n)
+	for i := range ranks {
+		ranks[i] = 1
+	}
+	return &CIW{ranks: ranks}
+}
+
+// NewCIWFromRanks returns a CIW instance with the given initial rank beliefs
+// (values are clamped into [1, n]); the slice is copied.
+func NewCIWFromRanks(ranks []int32) *CIW {
+	c := &CIW{ranks: append([]int32(nil), ranks...)}
+	n := int32(len(c.ranks))
+	for i, r := range c.ranks {
+		if r < 1 {
+			c.ranks[i] = 1
+		}
+		if r > n {
+			c.ranks[i] = n
+		}
+	}
+	return c
+}
+
+// N returns the population size.
+func (c *CIW) N() int { return len(c.ranks) }
+
+// Interact applies the (k, k) → (k, k mod n + 1) rule.
+func (c *CIW) Interact(a, b int) {
+	if c.ranks[a] == c.ranks[b] {
+		c.ranks[b] = c.ranks[b]%int32(len(c.ranks)) + 1
+	}
+}
+
+// Correct reports whether exactly one agent holds rank 1 (the leader).
+func (c *CIW) Correct() bool {
+	leaders := 0
+	for _, r := range c.ranks {
+		if r == 1 {
+			leaders++
+		}
+	}
+	return leaders == 1
+}
+
+// CorrectRanking reports whether the ranks form a permutation of [1, n].
+func (c *CIW) CorrectRanking() bool {
+	seen := make([]bool, len(c.ranks))
+	for _, r := range c.ranks {
+		if r < 1 || int(r) > len(c.ranks) || seen[r-1] {
+			return false
+		}
+		seen[r-1] = true
+	}
+	return true
+}
+
+// Rank returns agent i's rank belief.
+func (c *CIW) Rank(i int) int32 { return c.ranks[i] }

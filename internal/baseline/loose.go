@@ -1,0 +1,91 @@
+// loose.go implements a loosely-stabilizing leader election in the style of
+// Sudo, Nakamura, Yamauchi, Ooshita, Kakugawa, Masuzawa (TCS 2012) and its
+// successors (related work, §2): from any configuration a unique leader
+// emerges within O(τ + n·log n)-ish interactions, and is then *held* for a
+// long but finite time governed by the timeout parameter τ, rather than
+// forever. Experiment T13 reproduces the convergence-vs-holding-time
+// trade-off that distinguishes loose stabilization from the paper's strict
+// self-stabilization.
+
+package baseline
+
+import "sspp/internal/sim"
+
+// LooseLE is a timeout-based loosely-stabilizing leader election.
+//
+// Every agent carries a countdown timer. Leaders re-arm their own timer to τ
+// on every interaction; timers propagate by a max-epidemic and decrement at
+// every interaction. An agent whose timer reaches zero assumes leadership is
+// lost and promotes itself; two leaders meeting demote the responder.
+type LooseLE struct {
+	tau    int32
+	leader []bool
+	timer  []int32
+}
+
+var _ sim.Protocol = (*LooseLE)(nil)
+
+// NewLooseLE returns a LooseLE over n agents with timeout τ and no initial
+// leader (all timers at zero forces an immediate self-promotion burst — the
+// adversarial start).
+func NewLooseLE(n int, tau int32) *LooseLE {
+	if tau < 1 {
+		tau = 1
+	}
+	return &LooseLE{
+		tau:    tau,
+		leader: make([]bool, n),
+		timer:  make([]int32, n),
+	}
+}
+
+// N returns the population size.
+func (l *LooseLE) N() int { return len(l.timer) }
+
+// Interact applies the timeout dynamics to the ordered pair.
+func (l *LooseLE) Interact(a, b int) {
+	// Leaders re-arm; two leaders collapse to one (responder demotes).
+	if l.leader[a] && l.leader[b] {
+		l.leader[b] = false
+	}
+	if l.leader[a] {
+		l.timer[a] = l.tau
+	}
+	if l.leader[b] {
+		l.timer[b] = l.tau
+	}
+	// Max-epidemic on timers, then both decrement.
+	m := l.timer[a]
+	if l.timer[b] > m {
+		m = l.timer[b]
+	}
+	m--
+	if m < 0 {
+		m = 0
+	}
+	l.timer[a], l.timer[b] = m, m
+	// Timeout: a non-leader whose timer died promotes itself.
+	for _, i := range [2]int{a, b} {
+		if !l.leader[i] && l.timer[i] == 0 {
+			l.leader[i] = true
+			l.timer[i] = l.tau
+		}
+	}
+}
+
+// Correct reports whether exactly one agent is a leader.
+func (l *LooseLE) Correct() bool { return l.Leaders() == 1 }
+
+// Leaders returns the current number of leaders.
+func (l *LooseLE) Leaders() int {
+	c := 0
+	for _, b := range l.leader {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Tau returns the timeout parameter.
+func (l *LooseLE) Tau() int32 { return l.tau }

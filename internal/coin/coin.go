@@ -1,0 +1,157 @@
+// Package coin implements the derandomization technique of Appendix B of
+// the paper (Lemma B.1): population protocols are presented as if agents
+// could sample values (almost) uniformly at random, and that sampling is
+// realized using only the randomness of the uniform scheduler.
+//
+// Each agent maintains one coin bit that it flips on every interaction, a
+// cyclic counter, and a small buffer of coin bits observed on interaction
+// partners. Because the scheduler pairs agents uniformly at random, after a
+// short mixing period roughly half the population shows heads at any moment
+// (Berenbrink, Friedetzky, Kaaser, Kling 2019), so the observed bits are
+// close to independent fair coin flips, and a window of log₂ N of them
+// encodes a value that is almost uniform on [N]: every value has probability
+// in [1/(2N), 2/N].
+//
+// Protocols in this repository consume randomness through the Sampler
+// function type, so every protocol can run either in the presentation model
+// (PRNG-backed, FromPRNG) or fully derandomized (State.Sample).
+package coin
+
+import "sspp/internal/rng"
+
+// Sampler returns a value in [0, n), (almost) uniformly at random.
+// Implementations must tolerate any n >= 1.
+type Sampler func(n int) int
+
+// FromPRNG returns a Sampler backed by a seeded PRNG. This is the paper's
+// presentation model, where transition functions may sample directly.
+func FromPRNG(r *rng.PRNG) Sampler {
+	return func(n int) int {
+		if n <= 1 {
+			return 0
+		}
+		return r.Intn(n)
+	}
+}
+
+// MaxWidth is the capacity of the observed-bit buffer in bits.
+const MaxWidth = 64
+
+// State is the per-agent synthetic coin of Appendix B: the agent's own coin
+// bit, the cyclic write position, and the buffer of partner bits observed
+// during the last Width interactions.
+//
+// The per-agent memory is Width + log₂(Width) + 1 bits, matching the
+// O(N·log N) state blow-up of Lemma B.1.
+type State struct {
+	// Coin is the agent's own coin bit (0 or 1), complemented every
+	// interaction.
+	Coin uint8
+	// Buf holds the last Width observed partner bits, cyclically.
+	Buf uint64
+	// Pos is the cyclic write position in [0, Width).
+	Pos uint8
+	// Width is the buffer size in bits (1..MaxWidth).
+	Width uint8
+}
+
+// NewState returns a synthetic-coin state with the given buffer width,
+// clamped to [1, MaxWidth]. The initial coin and buffer are derived
+// deterministically from salt so that distinct agents start unsynchronized;
+// self-stabilization does not depend on this initialization, it only
+// shortens mixing in experiments.
+func NewState(width int, salt uint64) State {
+	if width < 1 {
+		width = 1
+	}
+	if width > MaxWidth {
+		width = MaxWidth
+	}
+	// splitmix64-style scrambling of the salt.
+	z := salt + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return State{
+		Coin:  uint8(z & 1),
+		Buf:   z >> 1,
+		Pos:   uint8((z >> 32) % uint64(width)),
+		Width: uint8(width),
+	}
+}
+
+// WidthFor returns a buffer width sufficient to sample values in [0, n)
+// with the guarantees of Lemma B.1 (⌈log₂ n⌉ bits, at least 1).
+func WidthFor(n int) int {
+	return bitsFor(n)
+}
+
+// bitsFor returns ⌈log₂ n⌉ for n >= 2 and 1 otherwise.
+func bitsFor(n int) int {
+	bits := 1
+	for v := 2; v < n; v <<= 1 {
+		bits++
+		if bits == MaxWidth {
+			break
+		}
+	}
+	return bits
+}
+
+// Observe implements the per-interaction update of Appendix B for both
+// endpoints of an interaction: each agent records the partner's current coin
+// bit into its buffer and advances its cyclic counter, and then both agents
+// complement their own coins. The two observations use the pre-flip values,
+// matching the simultaneous state update of the population model.
+func Observe(u, v *State) {
+	ub, vb := u.Coin, v.Coin
+	u.record(vb)
+	v.record(ub)
+	u.Coin ^= 1
+	v.Coin ^= 1
+}
+
+// record writes bit at the current cyclic position and advances it.
+func (s *State) record(bit uint8) {
+	if s.Width == 0 {
+		// Zero value: degrade gracefully to a 1-bit buffer.
+		s.Width = 1
+		s.Pos = 0
+	}
+	mask := uint64(1) << s.Pos
+	if bit != 0 {
+		s.Buf |= mask
+	} else {
+		s.Buf &^= mask
+	}
+	s.Pos++
+	if s.Pos >= s.Width {
+		s.Pos = 0
+	}
+}
+
+// Sample returns a value in [0, n) assembled from the most recently observed
+// ⌈log₂ n⌉ coin bits (reduced mod n). Per Lemma B.1 the result is almost
+// uniform — each value has probability in [1/(2n), 2/n] — provided the agent
+// has interacted at least Width times since the last Sample so the buffer
+// has fully refreshed.
+func (s *State) Sample(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	w := bitsFor(n)
+	if int(s.Width) < w {
+		w = int(s.Width)
+	}
+	var v uint64
+	pos := int(s.Pos)
+	for i := 0; i < w; i++ {
+		// Walk backwards from the most recently written position.
+		pos--
+		if pos < 0 {
+			pos = int(s.Width) - 1
+		}
+		v = v<<1 | (s.Buf>>uint(pos))&1
+	}
+	return int(v % uint64(n))
+}

@@ -1,0 +1,85 @@
+// constants.go collects every tunable constant of ElectLeader_r in one
+// place. The paper fixes only asymptotics (Θ(log n), Θ((n/r)·log n), …); the
+// concrete multipliers below are chosen so that the w.h.p. events of the
+// analysis hold reliably at simulation scales. Every field documents the
+// paper symbol it instantiates.
+
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/ranking"
+	"sspp/internal/reset"
+	"sspp/internal/verify"
+)
+
+// Constants bundles the concrete parameter values of one ElectLeader_r
+// instance.
+type Constants struct {
+	// CountdownMax is C_max = Θ((n/r)·log n) (Section 4): the number of
+	// ranker-ranker interactions an agent waits before forcing itself into
+	// the Verifying role. It must exceed the per-agent duration of a full
+	// AssignRanks_r run w.h.p. (Lemma F.1's premise).
+	CountdownMax int32
+	// Reset holds R_max and D_max of PropagateReset (Appendix C).
+	Reset reset.Params
+	// Ranking holds the AssignRanks_r parameters (Appendix D).
+	Ranking ranking.Params
+	// PMax is the probation ceiling P_max = c_prob·(n/r)·log n (Section 5).
+	PMax int32
+	// DetectRefresh is the signature refresh constant c of Protocol 13
+	// (c·log r_u interactions between refreshes).
+	DetectRefresh int
+	// DisableSoftReset ablates the §3.2 soft-reset mechanism: every ⊤
+	// triggers a full reset (experiment A1).
+	DisableSoftReset bool
+	// DisableLoadBalance ablates BalanceLoad (Protocol 14): messages no
+	// longer circulate (experiment A4).
+	DisableLoadBalance bool
+}
+
+// DefaultConstants returns constants for population size n and trade-off
+// parameter r.
+//
+// CountdownMax dominates the stabilization time by design: after
+// AssignRanks_r becomes silent, the population simply waits out the
+// countdown, which is what produces the paper's O((n²/r)·log n) headline
+// bound. The multiplier leaves roughly a 2.5× margin over the measured
+// per-agent duration of ranking.
+func DefaultConstants(n, r int) Constants {
+	if r < 1 {
+		r = 1
+	}
+	ln := math.Log(float64(n) + 1)
+	nOverR := float64(n) / float64(r)
+	return Constants{
+		CountdownMax:  int32(math.Ceil((20*nOverR + 160) * ln)),
+		Reset:         reset.DefaultParams(n),
+		Ranking:       ranking.DefaultParams(n, r),
+		PMax:          verify.DefaultPMax(n, r),
+		DetectRefresh: 8,
+	}
+}
+
+// Validate reports whether the constants are internally consistent for a
+// population of size n.
+func (c Constants) Validate(n int) error {
+	if c.CountdownMax < 1 {
+		return fmt.Errorf("core: CountdownMax = %d < 1", c.CountdownMax)
+	}
+	if c.Reset.RMax < 1 || c.Reset.DMax < 1 {
+		return fmt.Errorf("core: reset params %+v degenerate", c.Reset)
+	}
+	if c.PMax < 1 {
+		return fmt.Errorf("core: PMax = %d < 1", c.PMax)
+	}
+	if c.DetectRefresh < 1 {
+		return fmt.Errorf("core: DetectRefresh = %d < 1", c.DetectRefresh)
+	}
+	if c.Ranking.N != n {
+		return fmt.Errorf("core: ranking params are for n = %d, protocol has n = %d", c.Ranking.N, n)
+	}
+	return c.Ranking.Validate()
+}

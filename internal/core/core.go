@@ -1,0 +1,322 @@
+// Package core implements ElectLeader_r (Section 4, Protocol 1), the
+// paper's self-stabilizing leader-election-and-ranking protocol, by
+// composing the three role modules:
+//
+//   - Resetting agents run PropagateReset (internal/reset, Appendix C),
+//   - Ranking agents run AssignRanks_r (internal/ranking, Appendix D) under
+//     a countdown that forces the transition to verification,
+//   - Verifying agents run StableVerify_r (internal/verify, Section 5),
+//     which embeds DetectCollision_r (internal/detect, Section 5.1).
+//
+// The agent with rank 1 is the leader. Starting from any configuration the
+// protocol reaches, w.h.p. within O((n²/r)·log n) interactions, a safe
+// configuration in which the ranking is a permutation of [n] and never
+// changes again (Theorem 1.1).
+package core
+
+import (
+	"fmt"
+
+	"sspp/internal/coin"
+	"sspp/internal/detect"
+	"sspp/internal/ranking"
+	"sspp/internal/reset"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/verify"
+)
+
+// Role is an agent's top-level role (Section 4, Fig. 1).
+type Role uint8
+
+const (
+	// RoleRanking: the agent executes AssignRanks_r.
+	RoleRanking Role = iota
+	// RoleResetting: the agent executes PropagateReset.
+	RoleResetting
+	// RoleVerifying: the agent executes StableVerify_r.
+	RoleVerifying
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleRanking:
+		return "ranking"
+	case RoleResetting:
+		return "resetting"
+	case RoleVerifying:
+		return "verifying"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Agent is the full per-agent state of ElectLeader_r. Only the fields of the
+// current role are meaningful; role transitions nil/zero the rest, matching
+// the paper's "inactive fields are deleted" convention (which is also what
+// bounds the state space as a disjoint union, Fig. 1).
+type Agent struct {
+	// Role is the agent's current role.
+	Role Role
+	// Reset is the PropagateReset state (RoleResetting).
+	Reset reset.State
+	// Countdown forces rankers into verification (RoleRanking).
+	Countdown int32
+	// AR is the AssignRanks_r state qAR (RoleRanking).
+	AR *ranking.State
+	// Rank is the committed rank (RoleVerifying).
+	Rank int32
+	// SV is the StableVerify_r state qSV (RoleVerifying).
+	SV *verify.State
+	// Coin is the synthetic-coin state (Appendix B), maintained in every
+	// role when the protocol runs in derandomized mode.
+	Coin coin.State
+}
+
+// Event names recorded by the protocol (in addition to the verify.Event*
+// names emitted by StableVerify_r).
+const (
+	// EventHardReset counts TriggerReset executions.
+	EventHardReset = "core.hard_reset"
+	// EventInfected counts computing→resetting infections.
+	EventInfected = "core.infected"
+	// EventAwaken counts resetter→ranker awakenings (Reset, Protocol 6).
+	EventAwaken = "core.awaken"
+	// EventBecameVerifier counts ranker→verifier transitions.
+	EventBecameVerifier = "core.became_verifier"
+)
+
+// Protocol is one ElectLeader_r instance. It implements sim.Protocol. It is
+// not safe for concurrent use.
+type Protocol struct {
+	n      int
+	r      int
+	consts Constants
+	vp     verify.Params
+
+	agents   []Agent
+	samplers []coin.Sampler
+
+	synthetic bool
+	src       *rng.PRNG
+	events    *sim.Events
+	scratch   *detect.Scratch
+	clock     uint64
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// config collects the options of New.
+type config struct {
+	seed      uint64
+	consts    *Constants
+	synthetic bool
+	events    *sim.Events
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithSeed sets the seed of the protocol-internal randomness (identifier
+// draws and signature refreshes). The scheduler randomness is separate and
+// supplied by the runner. Default seed: 1.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithConstants overrides the default constants.
+func WithConstants(consts Constants) Option {
+	return func(c *config) { cc := consts; c.consts = &cc }
+}
+
+// WithSyntheticCoins runs the protocol in the derandomized mode of Appendix
+// B: all protocol sampling is served from per-agent synthetic coins fed only
+// by scheduler randomness, instead of from the PRNG.
+func WithSyntheticCoins() Option { return func(c *config) { c.synthetic = true } }
+
+// WithEvents attaches an event sink recording resets, detections and role
+// transitions.
+func WithEvents(ev *sim.Events) Option { return func(c *config) { c.events = ev } }
+
+// New builds an ElectLeader_r instance over n agents with trade-off
+// parameter 1 ≤ r ≤ n/2. The initial configuration is the clean
+// post-awakening one: every agent a fresh ranker (use the adversary package
+// or the Force* mutators for other starting configurations).
+func New(n, r int, opts ...Option) (*Protocol, error) {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	consts := DefaultConstants(n, r)
+	if cfg.consts != nil {
+		consts = *cfg.consts
+	}
+	if err := consts.Validate(n); err != nil {
+		return nil, err
+	}
+	dp := detect.NewParamsWithRefresh(n, r, consts.DetectRefresh)
+	dp.SetNoBalance(consts.DisableLoadBalance)
+	p := &Protocol{
+		n:         n,
+		r:         r,
+		consts:    consts,
+		vp:        verify.Params{PMax: consts.PMax, Detect: dp, HardOnly: consts.DisableSoftReset},
+		agents:    make([]Agent, n),
+		samplers:  make([]coin.Sampler, n),
+		synthetic: cfg.synthetic,
+		src:       rng.New(cfg.seed),
+		events:    cfg.events,
+		scratch:   detect.NewScratch(),
+	}
+	width := coin.WidthFor(int(consts.Ranking.IDSpace))
+	prngSampler := coin.FromPRNG(p.src)
+	for i := range p.agents {
+		p.agents[i].Coin = coin.NewState(width, uint64(i)+cfg.seed*0x9E37)
+		if cfg.synthetic {
+			p.samplers[i] = p.agents[i].Coin.Sample
+		} else {
+			p.samplers[i] = prngSampler
+		}
+	}
+	for i := range p.agents {
+		p.reinitRanker(i)
+	}
+	return p, nil
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return p.n }
+
+// R returns the trade-off parameter r.
+func (p *Protocol) R() int { return p.r }
+
+// Constants returns the protocol's constants.
+func (p *Protocol) Constants() Constants { return p.consts }
+
+// VerifyParams returns the StableVerify_r parameters (tests and the
+// adversary package need them to build type-valid states).
+func (p *Protocol) VerifyParams() verify.Params { return p.vp }
+
+// Clock returns the number of interactions applied so far.
+func (p *Protocol) Clock() uint64 { return p.clock }
+
+// Events returns the attached event sink (possibly nil).
+func (p *Protocol) Events() *sim.Events { return p.events }
+
+// Agent returns agent i's state for inspection. Mutations should go through
+// the Force* methods, which keep states type-valid.
+func (p *Protocol) Agent(i int) *Agent { return &p.agents[i] }
+
+// reinitRanker is the Reset routine (Protocol 6): agent i becomes a fresh
+// ranker with a clean qAR and a full countdown.
+func (p *Protocol) reinitRanker(i int) {
+	a := &p.agents[i]
+	a.Role = RoleRanking
+	a.Reset = reset.State{}
+	a.Countdown = p.consts.CountdownMax
+	a.AR = ranking.InitState(p.consts.Ranking)
+	a.Rank = 0
+	a.SV = nil
+}
+
+// triggerReset is TriggerReset (Protocol 5): agent i becomes a triggered
+// resetter, discarding all other state.
+func (p *Protocol) triggerReset(i int) {
+	a := &p.agents[i]
+	a.Role = RoleResetting
+	a.Reset = reset.Triggered(p.consts.Reset)
+	a.AR = nil
+	a.SV = nil
+	a.Rank = 0
+	p.events.IncAt(EventHardReset, p.clock)
+}
+
+// becomeVerifier is Protocol 1 lines 7–8: the ranker commits its computed
+// rank and enters verification with q0,SV.
+func (p *Protocol) becomeVerifier(i int) {
+	a := &p.agents[i]
+	rank := int32(1)
+	if a.AR != nil {
+		rank = a.AR.Rank
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if int(rank) > p.n {
+		rank = int32(p.n)
+	}
+	a.Role = RoleVerifying
+	a.Rank = rank
+	a.SV = verify.InitState(p.vp, rank)
+	a.AR = nil
+	a.Countdown = 0
+	p.events.IncAt(EventBecameVerifier, p.clock)
+}
+
+// Interact applies one ElectLeader_r interaction (Protocol 1) to the ordered
+// pair (a, b).
+func (p *Protocol) Interact(a, b int) {
+	p.clock++
+	u, v := &p.agents[a], &p.agents[b]
+	if p.synthetic {
+		coin.Observe(&u.Coin, &v.Coin)
+	}
+
+	// Lines 1–2: PropagateReset when the initiator is a resetter.
+	if u.Role == RoleResetting {
+		uo, vo := reset.Step(p.consts.Reset,
+			true, &u.Reset, v.Role == RoleResetting, &v.Reset)
+		p.applyResetOutcome(a, uo)
+		p.applyResetOutcome(b, vo)
+	}
+
+	// Lines 3–5: two rankers execute AssignRanks_r and tick countdowns.
+	if u.Role == RoleRanking && v.Role == RoleRanking {
+		ranking.Interact(p.consts.Ranking, u.AR, v.AR, p.samplers[a], p.samplers[b])
+		if u.Countdown > 0 {
+			u.Countdown--
+		}
+		if v.Countdown > 0 {
+			v.Countdown--
+		}
+	}
+
+	// Lines 6–8: rankers whose countdown expired, or who meet a verifier,
+	// become verifiers — sequentially, so one transition can pull the
+	// partner along (the epidemic of Lemma F.1).
+	for _, pair := range [2][2]int{{a, b}, {b, a}} {
+		i, j := pair[0], pair[1]
+		ai, aj := &p.agents[i], &p.agents[j]
+		if ai.Role == RoleRanking && (ai.Countdown <= 0 || aj.Role == RoleVerifying) {
+			p.becomeVerifier(i)
+		}
+	}
+
+	// Lines 9–10: two verifiers execute StableVerify_r.
+	if u.Role == RoleVerifying && v.Role == RoleVerifying {
+		uAct, vAct := verify.Interact(p.vp,
+			u.Rank, u.SV, v.Rank, v.SV,
+			p.samplers[a], p.samplers[b], p.scratch, p.events, p.clock)
+		if uAct == verify.ActHardReset {
+			p.triggerReset(a)
+		}
+		if vAct == verify.ActHardReset {
+			p.triggerReset(b)
+		}
+	}
+}
+
+// applyResetOutcome applies a PropagateReset outcome to agent i.
+func (p *Protocol) applyResetOutcome(i int, o reset.Outcome) {
+	switch o {
+	case reset.OutInfected:
+		a := &p.agents[i]
+		a.Role = RoleResetting
+		a.AR = nil
+		a.SV = nil
+		a.Rank = 0
+		p.events.IncAt(EventInfected, p.clock)
+	case reset.OutAwaken:
+		p.reinitRanker(i)
+		p.events.IncAt(EventAwaken, p.clock)
+	}
+}

@@ -1,0 +1,196 @@
+// correct.go defines the output mapping and correctness predicates of
+// ElectLeader_r, plus the checkable core of the safe-set predicate of
+// Lemma 6.1.
+
+package core
+
+import (
+	"sspp/internal/detect"
+	"sspp/internal/verify"
+)
+
+// RankOutput returns agent i's current rank output: committed rank for
+// verifiers, the AssignRanks_r belief for rankers (initialized to 1, per
+// Appendix D), and the degenerate belief 1 for resetters.
+func (p *Protocol) RankOutput(i int) int32 {
+	a := &p.agents[i]
+	switch a.Role {
+	case RoleVerifying:
+		return a.Rank
+	case RoleRanking:
+		if a.AR != nil {
+			return a.AR.Rank
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// IsLeader reports whether agent i currently outputs "leader" (rank 1).
+func (p *Protocol) IsLeader(i int) bool { return p.RankOutput(i) == 1 }
+
+// Leaders returns the number of agents currently outputting "leader".
+func (p *Protocol) Leaders() int {
+	c := 0
+	for i := range p.agents {
+		if p.IsLeader(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Correct reports whether exactly one agent outputs "leader" — the
+// correctness predicate of self-stabilizing leader election.
+func (p *Protocol) Correct() bool { return p.Leaders() == 1 }
+
+// CorrectRanking reports whether the rank outputs form a permutation of
+// [1, n] — the stronger ranking correctness the protocol actually
+// establishes.
+func (p *Protocol) CorrectRanking() bool {
+	seen := make([]bool, p.n)
+	for i := range p.agents {
+		r := p.RankOutput(i)
+		if r < 1 || int(r) > p.n || seen[r-1] {
+			return false
+		}
+		seen[r-1] = true
+	}
+	return true
+}
+
+// Roles returns the number of agents per role.
+func (p *Protocol) Roles() (resetting, rankingCount, verifying int) {
+	for i := range p.agents {
+		switch p.agents[i].Role {
+		case RoleResetting:
+			resetting++
+		case RoleRanking:
+			rankingCount++
+		case RoleVerifying:
+			verifying++
+		}
+	}
+	return resetting, rankingCount, verifying
+}
+
+// AllVerifiers reports whether every agent is in the Verifying role.
+func (p *Protocol) AllVerifiers() bool {
+	for i := range p.agents {
+		if p.agents[i].Role != RoleVerifying {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyTop reports whether any verifier's collision detector is in ⊤.
+func (p *Protocol) AnyTop() bool {
+	for i := range p.agents {
+		a := &p.agents[i]
+		if a.Role == RoleVerifying && a.SV != nil && a.SV.DC != nil && a.SV.DC.Err {
+			return true
+		}
+	}
+	return false
+}
+
+// InSafeSet implements the checkable core of Lemma 6.1's safe set: all
+// agents are verifiers with a correct ranking; the generations present span
+// at most two adjacent values {i, i+1 (mod 6)}; every generation-i agent has
+// probation timer 0; no collision detector is in ⊤; and, standing in for
+// condition (b)'s reachability clause, each generation's message system is
+// coherent (detect.CheckCoherence): every circulating message has one holder
+// and matches its governor's observation, which together with the correct
+// ranking implies no ⊤ can ever be raised again.
+func (p *Protocol) InSafeSet() bool {
+	if !p.AllVerifiers() || !p.CorrectRanking() || p.AnyTop() {
+		return false
+	}
+	if !p.messagesCoherent() {
+		return false
+	}
+	var gens [verify.Generations]bool
+	distinct := 0
+	for i := range p.agents {
+		g := p.agents[i].SV.Generation % verify.Generations
+		if !gens[g] {
+			gens[g] = true
+			distinct++
+		}
+	}
+	switch distinct {
+	case 1:
+		return true
+	case 2:
+		// The two generations must be adjacent: find i with gens[i] and
+		// gens[i+1]; all generation-i agents must be off probation.
+		for g := 0; g < verify.Generations; g++ {
+			next := (g + 1) % verify.Generations
+			if !gens[g] || !gens[next] {
+				continue
+			}
+			behind := uint8(g)
+			ok := true
+			for i := range p.agents {
+				a := &p.agents[i]
+				if a.SV.Generation%verify.Generations == behind && a.SV.Probation != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// messagesCoherent checks per-generation message coherence among verifiers
+// (see InSafeSet). Cross-generation relations are irrelevant: agents of
+// different generations never run DetectCollision_r together, and adopting
+// the successor generation rebuilds the detection state from scratch.
+func (p *Protocol) messagesCoherent() bool {
+	buckets := make(map[uint8]int, verify.Generations)
+	for i := range p.agents {
+		buckets[p.agents[i].SV.Generation%verify.Generations]++
+	}
+	for gen := range buckets {
+		ranks := make([]int32, 0, buckets[gen])
+		states := make([]*detect.State, 0, buckets[gen])
+		for i := range p.agents {
+			a := &p.agents[i]
+			if a.SV.Generation%verify.Generations == gen {
+				ranks = append(ranks, a.Rank)
+				states = append(states, a.SV.DC)
+			}
+		}
+		if err := detect.CheckCoherence(p.vp.Detect, ranks, states); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Generations returns the set of generation values currently present among
+// verifiers (empty when none).
+func (p *Protocol) Generations() []uint8 {
+	var present [verify.Generations]bool
+	for i := range p.agents {
+		a := &p.agents[i]
+		if a.Role == RoleVerifying && a.SV != nil {
+			present[a.SV.Generation%verify.Generations] = true
+		}
+	}
+	out := make([]uint8, 0, verify.Generations)
+	for g := uint8(0); g < verify.Generations; g++ {
+		if present[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}

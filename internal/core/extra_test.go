@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+func TestRunToOutputStable(t *testing.T) {
+	p := mustNew(t, 16, 8, WithSeed(31))
+	at, ok := p.RunToOutputStable(rng.New(32), stabilizationBound(16, 8), 200)
+	if !ok {
+		t.Fatal("output never stabilized")
+	}
+	if !p.Correct() {
+		t.Fatal("reported stable but incorrect")
+	}
+	if at == 0 {
+		t.Fatal("fresh rankers cannot be correct at t=0")
+	}
+}
+
+func TestRunToOutputStableBudgetExhausted(t *testing.T) {
+	p := mustNew(t, 16, 8, WithSeed(33))
+	if _, ok := p.RunToOutputStable(rng.New(34), 100, 1_000_000); ok {
+		t.Fatal("cannot confirm a window longer than the budget")
+	}
+}
+
+func TestRunToSafeSetImmediate(t *testing.T) {
+	p := mustNew(t, 8, 2)
+	for i := 0; i < 8; i++ {
+		p.ForceVerifier(i, int32(i+1))
+	}
+	took, ok := p.RunToSafeSet(rng.New(1), 100)
+	if !ok || took != 0 {
+		t.Fatalf("already-safe config: took=%d ok=%v", took, ok)
+	}
+}
+
+func TestRunToSafeSetBudgetExhausted(t *testing.T) {
+	p := mustNew(t, 16, 4, WithSeed(35))
+	took, ok := p.RunToSafeSet(rng.New(36), 50)
+	if ok {
+		t.Fatal("50 interactions cannot suffice")
+	}
+	if took != 50 {
+		t.Fatalf("took = %d, want 50", took)
+	}
+}
+
+func TestMessagesCoherentDetectsTamper(t *testing.T) {
+	p := mustNew(t, 12, 6)
+	for i := 0; i < 12; i++ {
+		p.ForceVerifier(i, int32(i+1))
+	}
+	if !p.InSafeSet() {
+		t.Fatal("clean verifiers must be safe")
+	}
+	if !p.TamperMessages(3) {
+		t.Fatal("tamper failed")
+	}
+	if p.InSafeSet() {
+		t.Fatal("tampered messages must leave the safe set (coherence check)")
+	}
+}
+
+func TestDuplicateMessageLeavesSafeSet(t *testing.T) {
+	p := mustNew(t, 12, 6)
+	for i := 0; i < 12; i++ {
+		p.ForceVerifier(i, int32(i+1))
+	}
+	if !p.DuplicateMessage(0, 2) {
+		t.Fatal("duplication failed")
+	}
+	if p.InSafeSet() {
+		t.Fatal("duplicated message must leave the safe set")
+	}
+}
+
+func TestDuplicateMessageWrongRoles(t *testing.T) {
+	p := mustNew(t, 12, 6)
+	if p.DuplicateMessage(0, 1) {
+		t.Fatal("duplication between rankers must fail")
+	}
+}
+
+func TestAblationConstantsWiredThrough(t *testing.T) {
+	consts := DefaultConstants(12, 6)
+	consts.DisableSoftReset = true
+	consts.DisableLoadBalance = true
+	p, err := New(12, 6, WithConstants(consts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.VerifyParams().HardOnly {
+		t.Fatal("HardOnly not wired through")
+	}
+}
+
+func TestGenerationsAccessor(t *testing.T) {
+	p := mustNew(t, 8, 2)
+	for i := 0; i < 8; i++ {
+		p.ForceVerifier(i, int32(i+1))
+	}
+	p.SetGeneration(0, 3)
+	gens := p.Generations()
+	if len(gens) != 2 || gens[0] != 0 || gens[1] != 3 {
+		t.Fatalf("Generations = %v, want [0 3]", gens)
+	}
+}
+
+func TestVerifyBitsAndRankingBits(t *testing.T) {
+	if VerifyBits(256, 16) <= DetectBits(16) {
+		t.Fatal("verify bits must exceed its detect component")
+	}
+	if RankingBits(256, 16) <= RankingBits(256, 1) {
+		t.Fatal("ranking bits must grow with r")
+	}
+	if RankingBits(256, 0.5) != RankingBits(256, 1) {
+		t.Fatal("r below 1 must clamp")
+	}
+	if ElectLeaderBits(256, 0) != ElectLeaderBits(256, 1) {
+		t.Fatal("ElectLeaderBits must clamp r")
+	}
+}
+
+func TestEventsAttached(t *testing.T) {
+	ev := mustNew(t, 8, 2).Events()
+	if ev != nil {
+		t.Fatal("nil expected without WithEvents")
+	}
+}

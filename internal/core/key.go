@@ -1,0 +1,35 @@
+// key.go provides a canonical binary encoding of full agent states, used by
+// the observed-state-space experiment (T15): counting distinct keys over a
+// run measures how much of the 2^O(r²·log n) theoretical state space a real
+// execution actually visits.
+
+package core
+
+// AgentKey appends a canonical encoding of agent i's full state to b and
+// returns the extended slice. Two agents (or one agent at two times) with
+// equal keys are in the identical protocol state, including every timer,
+// message and observation.
+func (p *Protocol) AgentKey(i int, b []byte) []byte {
+	a := &p.agents[i]
+	b = append(b, byte(a.Role))
+	switch a.Role {
+	case RoleResetting:
+		b = append(b, byte(a.Reset.Count), byte(a.Reset.Count>>8),
+			byte(a.Reset.Delay), byte(a.Reset.Delay>>8))
+	case RoleRanking:
+		b = append(b, byte(a.Countdown), byte(a.Countdown>>8), byte(a.Countdown>>16))
+		if a.AR != nil {
+			b = a.AR.AppendKey(b)
+		}
+	case RoleVerifying:
+		b = append(b, byte(a.Rank), byte(a.Rank>>8))
+		if a.SV != nil {
+			b = append(b, a.SV.Generation,
+				byte(a.SV.Probation), byte(a.SV.Probation>>8), byte(a.SV.Probation>>16))
+			if a.SV.DC != nil {
+				b = a.SV.DC.AppendKey(b)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+func TestAgentKeyDistinguishesRolesAndStates(t *testing.T) {
+	p := mustNew(t, 8, 2, WithSeed(1))
+	kRanker := string(p.AgentKey(0, nil))
+	p.ForceVerifier(0, 3)
+	kVerifier := string(p.AgentKey(0, nil))
+	p.ForceTriggered(0)
+	kResetter := string(p.AgentKey(0, nil))
+	if kRanker == kVerifier || kVerifier == kResetter || kRanker == kResetter {
+		t.Fatal("role changes must change the key")
+	}
+	p.ForceVerifier(0, 3)
+	k1 := string(p.AgentKey(0, nil))
+	p.SetProbation(0, 1)
+	k2 := string(p.AgentKey(0, nil))
+	if k1 == k2 {
+		t.Fatal("probation tick must change the key")
+	}
+}
+
+func TestAgentKeyEqualForEqualStates(t *testing.T) {
+	p := mustNew(t, 8, 2, WithSeed(2))
+	p.ForceVerifier(0, 3)
+	p.ForceVerifier(1, 3) // identical q0,SV for the same rank
+	a := string(p.AgentKey(0, nil))
+	b := string(p.AgentKey(1, nil))
+	if a != b {
+		t.Fatal("identical states must produce identical keys")
+	}
+}
+
+func TestAgentKeyStableAcrossCalls(t *testing.T) {
+	p := mustNew(t, 8, 2, WithSeed(3))
+	sim.Steps(p, rng.New(4), 500)
+	for i := 0; i < 8; i++ {
+		if string(p.AgentKey(i, nil)) != string(p.AgentKey(i, nil)) {
+			t.Fatalf("agent %d key not deterministic", i)
+		}
+	}
+}
+
+func TestAgentKeyBufferReuse(t *testing.T) {
+	p := mustNew(t, 8, 2, WithSeed(5))
+	buf := make([]byte, 0, 64)
+	a := string(p.AgentKey(0, buf))
+	b := string(p.AgentKey(0, buf[:0]))
+	if a != b {
+		t.Fatal("buffer reuse changed the key")
+	}
+}

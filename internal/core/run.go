@@ -1,0 +1,77 @@
+// run.go provides safe-set-oriented execution helpers. Output correctness
+// (exactly one leader) is reached as soon as AssignRanks_r finishes — well
+// before the countdown moves agents into verification — so experiments that
+// want the paper's stabilization notion (a configuration that remains
+// correct forever, Lemma 6.1) run to the safe set instead.
+
+package core
+
+import (
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// RunToSafeSet runs the protocol under the uniform scheduler drawn from rand
+// until InSafeSet holds (polled every ⌈n/2⌉ interactions) or max
+// interactions elapse. It returns the number of interactions performed and
+// whether the safe set was reached. The returned count has the polling
+// cadence as resolution.
+func (p *Protocol) RunToSafeSet(rand *rng.PRNG, max uint64) (uint64, bool) {
+	return p.RunToSafeSetSched(rand, max)
+}
+
+// RunToSafeSetSched is RunToSafeSet under an arbitrary scheduler (used by
+// the scheduler-robustness extension T16).
+func (p *Protocol) RunToSafeSetSched(sched sim.Scheduler, max uint64) (uint64, bool) {
+	if p.InSafeSet() {
+		return 0, true
+	}
+	cadence := uint64(p.n/2 + 1)
+	var t uint64
+	for t < max {
+		limit := t + cadence
+		if limit > max {
+			limit = max
+		}
+		for t < limit {
+			a, b := sched.Pair(p.n)
+			p.Interact(a, b)
+			t++
+		}
+		if p.InSafeSet() {
+			return t, true
+		}
+	}
+	return t, false
+}
+
+// RunToOutputStable runs until the output (exactly one leader) has held
+// continuously for the given confirmation window, or max interactions
+// elapse. It returns the interaction count at which the final correct
+// stretch began and whether it was confirmed. This is the output-level
+// stabilization measurement; RunToSafeSet is the configuration-level one.
+func (p *Protocol) RunToOutputStable(rand *rng.PRNG, max, confirm uint64) (uint64, bool) {
+	cadence := uint64(p.n/4 + 1)
+	var t, stableSince uint64
+	correct := p.Correct()
+	for t < max {
+		limit := t + cadence
+		if limit > max {
+			limit = max
+		}
+		for t < limit {
+			a, b := rand.Pair(p.n)
+			p.Interact(a, b)
+			t++
+		}
+		now := p.Correct()
+		if now && !correct {
+			stableSince = t
+		}
+		correct = now
+		if correct && t-stableSince >= confirm {
+			return stableSince, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,137 @@
+// statespace.go computes the state-space sizes of ElectLeader_r and its
+// modules, following the structure of Figures 1–4: each role's space is the
+// cross product of its active fields, and the total is the disjoint union of
+// the roles' spaces. Sizes are astronomically large (2^O(r²·log n)), so all
+// arithmetic is done on log₂ values; cross products become sums and disjoint
+// unions become log-sum-exp. These formulas drive experiment T2, which
+// compares the trade-off against the state counts of [16], [17] and [20].
+
+package core
+
+import "math"
+
+// log2SumExp2 returns log₂(Σ 2^x_i) computed stably.
+func log2SumExp2(xs ...float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp2(x - m)
+	}
+	return m + math.Log2(s)
+}
+
+// lg returns log₂(x) for positive x and 0 otherwise (empty fields contribute
+// nothing to a cross product).
+func lg(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// DetectBits returns log₂ of the DetectCollision_r state space for a group
+// of size g (Fig. 3):
+//
+//	{⊤} ⊎ ( [g⁵] × [Θ(log g)] × [(2g⁸)^(2g²)] × [(g⁷)^(2g²)] )
+//
+// which is 2^O(g²·log g).
+func DetectBits(g float64) float64 {
+	if g < 1 {
+		return 0
+	}
+	signature := 5 * lg(g)
+	counter := lg(8 * math.Log(g+1))
+	msgs := 2 * g * g * lg(2*math.Pow(g, 8))
+	obs := 2 * g * g * 7 * lg(g)
+	return log2SumExp2(0, signature+counter+msgs+obs)
+}
+
+// RankingBits returns log₂ of the AssignRanks_r state space for population
+// size n and parameter r (Appendix D), which is 2^O(r·log n). The dominant
+// term is the channel field: (⌈cn/r⌉+1)^r.
+func RankingBits(n, r float64) float64 {
+	if r < 1 {
+		r = 1
+	}
+	labelCap := math.Ceil(2*n/r) + 1
+	channel := r * lg(labelCap)
+	le := 2*lg(n*n*n) + lg(40*math.Log(n+1)) + 2 // ID, MinID, LECount, two bits
+	sheriff := 2 * lg(r)
+	deputy := lg(r) + lg(labelCap)
+	label := lg(r*labelCap + 1)
+	sleeper := label + lg(24*math.Log(n+1))
+	rank := lg(n)
+	return rank + log2SumExp2(
+		le,
+		channel+sheriff,
+		channel+deputy,
+		channel+label,   // recipient
+		channel+sleeper, // sleeper
+		0,               // ranked (rank only)
+	)
+}
+
+// VerifyBits returns log₂ of the StableVerify_r state space (Fig. 2):
+// ℤ₆ × [Θ((n/r)·log n)] × Q_DC.
+func VerifyBits(n, r float64) float64 {
+	g := groupSize(n, r)
+	return lg(6) + lg(24*n/r*math.Log(n+1)) + DetectBits(g)
+}
+
+// ElectLeaderBits returns log₂ of the full ElectLeader_r state space
+// (Fig. 1): {roles} × (Q_PR ⊎ countdown×Q_AR ⊎ rank×Q_SV), which is
+// 2^O(r²·log n). This is the quantity Theorem 1.1 bounds.
+func ElectLeaderBits(n, r float64) float64 {
+	if r < 1 {
+		r = 1
+	}
+	resetBits := lg(60*math.Log(n+1)) + lg(120*math.Log(n+1)) // resetCount × delayTimer
+	countdown := lg((20*n/r + 160) * math.Log(n+1))
+	return lg(3) + log2SumExp2(
+		resetBits,
+		countdown+RankingBits(n, r),
+		lg(n)+VerifyBits(n, r),
+	)
+}
+
+// groupSize returns the maximum group size of the partition of [n] into
+// ⌈n/r⌉ groups.
+func groupSize(n, r float64) float64 {
+	if r < 1 {
+		r = 1
+	}
+	numGroups := math.Ceil(n / r)
+	return math.Ceil(n / numGroups)
+}
+
+// BurmanBits returns log₂ of the state count of the time-optimal regime of
+// Sublinear-Time-SSR (Burman et al., PODC'21): achieving O(n·log n)
+// interactions requires H = Θ(log n), hence 2^Θ(n^H) = 2^(n^Θ(log n))
+// states — super-polynomial bit complexity, the baseline Theorem 1.1
+// improves to sub-cubic. We instantiate H = log₂(n) − 1.
+func BurmanBits(n float64) float64 {
+	return BurmanSublinearBits(n, lg(n)-1)
+}
+
+// BurmanSublinearBits returns log₂ of the state count of
+// Sublinear-Time-SSR for parameter H (2^Θ(n^H)·log n states for time
+// O(log n · n^(1/(H+1)))), the trade-off ElectLeader_r supersedes.
+func BurmanSublinearBits(n, h float64) float64 {
+	return math.Pow(n, h) + lg(lg(n))
+}
+
+// CaiIzumiWadaBits returns log₂ of the n states of the silent protocol of
+// Cai, Izumi, and Wada (state-optimal anchor, Θ(n²) expected time).
+func CaiIzumiWadaBits(n float64) float64 { return lg(n) }
+
+// GasieniecBits returns log₂ of the n + O(log n) states of Gąsieniec,
+// Grodzicki, and Stachowiak (2025), the near-state-optimal silent protocol.
+func GasieniecBits(n float64) float64 { return lg(n + 8*math.Log(n+1)) }

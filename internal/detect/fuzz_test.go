@@ -1,0 +1,78 @@
+package detect
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// FuzzPartition checks the structural partition invariants for arbitrary
+// (n, r): disjoint contiguous cover of [1, n] with consistent accessors.
+// Run with `go test -fuzz FuzzPartition ./internal/detect` to explore;
+// the seed corpus runs as a normal test.
+func FuzzPartition(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(1, 1)
+	f.Add(1000, 999)
+	f.Add(7, 7)
+	f.Add(64, 1)
+	f.Fuzz(func(t *testing.T, n, r int) {
+		if n < 1 || n > 5000 {
+			t.Skip()
+		}
+		pt := NewPartition(n, r)
+		covered := 0
+		for g := int32(0); g < int32(pt.NumGroups()); g++ {
+			size := pt.GroupSize(g)
+			if size < 1 {
+				t.Fatalf("group %d empty", g)
+			}
+			start := pt.GroupStart(g)
+			for k := int32(0); k < size; k++ {
+				rank := start + k
+				if pt.Group(rank) != g {
+					t.Fatalf("rank %d misassigned", rank)
+				}
+				if pt.PosOf(rank) != k+1 || pt.RankIdx(rank) != k || pt.SizeOf(rank) != size {
+					t.Fatalf("accessor mismatch for rank %d", rank)
+				}
+				covered++
+			}
+		}
+		if covered != n {
+			t.Fatalf("covered %d of %d ranks", covered, n)
+		}
+	})
+}
+
+// FuzzInteractSoundness drives random interaction schedules (derived from a
+// fuzzed byte string) over a correctly ranked harness and asserts the
+// Lemma E.1(a) guarantees: no ⊤, conservation, restriction.
+func FuzzInteractSoundness(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3})
+	f.Add(uint64(7), []byte{9, 9, 9, 9, 1, 2})
+	f.Fuzz(func(t *testing.T, seed uint64, schedule []byte) {
+		const n, r = 6, 3
+		h, err := NewHarness(n, r, nil, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(schedule) && i < 400; i += 2 {
+			a := int(schedule[i]) % n
+			b := int(schedule[i+1]) % n
+			if a == b {
+				b = (b + 1) % n
+			}
+			h.Interact(a, b)
+		}
+		if h.AnyTop() {
+			t.Fatal("false ⊤ under fuzzed schedule")
+		}
+		if err := h.CheckMessageConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.CheckRestriction(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// partition.go implements the rank-space partition of Section 3.3: the rank
+// space [n] is split into ⌈n/r⌉ contiguous groups of nearly equal size
+// (between ⌊n/⌈n/r⌉⌋ and ⌈n/⌈n/r⌉⌉ ≤ r), encoded in the transition function
+// as the map 𝒢 from ranks to groups. Collision detection runs independently
+// inside each group; interactions across groups are ignored by
+// DetectCollision_r.
+
+package detect
+
+// Partition is the static partition 𝒢 of the rank space [1, n].
+type Partition struct {
+	n      int
+	starts []int32 // start rank of each group, ascending; len = number of groups
+	sizes  []int32 // size of each group
+	group  []int32 // rank-1 -> group index
+}
+
+// NewPartition builds the partition of [1, n] into ⌈n/r⌉ balanced contiguous
+// groups. r is clamped to [1, n].
+func NewPartition(n, r int) *Partition {
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	numGroups := (n + r - 1) / r
+	base := n / numGroups
+	extra := n % numGroups // the first `extra` groups get one more rank
+	pt := &Partition{
+		n:      n,
+		starts: make([]int32, 0, numGroups),
+		sizes:  make([]int32, 0, numGroups),
+		group:  make([]int32, n),
+	}
+	start := int32(1)
+	for g := 0; g < numGroups; g++ {
+		size := int32(base)
+		if g < extra {
+			size++
+		}
+		pt.starts = append(pt.starts, start)
+		pt.sizes = append(pt.sizes, size)
+		for k := int32(0); k < size; k++ {
+			pt.group[start-1+k] = int32(g)
+		}
+		start += size
+	}
+	return pt
+}
+
+// N returns the size of the partitioned rank space.
+func (pt *Partition) N() int { return pt.n }
+
+// NumGroups returns the number of groups ⌈n/r⌉.
+func (pt *Partition) NumGroups() int { return len(pt.starts) }
+
+// Group returns the group index of rank, or -1 when rank lies outside
+// [1, n] (possible only under adversarial initialization).
+func (pt *Partition) Group(rank int32) int32 {
+	if rank < 1 || int(rank) > pt.n {
+		return -1
+	}
+	return pt.group[rank-1]
+}
+
+// GroupSize returns the size of group g.
+func (pt *Partition) GroupSize(g int32) int32 { return pt.sizes[g] }
+
+// GroupStart returns the smallest rank of group g.
+func (pt *Partition) GroupStart(g int32) int32 { return pt.starts[g] }
+
+// SizeOf returns the size r_u of rank's group (the paper's r_u = |𝒢(rank)|),
+// or 0 for out-of-range ranks.
+func (pt *Partition) SizeOf(rank int32) int32 {
+	g := pt.Group(rank)
+	if g < 0 {
+		return 0
+	}
+	return pt.sizes[g]
+}
+
+// PosOf returns the 1-based position of rank within its group (the paper's
+// rank_r), or 0 for out-of-range ranks.
+func (pt *Partition) PosOf(rank int32) int32 {
+	g := pt.Group(rank)
+	if g < 0 {
+		return 0
+	}
+	return rank - pt.starts[g] + 1
+}
+
+// RankIdx returns the 0-based index of rank within its group, or -1 when out
+// of range. It is the msgs row index used by State.
+func (pt *Partition) RankIdx(rank int32) int32 {
+	g := pt.Group(rank)
+	if g < 0 {
+		return -1
+	}
+	return rank - pt.starts[g]
+}
+
+// SameGroup reports whether two ranks belong to the same group; false when
+// either is out of range.
+func (pt *Partition) SameGroup(a, b int32) bool {
+	ga, gb := pt.Group(a), pt.Group(b)
+	return ga >= 0 && ga == gb
+}

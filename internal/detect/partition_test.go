@@ -1,0 +1,94 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	pt := NewPartition(10, 3)
+	if pt.N() != 10 {
+		t.Fatalf("N = %d", pt.N())
+	}
+	// ⌈10/3⌉ = 4 groups with sizes {3,3,2,2}.
+	if pt.NumGroups() != 4 {
+		t.Fatalf("NumGroups = %d, want 4", pt.NumGroups())
+	}
+	wantSizes := []int32{3, 3, 2, 2}
+	for g, want := range wantSizes {
+		if got := pt.GroupSize(int32(g)); got != want {
+			t.Errorf("GroupSize(%d) = %d, want %d", g, got, want)
+		}
+	}
+	if pt.GroupStart(0) != 1 || pt.GroupStart(1) != 4 || pt.GroupStart(2) != 7 || pt.GroupStart(3) != 9 {
+		t.Fatalf("starts wrong: %v", pt.starts)
+	}
+}
+
+func TestPartitionOutOfRange(t *testing.T) {
+	pt := NewPartition(8, 2)
+	for _, rank := range []int32{0, -1, 9, 100} {
+		if pt.Group(rank) != -1 {
+			t.Errorf("Group(%d) = %d, want -1", rank, pt.Group(rank))
+		}
+		if pt.SizeOf(rank) != 0 || pt.PosOf(rank) != 0 {
+			t.Errorf("SizeOf/PosOf(%d) not degenerate", rank)
+		}
+		if pt.RankIdx(rank) != -1 {
+			t.Errorf("RankIdx(%d) = %d, want -1", rank, pt.RankIdx(rank))
+		}
+	}
+}
+
+func TestPartitionClamping(t *testing.T) {
+	if got := NewPartition(8, 0).NumGroups(); got != 8 {
+		t.Fatalf("r=0 should clamp to 1: %d groups", got)
+	}
+	if got := NewPartition(8, 100).NumGroups(); got != 1 {
+		t.Fatalf("r>n should clamp to n: %d groups", got)
+	}
+}
+
+// TestPartitionProperties checks the §3.3 requirements for arbitrary (n, r):
+// the groups are a disjoint cover of [1, n], contiguous, with sizes between
+// ⌊n/⌈n/r⌉⌋ ≥ max(1, r/2) and r, and the per-rank accessors agree with the
+// group layout.
+func TestPartitionProperties(t *testing.T) {
+	f := func(nRaw, rRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		r := int(rRaw%uint16(n)) + 1
+		pt := NewPartition(n, r)
+		covered := 0
+		for g := int32(0); g < int32(pt.NumGroups()); g++ {
+			size := pt.GroupSize(g)
+			if size < 1 || int(size) > r {
+				return false
+			}
+			if 2*int(size) < r && pt.NumGroups() > 1 {
+				return false // sizes must stay within [r/2, r]
+			}
+			start := pt.GroupStart(g)
+			for k := int32(0); k < size; k++ {
+				rank := start + k
+				if pt.Group(rank) != g || pt.PosOf(rank) != k+1 || pt.RankIdx(rank) != k {
+					return false
+				}
+				if pt.SizeOf(rank) != size {
+					return false
+				}
+				covered++
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameGroup(t *testing.T) {
+	pt := NewPartition(10, 5)
+	if !pt.SameGroup(1, 5) || pt.SameGroup(5, 6) || pt.SameGroup(0, 1) {
+		t.Fatal("SameGroup misclassifies")
+	}
+}

@@ -1,0 +1,219 @@
+// comparisons.go implements the comparison experiments: ElectLeader_r vs the
+// n-state CIW baseline (T11), the synthetic coin of Appendix B (T12), and
+// the loosely-stabilizing extension (T13).
+
+package experiments
+
+import (
+	"math"
+
+	"sspp/internal/adversary"
+	"sspp/internal/baseline"
+	"sspp/internal/coin"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/stats"
+)
+
+// T11Baselines compares end-to-end stabilization of ElectLeader_r against
+// the n-state CIW protocol: the paper's protocol pays states to gain speed,
+// CIW pays Θ(n²)+ time to stay at n states. Both are measured from their
+// worst-ish uniform starts.
+func T11Baselines(cfg Config) *Table {
+	t := &Table{
+		ID:    "T11",
+		Title: "end-to-end comparison: ElectLeader_r vs the n-state CIW baseline",
+		Claim: "§2: CIW stabilizes in Θ(n²)+ expected interactions with n states; " +
+			"ElectLeader_r(r=n/4) in O(n·log n)-shaped time with 2^O(n²·log n) states",
+		Header: []string{"protocol", "n", "mean interactions", "±95%", "parallel time", "state bits"},
+	}
+	ns := []int{32, 64}
+	if !cfg.Quick {
+		ns = []int{64, 128, 256, 512}
+	}
+	var cCIW, cEL stats.Acc // fitted constants of c·n² and c·n·ln n
+	for _, n := range ns {
+		// CIW from the all-rank-1 start, measured to output stability.
+		var ciw stats.Acc
+		for s := 0; s < cfg.seeds(); s++ {
+			c := baseline.NewCIW(n)
+			res := sim.Run(c, rng.New(cfg.BaseSeed+uint64(s)), sim.Options{
+				MaxInteractions:    uint64(2000 * n * n),
+				StopAfterStableFor: uint64(20 * n * n),
+			})
+			if res.Stabilized {
+				ciw.Add(float64(res.StabilizedAt))
+			}
+		}
+		cCIW.Add(ciw.Mean() / float64(n*n))
+		t.Append("CIW (n states)", itoa(n), fmtU(uint64(ciw.Mean())), fmtU(uint64(ciw.CI95())),
+			fmtF(ciw.Mean()/float64(n), 1), fmtF(core.CaiIzumiWadaBits(float64(n)), 1))
+
+		// ElectLeader_r at r = n/4 from a triggered configuration.
+		r := maxInt(1, n/4)
+		times, _ := measureSafeSet(cfg, n, r, adversary.ClassTriggered)
+		if len(times) > 0 {
+			s := stats.Summarize(times)
+			cEL.Add(s.Mean / (float64(n) * math.Log(float64(n))))
+			t.Append("ElectLeader(r=n/4)", itoa(n), fmtU(uint64(s.Mean)), fmtU(uint64(s.CI95)),
+				fmtF(s.Mean/float64(n), 1), fmtU(uint64(core.ElectLeaderBits(float64(n), float64(r)))))
+		}
+	}
+	t.Note("CIW measured to stable output from the all-rank-1 start; ElectLeader to safe set " +
+		"from a triggered configuration (its stricter notion)")
+	if cCIW.N() > 0 && cEL.N() > 0 {
+		t.Note("fitted shapes: CIW ≈ %.2f·n² interactions; ElectLeader(r=n/4) ≈ %.0f·n·ln n interactions",
+			cCIW.Mean(), cEL.Mean())
+		t.Note("implied crossover (CIW slower beyond): n* ≈ %s", fmtU(uint64(crossover(cCIW.Mean(), cEL.Mean()))))
+	}
+	return t
+}
+
+// crossover solves cCIW·n² = cEL·n·ln n for n by fixed-point iteration.
+func crossover(cCIW, cEL float64) float64 {
+	n := 100.0
+	for i := 0; i < 60; i++ {
+		n = cEL / cCIW * math.Log(n)
+	}
+	return n
+}
+
+// T12SyntheticCoin validates Lemma B.1 (T12a: per-value sampling probability
+// within [1/(2N), 2/N]) and runs ElectLeader_r fully derandomized (T12b).
+func T12SyntheticCoin(cfg Config) *Table {
+	t := &Table{
+		ID:    "T12",
+		Title: "synthetic coin (Appendix B): sampling quality and end-to-end run",
+		Claim: "Lemma B.1: every value sampled with probability in [1/(2N), 2/N] after mixing; " +
+			"derandomized ElectLeader_r stabilizes like the PRNG mode",
+		Header: []string{"measurement", "value"},
+	}
+	// Part a: sampling census over a mixing population.
+	const (
+		n     = 64
+		space = 16
+	)
+	r := rng.New(cfg.BaseSeed + 1)
+	agents := make([]coin.State, n)
+	for i := range agents {
+		agents[i] = coin.NewState(coin.WidthFor(space), uint64(i))
+	}
+	mix := func(k int) {
+		for i := 0; i < k; i++ {
+			a, b := r.Pair(n)
+			coin.Observe(&agents[a], &agents[b])
+		}
+	}
+	mix(50 * n)
+	rounds := 2000 * cfg.seeds()
+	counts := make([]int, space)
+	for i := 0; i < rounds; i++ {
+		mix(2 * n * int(agents[0].Width))
+		counts[agents[r.Intn(n)].Sample(space)]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		minC = minInt(minC, c)
+		maxC = maxInt(maxC, c)
+	}
+	uniform := float64(rounds) / float64(space)
+	t.Append("sample space N", itoa(space))
+	t.Append("samples", itoa(rounds))
+	t.Append("min P[x]·N", fmtF(float64(minC)/uniform, 3))
+	t.Append("max P[x]·N", fmtF(float64(maxC)/uniform, 3))
+	t.Append("Lemma B.1 band for P[x]·N", "[0.5, 2.0]")
+
+	// Part b: end-to-end derandomized run.
+	const en, er = 24, 6
+	var prng, synth stats.Acc
+	for s := 0; s < cfg.seeds(); s++ {
+		seed := cfg.BaseSeed + uint64(s)
+		for _, mode := range []bool{false, true} {
+			opts := []core.Option{core.WithSeed(seed)}
+			if mode {
+				opts = append(opts, core.WithSyntheticCoins())
+			}
+			p, err := core.New(en, er, opts...)
+			if err != nil {
+				continue
+			}
+			took, ok := p.RunToSafeSet(rng.New(seed+9), safeSetBudget(en, er))
+			if !ok {
+				continue
+			}
+			if mode {
+				synth.Add(float64(took))
+			} else {
+				prng.Add(float64(took))
+			}
+		}
+	}
+	t.Append("ElectLeader(24,6) PRNG mode: mean safe-set time", fmtU(uint64(prng.Mean())))
+	t.Append("ElectLeader(24,6) synthetic mode: mean safe-set time", fmtU(uint64(synth.Mean())))
+	t.Append("synthetic successes", itoa(synth.N())+"/"+itoa(cfg.seeds()))
+	t.Note("identical timings across modes are expected: safe-set arrival is dominated by the " +
+		"deterministic countdown under a shared scheduler stream; the modes differ in the " +
+		"drawn identifiers/signatures, i.e. in *which* ranking is produced")
+	return t
+}
+
+// T13LooseLeader reproduces the loose-stabilization trade-off of the related
+// work ([29, 30]): larger timeouts τ lengthen the leader's holding time at
+// the cost of slower convergence; τ below the epidemic time cannot hold a
+// leader at all.
+func T13LooseLeader(cfg Config) *Table {
+	const n = 64
+	t := &Table{
+		ID:    "T13",
+		Title: "loosely-stabilizing leader election: convergence vs holding",
+		Claim: "[29,30]: below the heartbeat-epidemic scale (τ = O(log n)) the leader churns; " +
+			"above it the leader is held long — but only for a finite time, unlike Thm 1.1",
+		Header: []string{"τ/ln(n)", "τ", "converged runs", "mean convergence", "held fraction"},
+	}
+	// The timer ticks on an agent's own interactions, and the leader's
+	// heartbeat epidemic needs Θ(log n) of them to arrive, so the
+	// interesting τ scale is Θ(log n) — not Θ(n·log n).
+	ln := math.Log(float64(n))
+	for _, factor := range []float64{0.5, 1, 4, 16} {
+		tau := int32(factor * ln)
+		var conv stats.Acc
+		held := 0.0
+		polls := 0.0
+		converged := 0
+		for s := 0; s < cfg.seeds(); s++ {
+			l := baseline.NewLooseLE(n, tau)
+			r := rng.New(cfg.BaseSeed + uint64(s))
+			res := sim.Run(l, r, sim.Options{
+				MaxInteractions:    uint64(200 * float64(n) * ln),
+				StopAfterStableFor: uint64(4 * n),
+			})
+			if res.Stabilized {
+				converged++
+				conv.Add(float64(res.StabilizedAt))
+			}
+			// Measure the holding fraction over a follow-up window.
+			for i := 0; i < 200; i++ {
+				sim.Steps(l, r, uint64(n))
+				polls++
+				if l.Correct() {
+					held++
+				}
+			}
+		}
+		convStr := "-"
+		if conv.N() > 0 {
+			convStr = fmtU(uint64(conv.Mean()))
+		}
+		t.Append(fmtF(factor, 2), fmtU(uint64(tau)), itoa(converged)+"/"+itoa(cfg.seeds()),
+			convStr, fmtF(held/polls, 3))
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// recovery.go implements the recovery experiments: the soft-reset guarantee
+// (T9, §3.2) and the full recovery ladder over every adversarial class
+// (T10, Lemma 6.3).
+
+package experiments
+
+import (
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/stats"
+	"sspp/internal/verify"
+)
+
+// T9SoftReset validates §3.2: with a correct ranking and corrupted (or
+// duplicated) circulating messages, recovery happens through soft resets
+// only — zero hard resets, ranking bit-identical afterwards.
+func T9SoftReset(cfg Config) *Table {
+	t := &Table{
+		ID:     "T9",
+		Title:  "soft-reset mechanism: message faults with a correct ranking",
+		Claim:  "§3.2: repair via soft resets only; the ranking survives (0 hard resets)",
+		Header: []string{"fault", "n", "r", "runs", "hard resets", "soft resets (mean)", "ranking preserved", "safe-set time (mean)"},
+	}
+	cases := []struct{ n, r int }{{12, 6}, {16, 4}}
+	if !cfg.Quick {
+		cases = append(cases, struct{ n, r int }{24, 8})
+	}
+	for _, class := range []adversary.Class{adversary.ClassCorruptMessages, adversary.ClassDuplicateMessages} {
+		for _, c := range cases {
+			runs, hard := 0, uint64(0)
+			preserved := 0
+			var soft, times stats.Acc
+			for s := 0; s < cfg.seeds(); s++ {
+				seed := cfg.BaseSeed + uint64(s)
+				ev := sim.NewEvents()
+				p, err := core.New(c.n, c.r, core.WithSeed(seed), core.WithEvents(ev))
+				if err != nil {
+					continue
+				}
+				if err := adversary.Apply(p, class, rng.New(seed+3)); err != nil {
+					continue // class unrealizable at this (n, r); skip run
+				}
+				before := make([]int32, c.n)
+				for i := 0; i < c.n; i++ {
+					before[i] = p.RankOutput(i)
+				}
+				runs++
+				took, ok := p.RunToSafeSet(rng.New(seed+5), safeSetBudget(c.n, c.r))
+				if !ok {
+					continue
+				}
+				times.Add(float64(took))
+				hard += ev.Count(core.EventHardReset)
+				soft.Add(float64(ev.Count(verify.EventSoftReset)))
+				same := true
+				for i := 0; i < c.n; i++ {
+					if p.RankOutput(i) != before[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					preserved++
+				}
+			}
+			if runs == 0 {
+				t.Append(string(class), itoa(c.n), itoa(c.r), "0", "-", "-", "-", "-")
+				continue
+			}
+			t.Append(string(class), itoa(c.n), itoa(c.r), itoa(runs),
+				fmtU(hard), fmtF(soft.Mean(), 1),
+				itoa(preserved)+"/"+itoa(runs), fmtU(uint64(times.Mean())))
+		}
+	}
+	return t
+}
+
+// T10Recovery walks the recovery ladder of Lemma 6.3: from every adversarial
+// class the protocol reaches the safe set, and the table records how long it
+// took and how many hard resets were needed.
+func T10Recovery(cfg Config) *Table {
+	const n, r = 32, 8
+	t := &Table{
+		ID:    "T10",
+		Title: "recovery ladder: safe-set arrival from every adversarial class",
+		Claim: "Lemma 6.3: reset-or-safe within O((n²/r)·log n) from any configuration " +
+			"(n=32, r=8)",
+		Header: []string{"class", "description", "mean safe-set time", "±95%", "hard resets (mean)", "fails"},
+	}
+	for _, class := range adversary.Classes() {
+		var times, hard stats.Acc
+		fails := 0
+		for s := 0; s < cfg.seeds(); s++ {
+			seed := cfg.BaseSeed + uint64(s)*17
+			ev := sim.NewEvents()
+			p, err := core.New(n, r, core.WithSeed(seed), core.WithEvents(ev))
+			if err != nil {
+				fails++
+				continue
+			}
+			if err := adversary.Apply(p, class, rng.New(seed+1)); err != nil {
+				fails++
+				continue
+			}
+			took, ok := p.RunToSafeSet(rng.New(seed+2), safeSetBudget(n, r))
+			if !ok {
+				fails++
+				continue
+			}
+			times.Add(float64(took))
+			hard.Add(float64(ev.Count(core.EventHardReset)))
+		}
+		if times.N() == 0 {
+			t.Append(string(class), adversary.Describe(class), "-", "-", "-", itoa(fails))
+			continue
+		}
+		t.Append(string(class), adversary.Describe(class),
+			fmtU(uint64(times.Mean())), fmtU(uint64(times.CI95())),
+			fmtF(hard.Mean(), 1), itoa(fails))
+	}
+	t.Note("probation-skew reads 0: a correctly ranked single-generation configuration with " +
+		"positive probation timers already satisfies Lemma 6.1 (condition (b) holds vacuously)")
+	t.Note("message-layer classes (corrupt/duplicate-messages) recover orders of magnitude " +
+		"faster and with 0 hard resets: the soft-reset path of §3.2")
+	return t
+}

@@ -1,0 +1,77 @@
+// scheduler.go implements experiment T16: robustness to non-uniform
+// schedulers. The paper's guarantees (Theorem 1.1) are proved for the
+// uniform scheduler; real deployments (chemical mixtures, duty-cycled
+// sensors) have heterogeneous contact rates. The experiment runs
+// ElectLeader_r under Zipf-weighted endpoint selection and measures how
+// gracefully stabilization degrades — an extension beyond the paper,
+// labelled as such.
+
+package experiments
+
+import (
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/stats"
+)
+
+// T16SchedulerRobustness measures safe-set arrival under increasingly
+// skewed interaction-rate distributions.
+func T16SchedulerRobustness(cfg Config) *Table {
+	const n, r = 32, 8
+	t := &Table{
+		ID:    "T16",
+		Title: "scheduler robustness: stabilization under Zipf-weighted contact rates",
+		Claim: "extension beyond the paper (Thm 1.1 assumes the uniform scheduler): " +
+			"probe how stabilization degrades as contact rates skew " +
+			"(n=32, r=8, weights w_i ∝ 1/i^s)",
+		Header: []string{"Zipf s", "recovered", "mean safe-set time", "±95%", "slowdown vs uniform"},
+	}
+	var uniform float64
+	for _, s := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		var times stats.Acc
+		recovered := 0
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			sd := cfg.BaseSeed + uint64(seed)*13
+			p, err := core.New(n, r, core.WithSeed(sd))
+			if err != nil {
+				continue
+			}
+			if err := adversary.Apply(p, adversary.ClassTriggered, rng.New(sd+1)); err != nil {
+				continue
+			}
+			var sched sim.Scheduler = rng.New(sd + 2)
+			if s > 0 {
+				sched = sim.NewZipf(rng.New(sd+2), n, s)
+			}
+			took, ok := p.RunToSafeSetSched(sched, 8*safeSetBudget(n, r))
+			if !ok {
+				continue
+			}
+			recovered++
+			times.Add(float64(took))
+		}
+		if times.N() == 0 {
+			t.Append(fmtF(s, 2), "0/"+itoa(cfg.seeds()), "-", "-", "-")
+			continue
+		}
+		if s == 0 {
+			uniform = times.Mean()
+		}
+		slow := "-"
+		if uniform > 0 {
+			slow = fmtF(times.Mean()/uniform, 2)
+		}
+		t.Append(fmtF(s, 2), itoa(recovered)+"/"+itoa(cfg.seeds()),
+			fmtU(uint64(times.Mean())), fmtU(uint64(times.CI95())), slow)
+	}
+	t.Note("s = 0 is the paper's model; at s = 1 the busiest agent interacts ≈ n/H_n ≈ 8× " +
+		"more often than the quietest")
+	t.Note("the response is non-monotone: mild skew is FASTER because the busiest ranker's " +
+		"countdown expires early and pulls the population into verification by epidemic, " +
+		"while ranking still completes in time; heavy skew starves the quietest agents of " +
+		"labels, so early verifiers meet an unfinished ranking and trigger reset cycles " +
+		"(large variance) — the constants of Thm 1.1 genuinely rely on uniform mixing")
+	return t
+}

@@ -1,0 +1,140 @@
+package loadbalance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sspp/internal/rng"
+)
+
+func TestInteractSplitsCeilFloor(t *testing.T) {
+	p := New([]int64{5, 2, 0})
+	p.Interact(0, 1)
+	if p.Load(0) != 4 || p.Load(1) != 3 {
+		t.Fatalf("split = (%d,%d), want (4,3)", p.Load(0), p.Load(1))
+	}
+	p.Interact(2, 0) // initiator gets the ceil
+	if p.Load(2) != 2 || p.Load(0) != 2 {
+		t.Fatalf("split = (%d,%d), want (2,2)", p.Load(2), p.Load(0))
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + int(r.Intn(13))
+		tokens := make([]int64, n)
+		for i := range tokens {
+			tokens[i] = int64(r.Intn(50))
+		}
+		p := New(tokens)
+		for i := 0; i < 500; i++ {
+			a, b := r.Pair(n)
+			p.Interact(a, b)
+			if !p.CheckConservation() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscrepancyNonIncreasingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + int(r.Intn(13))
+		tokens := make([]int64, n)
+		for i := range tokens {
+			tokens[i] = int64(r.Intn(100))
+		}
+		p := New(tokens)
+		prev := p.Discrepancy()
+		for i := 0; i < 300; i++ {
+			a, b := r.Pair(n)
+			p.Interact(a, b)
+			d := p.Discrepancy()
+			if d > prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	p := NewPointMass(8, 64)
+	if p.Total() != 64 || p.Load(0) != 64 || p.Load(1) != 0 {
+		t.Fatalf("unexpected point mass: %+v", p)
+	}
+	if p.Discrepancy() != 64 {
+		t.Fatalf("Discrepancy = %d, want 64", p.Discrepancy())
+	}
+}
+
+// TestTightAndSimpleBound reproduces the shape of Theorem 1 of [9]: from a
+// point mass of 2n tokens, the process reaches discrepancy ≤ 3 within
+// c·n·log n interactions on every tried seed, for a modest c.
+func TestTightAndSimpleBound(t *testing.T) {
+	const n = 128
+	bound := uint64(40 * float64(n) * math.Log(n))
+	for seed := uint64(0); seed < 8; seed++ {
+		p := NewPointMass(n, 2*n)
+		r := rng.New(seed)
+		took, ok := RunUntilDiscrepancy(p, r, 3, bound)
+		if !ok {
+			t.Errorf("seed %d: discrepancy %d after %d interactions", seed, p.Discrepancy(), took)
+		}
+	}
+}
+
+func TestRunUntilDiscrepancyImmediate(t *testing.T) {
+	p := New([]int64{3, 3, 3})
+	took, ok := RunUntilDiscrepancy(p, rng.New(1), 1, 10)
+	if !ok || took != 0 {
+		t.Fatalf("expected immediate success, got took=%d ok=%v", took, ok)
+	}
+}
+
+func TestRunUntilDiscrepancyTimeout(t *testing.T) {
+	p := NewPointMass(16, 1600)
+	took, ok := RunUntilDiscrepancy(p, rng.New(1), 0, 5)
+	if ok {
+		t.Fatal("expected timeout")
+	}
+	if took != 5 {
+		t.Fatalf("took = %d, want 5", took)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, tokens := range map[string][]int64{
+		"empty":    nil,
+		"negative": {1, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			New(tokens)
+		})
+	}
+}
+
+func TestCorrect(t *testing.T) {
+	if !New([]int64{2, 1, 2}).Correct() {
+		t.Fatal("discrepancy 1 should be correct")
+	}
+	if New([]int64{3, 1}).Correct() {
+		t.Fatal("discrepancy 2 should not be correct")
+	}
+}

@@ -1,0 +1,123 @@
+// ciw.go fully verifies the n-state CIW baseline for small n by exact state
+// space analysis: the configuration space [n]^n is enumerated completely,
+// and we check that (a) the silent configurations are exactly the
+// permutations, and (b) every configuration can reach a permutation. Under
+// the uniform random scheduler, (a) + (b) are precisely closure and
+// probabilistic stabilization — i.e. self-stabilizing leader election.
+
+package modelcheck
+
+import (
+	"fmt"
+	"math"
+)
+
+// CIWReport is the result of a full CIW state-space analysis.
+type CIWReport struct {
+	// N is the population size analysed.
+	N int
+	// States is the total number of configurations (n^n).
+	States int
+	// Permutations is the number of silent configurations found.
+	Permutations int
+	// AllReachStable reports whether every configuration can reach a
+	// permutation (probabilistic stabilization).
+	AllReachStable bool
+	// PermutationsSilent reports whether no permutation has a transition
+	// that changes the configuration (closure/silence).
+	PermutationsSilent bool
+}
+
+// CheckCIW exhaustively analyses the CIW protocol on n agents. It returns an
+// error for n outside [2, 8] (beyond which n^n is impractical).
+func CheckCIW(n int) (CIWReport, error) {
+	if n < 2 || n > 8 {
+		return CIWReport{}, fmt.Errorf("modelcheck: CIW analysis supports n in [2, 8], got %d", n)
+	}
+	total := int(math.Pow(float64(n), float64(n)))
+	rep := CIWReport{N: n, States: total}
+
+	ranks := make([]int, n)
+	decode := func(id int) {
+		for i := 0; i < n; i++ {
+			ranks[i] = id%n + 1
+			id /= n
+		}
+	}
+	encode := func() int {
+		id := 0
+		for i := n - 1; i >= 0; i-- {
+			id = id*n + (ranks[i] - 1)
+		}
+		return id
+	}
+	isPermutation := func() bool {
+		var seen uint16
+		for _, r := range ranks {
+			bit := uint16(1) << (r - 1)
+			if seen&bit != 0 {
+				return false
+			}
+			seen |= bit
+		}
+		return true
+	}
+
+	// Forward pass: collect predecessors and classify configurations.
+	preds := make([][]int32, total)
+	stable := make([]bool, total)
+	rep.PermutationsSilent = true
+	for id := 0; id < total; id++ {
+		decode(id)
+		perm := isPermutation()
+		if perm {
+			stable[id] = true
+			rep.Permutations++
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b || ranks[a] != ranks[b] {
+					continue
+				}
+				old := ranks[b]
+				ranks[b] = ranks[b]%n + 1
+				succ := encode()
+				ranks[b] = old
+				if succ != id {
+					preds[succ] = append(preds[succ], int32(id))
+					if perm {
+						rep.PermutationsSilent = false
+					}
+				}
+			}
+		}
+	}
+
+	// Backward reachability from the stable set.
+	canReach := make([]bool, total)
+	queue := make([]int, 0, total)
+	for id := 0; id < total; id++ {
+		if stable[id] {
+			canReach[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[id] {
+			if !canReach[p] {
+				canReach[p] = true
+				queue = append(queue, int(p))
+			}
+		}
+	}
+	rep.AllReachStable = true
+	for id := 0; id < total; id++ {
+		if !canReach[id] {
+			rep.AllReachStable = false
+			break
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,193 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chainMachine is a trivial machine for exercising Explore: states are
+// integers 0..limit, each with successors +1 and +2.
+type chainState int
+
+func (c chainState) Key() string { return fmt.Sprintf("%d", int(c)) }
+
+type chainMachine struct{ limit int }
+
+func (m chainMachine) Initial() []State { return []State{chainState(0)} }
+
+func (m chainMachine) Successors(s State) []State {
+	v := int(s.(chainState))
+	var out []State
+	for _, d := range []int{1, 2} {
+		if v+d <= m.limit {
+			out = append(out, chainState(v+d))
+		}
+	}
+	return out
+}
+
+func TestExploreExhaustsSmallMachine(t *testing.T) {
+	rep := Explore(chainMachine{limit: 10}, nil, false, Options{MaxStates: 100})
+	if rep.Truncated {
+		t.Fatal("should not truncate")
+	}
+	if rep.Explored != 11 {
+		t.Fatalf("explored %d, want 11", rep.Explored)
+	}
+	if rep.Violations != 0 || rep.FirstViolationDepth != -1 {
+		t.Fatalf("unexpected violations: %+v", rep)
+	}
+	if rep.MaxDepth < 5 || rep.MaxDepth > 10 {
+		t.Fatalf("MaxDepth = %d, want within [5, 10]", rep.MaxDepth)
+	}
+}
+
+func TestExploreTruncates(t *testing.T) {
+	rep := Explore(chainMachine{limit: 1000}, nil, false, Options{MaxStates: 10})
+	if !rep.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if rep.Explored > 10 {
+		t.Fatalf("explored %d > budget", rep.Explored)
+	}
+}
+
+func TestExploreFindsViolation(t *testing.T) {
+	bad := func(s State) bool { return int(s.(chainState)) == 7 }
+	rep := Explore(chainMachine{limit: 10}, bad, true, Options{})
+	if rep.Violations != 1 {
+		t.Fatalf("violations = %d", rep.Violations)
+	}
+	// 7 is reachable in ⌈7/2⌉ = 4 steps at the earliest.
+	if rep.FirstViolationDepth != 4 {
+		t.Fatalf("first violation at depth %d, want 4", rep.FirstViolationDepth)
+	}
+}
+
+func TestExploreDefaultBudget(t *testing.T) {
+	rep := Explore(chainMachine{limit: 3}, nil, false, Options{})
+	if rep.Explored != 4 {
+		t.Fatalf("explored %d, want 4", rep.Explored)
+	}
+}
+
+// TestDetectSoundnessExhaustive is the exhaustive version of Lemma E.2 for
+// n = 2: with a tiny signature space the reachable configuration space
+// collapses to a handful of states (balancing and restamping are idempotent
+// here), and the search closes it completely — a full proof that no
+// schedule and no draws can raise ⊤ from a correct initialization at this
+// instance size.
+func TestDetectSoundnessExhaustive(t *testing.T) {
+	m, err := NewDetectMachine(2, 2, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(s State) bool { return s.(*DetectConfig).AnyTop() }
+	rep := Explore(m, bad, true, Options{MaxStates: 30_000})
+	if rep.Violations != 0 {
+		t.Fatalf("⊤ reachable from a correct initialization: %+v", rep)
+	}
+	if rep.Truncated {
+		t.Fatalf("expected full closure of the reachable space: %+v", rep)
+	}
+	t.Logf("exhaustive soundness at n=2: reachable space fully closed with %d configurations",
+		rep.Explored)
+}
+
+// TestDetectSoundnessBounded widens to n = 3 with a slower refresh period,
+// where the reachable space is large: the guarantee is bounded (every
+// execution prefix within the explored budget), which is exactly what
+// bounded model checking provides.
+func TestDetectSoundnessBounded(t *testing.T) {
+	m, err := NewDetectMachine(3, 3, nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(s State) bool { return s.(*DetectConfig).AnyTop() }
+	rep := Explore(m, bad, true, Options{MaxStates: 20_000})
+	if rep.Violations != 0 {
+		t.Fatalf("⊤ reachable from a correct initialization: %+v", rep)
+	}
+	if rep.Explored < 1000 {
+		t.Fatalf("exploration too small to be meaningful: %+v", rep)
+	}
+	t.Logf("bounded soundness at n=3: %d configurations, truncated=%v, depth %d",
+		rep.Explored, rep.Truncated, rep.MaxDepth)
+}
+
+// TestDetectCompletenessBounded is the dual: with a duplicated rank, ⊤ IS
+// reachable (and quickly — the duplicate pair's first meeting raises it).
+func TestDetectCompletenessBounded(t *testing.T) {
+	m, err := NewDetectMachine(3, 3, []int32{1, 1, 3}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(s State) bool { return s.(*DetectConfig).AnyTop() }
+	rep := Explore(m, bad, true, Options{MaxStates: 30_000})
+	if rep.Violations == 0 {
+		t.Fatalf("⊤ unreachable despite duplicate rank: %+v", rep)
+	}
+	if rep.FirstViolationDepth != 1 {
+		t.Fatalf("first ⊤ at depth %d, want 1 (direct meeting)", rep.FirstViolationDepth)
+	}
+}
+
+func TestDetectMachineValidation(t *testing.T) {
+	if _, err := NewDetectMachine(1, 1, nil, 2, 1); err == nil {
+		t.Fatal("n < 2 must fail")
+	}
+	if _, err := NewDetectMachine(3, 3, []int32{1}, 2, 1); err == nil {
+		t.Fatal("rank length mismatch must fail")
+	}
+}
+
+func TestDetectMachineDeterministicKeys(t *testing.T) {
+	m, err := NewDetectMachine(2, 2, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Initial()[0].Key()
+	b := m.Initial()[0].Key()
+	if a != b {
+		t.Fatal("initial keys differ")
+	}
+	succs := m.Successors(m.Initial()[0])
+	if len(succs) != 2*4 { // 2 ordered pairs × 2² draw assignments
+		t.Fatalf("successors = %d, want 8", len(succs))
+	}
+}
+
+// TestCheckCIW fully verifies the baseline for n = 2..5: closure (silent
+// permutations) and probabilistic stabilization (everything reaches a
+// permutation).
+func TestCheckCIW(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		rep, err := CheckCIW(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AllReachStable {
+			t.Fatalf("n=%d: some configuration cannot reach a permutation", n)
+		}
+		if !rep.PermutationsSilent {
+			t.Fatalf("n=%d: a permutation is not silent", n)
+		}
+		wantPerms := 1
+		for k := 2; k <= n; k++ {
+			wantPerms *= k
+		}
+		if rep.Permutations != wantPerms {
+			t.Fatalf("n=%d: %d permutations, want %d", n, rep.Permutations, wantPerms)
+		}
+		t.Logf("n=%d: %d states fully verified", n, rep.States)
+	}
+}
+
+func TestCheckCIWValidation(t *testing.T) {
+	if _, err := CheckCIW(1); err == nil {
+		t.Fatal("n=1 must fail")
+	}
+	if _, err := CheckCIW(9); err == nil {
+		t.Fatal("n=9 must fail")
+	}
+}

@@ -1,0 +1,168 @@
+// verifymachine.go adapts the StableVerify_r layer (probation timers,
+// generations, soft resets, embedded DetectCollision_r) to the model
+// checker. It verifies the heart of Lemma 6.1 exhaustively at tiny sizes:
+// from a safe configuration — correct ranking, clean detection states,
+// coherent generations — no schedule and no random draws can ever produce a
+// hard reset or change a rank. This covers both the single-generation case
+// (Lemma 6.2's endpoint) and the delicate two-generation case created by a
+// propagating soft reset.
+
+package modelcheck
+
+import (
+	"fmt"
+
+	"sspp/internal/detect"
+	"sspp/internal/verify"
+)
+
+// VerifyConfig is one configuration of the verify machine.
+type VerifyConfig struct {
+	states    []*verify.State
+	key       string
+	hardReset bool // a hard reset was requested reaching this configuration
+}
+
+// Key returns the canonical fingerprint.
+func (c *VerifyConfig) Key() string { return c.key }
+
+// HardReset reports whether reaching this configuration requested a full
+// reset — the event that must be unreachable from safe configurations.
+func (c *VerifyConfig) HardReset() bool { return c.hardReset }
+
+// VerifyMachine enumerates StableVerify_r executions over fixed ranks.
+type VerifyMachine struct {
+	params   verify.Params
+	ranks    []int32
+	sigSpace int32
+	scratch  *detect.Scratch
+	initial  []State
+}
+
+// NewVerifyMachine builds the machine for n agents, one group (r = n), the
+// given rank vector (nil = identity), signature space, refresh constant and
+// probation ceiling. The initial configurations are (a) all agents in
+// generation 0 with fresh q0,SV, and (b) the two-generation configuration
+// where agent 0 has soft-reset into generation 1 while the rest sit at
+// generation 0 with expired probation — the two safe-set shapes of
+// Lemma 6.1.
+func NewVerifyMachine(n, r int, ranks []int32, sigSpace int32, refresh int, pmax int32) (*VerifyMachine, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("modelcheck: n = %d < 2", n)
+	}
+	if ranks == nil {
+		ranks = make([]int32, n)
+		for i := range ranks {
+			ranks[i] = int32(i + 1)
+		}
+	}
+	if len(ranks) != n {
+		return nil, fmt.Errorf("modelcheck: %d ranks for %d agents", len(ranks), n)
+	}
+	if pmax < 1 {
+		pmax = 1
+	}
+	dp := detect.NewParamsWithRefresh(n, r, refresh)
+	dp.SetSigSpace(sigSpace)
+	if sigSpace < 2 {
+		sigSpace = 2
+	}
+	m := &VerifyMachine{
+		params:   verify.Params{PMax: pmax, Detect: dp},
+		ranks:    ranks,
+		sigSpace: sigSpace,
+		scratch:  detect.NewScratch(),
+	}
+
+	// Initial (a): fresh verifiers, all generation 0.
+	fresh := make([]*verify.State, n)
+	for i, rank := range ranks {
+		fresh[i] = verify.InitState(m.params, rank)
+	}
+	// Initial (b): agent 0 one generation ahead (as after a self soft
+	// reset), everyone else off probation — the two-generation safe shape.
+	twoGen := make([]*verify.State, n)
+	for i, rank := range ranks {
+		twoGen[i] = verify.InitState(m.params, rank)
+		if i == 0 {
+			twoGen[i].Generation = 1
+		} else {
+			twoGen[i].Probation = 0
+		}
+	}
+	m.initial = []State{m.wrap(fresh, false), m.wrap(twoGen, false)}
+	return m, nil
+}
+
+// Initial returns the two safe-configuration shapes.
+func (m *VerifyMachine) Initial() []State { return m.initial }
+
+// wrap computes the canonical key of a state vector.
+func (m *VerifyMachine) wrap(states []*verify.State, hard bool) *VerifyConfig {
+	var b []byte
+	if hard {
+		b = append(b, 0xAA)
+	}
+	for _, s := range states {
+		b = append(b, s.Generation, byte(s.Probation), byte(s.Probation>>8))
+		if s.DC != nil {
+			b = s.DC.AppendKey(b)
+		}
+		b = append(b, '|')
+	}
+	return &VerifyConfig{states: states, key: string(b), hardReset: hard}
+}
+
+// Successors enumerates every (ordered pair, draw assignment) transition.
+// Hard-reset configurations are terminal (the checker flags them as
+// violations before expansion anyway).
+func (m *VerifyMachine) Successors(s State) []State {
+	cfg := s.(*VerifyConfig)
+	if cfg.hardReset {
+		return nil
+	}
+	n := len(m.ranks)
+	var out []State
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			for x := int32(0); x < m.sigSpace; x++ {
+				for y := int32(0); y < m.sigSpace; y++ {
+					out = append(out, m.step(cfg, a, b, x, y))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// step applies one StableVerify_r interaction with scripted draws.
+func (m *VerifyMachine) step(cfg *VerifyConfig, a, b int, x, y int32) *VerifyConfig {
+	states := make([]*verify.State, len(cfg.states))
+	copy(states, cfg.states)
+	states[a] = cloneVerifyState(cfg.states[a])
+	states[b] = cloneVerifyState(cfg.states[b])
+	draws := [2]int32{x, y}
+	idx := 0
+	sample := func(int) int {
+		v := draws[idx%2]
+		idx++
+		return int(v)
+	}
+	ua, va := verify.Interact(m.params,
+		m.ranks[a], states[a], m.ranks[b], states[b],
+		sample, sample, m.scratch, nil, 0)
+	hard := ua == verify.ActHardReset || va == verify.ActHardReset
+	return m.wrap(states, hard)
+}
+
+// cloneVerifyState deep-copies a verify.State.
+func cloneVerifyState(s *verify.State) *verify.State {
+	out := &verify.State{Generation: s.Generation, Probation: s.Probation}
+	if s.DC != nil {
+		out.DC = s.DC.Clone()
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package modelcheck
+
+import "testing"
+
+// badVerify flags configurations reached through a hard reset.
+func badVerify(s State) bool { return s.(*VerifyConfig).HardReset() }
+
+// TestVerifyClosureExhaustive is Lemma 6.1 at n=2, checked exhaustively:
+// from both safe-configuration shapes (all generation 0; and the
+// two-generation soft-reset wave), no schedule and no draws ever request a
+// hard reset. The reachable space must close completely within the budget.
+func TestVerifyClosureExhaustive(t *testing.T) {
+	m, err := NewVerifyMachine(2, 2, nil, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Explore(m, badVerify, true, Options{MaxStates: 100_000})
+	if rep.Violations != 0 {
+		t.Fatalf("hard reset reachable from a safe configuration: %+v", rep)
+	}
+	if rep.Truncated {
+		t.Fatalf("expected full closure at n=2: %+v", rep)
+	}
+	t.Logf("verify-layer closure at n=2: %d configurations fully closed (depth %d)",
+		rep.Explored, rep.MaxDepth)
+}
+
+// TestVerifyClosureBounded widens to n=3 with a slower refresh; bounded
+// guarantee.
+func TestVerifyClosureBounded(t *testing.T) {
+	m, err := NewVerifyMachine(3, 3, nil, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Explore(m, badVerify, true, Options{MaxStates: 15_000})
+	if rep.Violations != 0 {
+		t.Fatalf("hard reset reachable from a safe configuration: %+v", rep)
+	}
+	t.Logf("verify-layer closure at n=3: %d configurations (truncated=%v, depth %d)",
+		rep.Explored, rep.Truncated, rep.MaxDepth)
+}
+
+// TestVerifyDuplicateRankEscalates is the dual: with a duplicated rank and
+// tiny probation, a hard reset IS reachable (the escalation Lemma F.6
+// requires).
+func TestVerifyDuplicateRankEscalates(t *testing.T) {
+	m, err := NewVerifyMachine(2, 2, []int32{1, 1}, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Explore(m, badVerify, true, Options{MaxStates: 50_000})
+	if rep.Violations == 0 {
+		t.Fatalf("hard reset unreachable despite duplicate ranks: %+v", rep)
+	}
+	t.Logf("duplicate rank escalates to hard reset at depth %d", rep.FirstViolationDepth)
+}
+
+func TestVerifyMachineValidation(t *testing.T) {
+	if _, err := NewVerifyMachine(1, 1, nil, 2, 1, 3); err == nil {
+		t.Fatal("n < 2 must fail")
+	}
+	if _, err := NewVerifyMachine(2, 2, []int32{1}, 2, 1, 3); err == nil {
+		t.Fatal("rank mismatch must fail")
+	}
+	m, err := NewVerifyMachine(2, 2, nil, 0, 0, 0) // all clamped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Initial()) != 2 {
+		t.Fatal("two initial shapes expected")
+	}
+}

@@ -1,0 +1,136 @@
+// fastle.go implements FastLeaderElect (Appendix D.2, Fig. 4, Lemma D.10):
+// a simple non-self-stabilizing leader election that works from awakening
+// configurations, used by AssignRanks_r to nominate the sheriff.
+//
+// Each agent draws an identifier almost-u.a.r. from [n³] on its first
+// activation, spreads the minimum identifier by a two-way min-epidemic, and
+// counts down c·log n of its own interactions; when the counter expires the
+// agent declares itself leader iff its own identifier equals the smallest
+// one it has seen.
+
+package ranking
+
+import (
+	"sspp/internal/coin"
+	"sspp/internal/sim"
+)
+
+// LEState is the per-agent state of FastLeaderElect.
+type LEState struct {
+	// Drawn records whether the agent has had its first activation and
+	// drawn its identifier.
+	Drawn bool
+	// ID is the identifier drawn from [IDSpace] (valid once Drawn).
+	ID int64
+	// MinID is the smallest identifier observed so far (MinIdentifier).
+	MinID int64
+	// Count is the remaining own-interaction budget (LECount).
+	Count int32
+	// Done reports that the protocol concluded for this agent (LeaderDone).
+	Done bool
+	// Leader is the election outcome (LeaderBit), valid once Done.
+	Leader bool
+}
+
+// leActivate performs the first-activation identifier draw and arms the
+// interaction counter.
+func leActivate(s *LEState, idSpace int64, count0 int32, sample coin.Sampler) {
+	if s.Drawn {
+		return
+	}
+	s.Drawn = true
+	s.ID = int64(sample(int(idSpace))) + 1
+	s.MinID = s.ID
+	s.Count = count0
+}
+
+// leStep applies one FastLeaderElect interaction to the pair (u, v):
+// first-activation draws, min-epidemic merge (Eq. 10), and counter expiry.
+func leStep(u, v *LEState, idSpace int64, count0 int32, su, sv coin.Sampler) {
+	leActivate(u, idSpace, count0, su)
+	leActivate(v, idSpace, count0, sv)
+	m := u.MinID
+	if v.MinID < m {
+		m = v.MinID
+	}
+	u.MinID, v.MinID = m, m
+	for _, s := range [2]*LEState{u, v} {
+		if s.Done {
+			continue
+		}
+		s.Count--
+		if s.Count <= 0 {
+			s.Done = true
+			s.Leader = s.ID == s.MinID
+		}
+	}
+}
+
+// FastLE is the standalone FastLeaderElect population protocol used to
+// validate Lemma D.10 (experiment T4). Agents start un-activated, modelling
+// an awakening configuration where agents begin executing lazily.
+type FastLE struct {
+	agents  []LEState
+	idSpace int64
+	count0  int32
+	sample  coin.Sampler
+}
+
+var _ sim.Protocol = (*FastLE)(nil)
+
+// NewFastLE returns a FastLeaderElect instance over n agents. sample
+// provides the identifier randomness (PRNG-backed or synthetic-coin).
+func NewFastLE(n int, sample coin.Sampler) *FastLE {
+	p := DefaultParams(n, 1)
+	return &FastLE{
+		agents:  make([]LEState, n),
+		idSpace: p.IDSpace,
+		count0:  p.LECount0,
+		sample:  sample,
+	}
+}
+
+// N returns the population size.
+func (f *FastLE) N() int { return len(f.agents) }
+
+// Interact applies one FastLeaderElect step to the pair.
+func (f *FastLE) Interact(a, b int) {
+	leStep(&f.agents[a], &f.agents[b], f.idSpace, f.count0, f.sample, f.sample)
+}
+
+// Correct reports whether the election has concluded at every agent with
+// exactly one leader.
+func (f *FastLE) Correct() bool {
+	leaders := 0
+	for i := range f.agents {
+		s := &f.agents[i]
+		if !s.Done {
+			return false
+		}
+		if s.Leader {
+			leaders++
+		}
+	}
+	return leaders == 1
+}
+
+// Leaders returns the number of agents currently holding LeaderBit = 1.
+func (f *FastLE) Leaders() int {
+	c := 0
+	for i := range f.agents {
+		if f.agents[i].Done && f.agents[i].Leader {
+			c++
+		}
+	}
+	return c
+}
+
+// AllDone reports whether the protocol has concluded at every agent.
+func (f *FastLE) AllDone() bool {
+	for i := range f.agents {
+		if !f.agents[i].Done {
+			return false
+		}
+	}
+	return true
+}

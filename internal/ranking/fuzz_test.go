@@ -1,0 +1,61 @@
+package ranking
+
+import (
+	"testing"
+
+	"sspp/internal/coin"
+	"sspp/internal/rng"
+)
+
+// FuzzInteractTotal drives AssignRanks_r with fuzz-chosen agent states and
+// schedules: the transition function must be total (no panics) and keep
+// ranks in range, whatever the phases and fields.
+func FuzzInteractTotal(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint64(9), []byte{5, 4, 3, 2, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		const n, r = 8, 4
+		p := DefaultParams(n, r)
+		src := rng.New(seed)
+		sample := coin.FromPRNG(src)
+		agents := make([]*State, n)
+		for i := range agents {
+			agents[i] = InitState(p)
+			// Scramble phase and fields from the fuzz input.
+			if len(raw) > 0 {
+				b := raw[i%len(raw)]
+				agents[i].Phase = Phase(b % 6)
+				agents[i].LowBadge = int32(b % 5)
+				agents[i].HighBadge = int32((b >> 2) % 5)
+				agents[i].DeputyID = int32(b%int32OK(r)) + 1
+				agents[i].Counter = int32(b % 9)
+				agents[i].HasLabel = b%2 == 0
+				agents[i].Label = Label{Deputy: int32(b%4) + 1, Serial: int32(b%7) + 1}
+				agents[i].SleepT = int32(b % 50)
+				// Stay inside the paper's type-valid space: rank ∈ [1, n].
+				agents[i].Rank = int32(b%uint8(n)) + 1
+			}
+		}
+		for i := 0; i+1 < len(raw) && i < 300; i += 2 {
+			a := int(raw[i]) % n
+			b := int(raw[i+1]) % n
+			if a == b {
+				b = (b + 1) % n
+			}
+			Interact(p, agents[a], agents[b], sample, sample)
+		}
+		for i, s := range agents {
+			if s.Phase == PhaseRanked && (s.Rank < 1 || s.Rank > int32(p.N)+int32(p.R)*p.LabelCap) {
+				t.Fatalf("agent %d ranked with impossible rank %d", i, s.Rank)
+			}
+		}
+	})
+}
+
+// int32OK avoids a zero modulus.
+func int32OK(v int) byte {
+	if v < 1 {
+		return 1
+	}
+	return byte(v)
+}

@@ -1,0 +1,49 @@
+// key.go provides a canonical binary encoding of AssignRanks_r states, used
+// by the observed-state-space experiment (T15) and any future model-checking
+// of the ranking layer. Two states with equal keys are identical.
+
+package ranking
+
+// AppendKey appends a canonical encoding of the state to b and returns the
+// extended slice.
+func (s *State) AppendKey(b []byte) []byte {
+	b = append(b, byte(s.Phase))
+	b = appendI64(b, s.LE.ID)
+	b = appendI64(b, s.LE.MinID)
+	b = appendI32(b, s.LE.Count)
+	b = append(b, boolByte(s.LE.Drawn), boolByte(s.LE.Done), boolByte(s.LE.Leader))
+	b = appendI32(b, s.LowBadge)
+	b = appendI32(b, s.HighBadge)
+	b = appendI32(b, s.DeputyID)
+	b = appendI32(b, s.Counter)
+	b = append(b, boolByte(s.HasLabel))
+	b = appendI32(b, s.Label.Deputy)
+	b = appendI32(b, s.Label.Serial)
+	b = appendI32(b, s.SleepT)
+	b = appendI32(b, s.Rank)
+	b = append(b, byte(len(s.Channel)))
+	for _, c := range s.Channel {
+		b = appendI32(b, c)
+	}
+	return b
+}
+
+// appendI32 appends a little-endian int32.
+func appendI32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// appendI64 appends a little-endian int64.
+func appendI64(b []byte, v int64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// boolByte encodes a bool as one byte.
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

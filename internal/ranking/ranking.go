@@ -1,0 +1,558 @@
+// Package ranking implements AssignRanks_r, the parametrized silent
+// (non-self-stabilizing) ranking protocol of Appendix D (Protocols 7–11),
+// together with its sheriff-nomination sub-protocol FastLeaderElect
+// (Appendix D.2).
+//
+// Starting from a dormant configuration, a sheriff is elected, recursively
+// splits a pool of r badges to create r deputies, and each deputy hands out
+// labels (deputyID, serial) from a private pool of ⌈c·n/r⌉. Every agent
+// continuously broadcasts, per deputy, the largest label serial it has seen
+// (the channel field, a max-epidemic). Once the channel sums to n, every
+// label is known to everybody, agents fall asleep for Θ(log n) of their own
+// interactions — long enough for the broadcast to finish everywhere — and
+// wake up ranked: the rank of label (i, j) is the label's position in the
+// lexicographic order, Σ_{i'<i} channel[i'] + j.
+//
+// Lemma D.1: from a dormant configuration AssignRanks_r assigns unique ranks
+// in [n] within c_ranking·(n²/r)·log n interactions w.h.p. and then becomes
+// silent, using 2^O(r·log n) states.
+//
+// The protocol is exercised in two ways: standalone through Protocol
+// (experiment T3), and as the Ranking-role module inside ElectLeader_r
+// (internal/core). In the latter case it must behave deterministically from
+// *arbitrary* states, so every transition below is total: undefined phase
+// combinations are no-ops, and agents that wake without complete information
+// keep their initial rank belief 1, which the verification layer later
+// flags and repairs (this mirrors the paper, where rank is "initialised to
+// 1 and updated only when the agent becomes ranked").
+
+package ranking
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/coin"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// Phase enumerates the six agent types of AssignRanks_r (Appendix D).
+type Phase uint8
+
+const (
+	// PhaseLeaderElection: the agent runs FastLeaderElect.
+	PhaseLeaderElection Phase = iota
+	// PhaseSheriff: the agent holds a contiguous pool of badges.
+	PhaseSheriff
+	// PhaseDeputy: the agent holds one badge and assigns labels.
+	PhaseDeputy
+	// PhaseRecipient: the agent waits for a label from a deputy.
+	PhaseRecipient
+	// PhaseSleeper: the agent has a complete channel and waits out the
+	// broadcast before picking its rank.
+	PhaseSleeper
+	// PhaseRanked: the agent has chosen its final rank; the protocol is
+	// silent for it.
+	PhaseRanked
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseLeaderElection:
+		return "leader-election"
+	case PhaseSheriff:
+		return "sheriff"
+	case PhaseDeputy:
+		return "deputy"
+	case PhaseRecipient:
+		return "recipient"
+	case PhaseSleeper:
+		return "sleeper"
+	case PhaseRanked:
+		return "ranked"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Label is a temporary label (deputy id, serial) handed out by a deputy.
+type Label struct {
+	// Deputy is the issuing deputy's id in [1, r].
+	Deputy int32
+	// Serial is the per-deputy serial in [1, LabelCap].
+	Serial int32
+}
+
+// Params holds the parameters of AssignRanks_r.
+type Params struct {
+	// N is the population size.
+	N int
+	// R is the number of deputies (the trade-off parameter r, 1 ≤ r ≤ n/2).
+	R int32
+	// LabelCap is the per-deputy label pool size ⌈c·n/r⌉ with c > 1.
+	LabelCap int32
+	// LECount0 is the FastLeaderElect interaction budget (c·log n, c > 14).
+	LECount0 int32
+	// SleepCap is the sleeper timer bound (c_sleep·log n).
+	SleepCap int32
+	// IDSpace is the identifier space for FastLeaderElect (n³).
+	IDSpace int64
+}
+
+// DefaultParams returns parameters with the paper's asymptotics for a
+// population of n agents and trade-off parameter r. The constants are chosen
+// so that the w.h.p. events of Lemmas D.3–D.9 hold comfortably at simulation
+// scales; they are plain struct fields and freely tunable.
+func DefaultParams(n, r int) Params {
+	if r < 1 {
+		r = 1
+	}
+	ln := math.Log(float64(n) + 1)
+	lcap := int32(math.Ceil(2 * float64(n) / float64(r)))
+	if lcap < 2 {
+		lcap = 2
+	}
+	nn := int64(n)
+	return Params{
+		N:        n,
+		R:        int32(r),
+		LabelCap: lcap,
+		LECount0: int32(math.Ceil(40 * ln)),
+		SleepCap: int32(math.Ceil(24 * ln)),
+		IDSpace:  nn * nn * nn,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("ranking: N = %d < 2", p.N)
+	}
+	maxR := int32(p.N / 2)
+	if maxR < 1 {
+		maxR = 1
+	}
+	if p.R < 1 || p.R > maxR {
+		return fmt.Errorf("ranking: R = %d outside [1, %d] for N = %d", p.R, maxR, p.N)
+	}
+	if int64(p.R)*int64(p.LabelCap) < int64(p.N) {
+		return fmt.Errorf("ranking: label pool R·LabelCap = %d < N = %d", int64(p.R)*int64(p.LabelCap), p.N)
+	}
+	if p.LECount0 < 1 || p.SleepCap < 1 || p.IDSpace < int64(p.N) {
+		return fmt.Errorf("ranking: degenerate timers/idspace %+v", p)
+	}
+	return nil
+}
+
+// State is the per-agent state of AssignRanks_r (the qAR component of
+// ElectLeader_r). Fields outside the current phase are meaningless, matching
+// the paper's "inactive fields are deleted" convention.
+type State struct {
+	// Phase is the agent's current type.
+	Phase Phase
+	// LE is the FastLeaderElect sub-state (PhaseLeaderElection).
+	LE LEState
+	// LowBadge, HighBadge delimit a sheriff's badge pool (PhaseSheriff).
+	LowBadge, HighBadge int32
+	// DeputyID is the deputy's badge number in [1, r] (PhaseDeputy).
+	DeputyID int32
+	// Counter counts labels issued by this deputy, including its own
+	// (PhaseDeputy).
+	Counter int32
+	// HasLabel reports whether Label is set (PhaseRecipient, PhaseSleeper).
+	HasLabel bool
+	// Label is the temporary label received from a deputy.
+	Label Label
+	// SleepT is the sleeper's interaction counter (PhaseSleeper),
+	// initialized to 1 as in Appendix D.
+	SleepT int32
+	// Channel stores, per deputy id, the largest label serial observed
+	// (all phases except ranked).
+	Channel []int32
+	// Rank is the agent's current rank belief, initialized to 1 and updated
+	// exactly once, when the agent becomes ranked.
+	Rank int32
+}
+
+// InitState returns the clean initial state q0,AR installed by Reset
+// (Protocol 6): the agent is in leader election with an empty channel and
+// rank belief 1.
+func InitState(p Params) *State {
+	return &State{
+		Phase:   PhaseLeaderElection,
+		Channel: make([]int32, p.R),
+		Rank:    1,
+	}
+}
+
+// Ranked reports whether the agent has committed to its final rank.
+func (s *State) Ranked() bool { return s.Phase == PhaseRanked }
+
+// channelSum returns Σ_i Channel[i], or -1 when the channel is absent.
+func (s *State) channelSum() int64 {
+	if s.Channel == nil {
+		return -1
+	}
+	var sum int64
+	for _, c := range s.Channel {
+		sum += int64(c)
+	}
+	return sum
+}
+
+// rankFromLabel computes the lexicographic rank of the agent's label given
+// its channel: Σ_{i' < Deputy} channel[i'] + Serial. Agents without a label
+// or channel keep their current rank belief (the verifier repairs this).
+func (s *State) rankFromLabel() int32 {
+	if !s.HasLabel || s.Channel == nil {
+		return s.Rank
+	}
+	var below int64
+	for i := int32(0); i < s.Label.Deputy-1 && int(i) < len(s.Channel); i++ {
+		below += int64(s.Channel[i])
+	}
+	return int32(below) + s.Label.Serial
+}
+
+// becomeRanked commits the agent to its rank and discards all other state,
+// making the sub-protocol silent for this agent.
+func (s *State) becomeRanked() {
+	s.Rank = s.rankFromLabel()
+	*s = State{Phase: PhaseRanked, Rank: s.Rank}
+}
+
+// becomeSheriff converts a leader-election winner into the initial sheriff
+// with the full badge pool {1..r} (or directly into a deputy when r = 1).
+func (s *State) becomeSheriff(p Params) {
+	s.Phase = PhaseSheriff
+	s.LowBadge, s.HighBadge = 1, p.R
+	if s.Channel == nil {
+		s.Channel = make([]int32, p.R)
+	}
+	s.maybeDeputize()
+}
+
+// maybeDeputize converts a sheriff whose badge pool shrank to one badge into
+// a deputy (Protocol 9 lines 6–11). Badge values outside [1, r] — possible
+// only under adversarial initialization — are clamped so the transition
+// stays total.
+func (s *State) maybeDeputize() {
+	if s.Phase != PhaseSheriff || s.LowBadge < s.HighBadge {
+		return
+	}
+	id := s.LowBadge
+	if id < 1 {
+		id = 1
+	}
+	if len(s.Channel) > 0 && int(id) > len(s.Channel) {
+		id = int32(len(s.Channel))
+	}
+	*s = State{
+		Phase:    PhaseDeputy,
+		DeputyID: id,
+		Counter:  1,
+		HasLabel: true,
+		Label:    Label{Deputy: id, Serial: 1},
+		Channel:  s.Channel,
+		Rank:     s.Rank,
+	}
+	if int(id-1) < len(s.Channel) && s.Channel[id-1] < 1 {
+		s.Channel[id-1] = 1
+	}
+}
+
+// Interact applies one AssignRanks_r interaction (Protocol 7) to the ordered
+// pair (u, v). su and sv supply each agent's randomness (identifier draws).
+// The transition is total: any combination of phases is handled.
+func Interact(p Params, u, v *State, su, sv coin.Sampler) {
+	// Protocol 7 line 1: pairs touching leader election only run
+	// ElectSheriff; the channel machinery (lines 8–11) is confined to the
+	// else-branch.
+	if u.Phase == PhaseLeaderElection || v.Phase == PhaseLeaderElection {
+		electSheriff(p, u, v, su, sv) // Protocol 8
+		return
+	}
+	switch {
+	case u.Phase == PhaseSleeper || v.Phase == PhaseSleeper:
+		sleep(p, u, v) // Protocol 11
+	case u.Phase == PhaseSheriff && v.Phase == PhaseRecipient:
+		deputize(p, u, v) // Protocol 9
+	case v.Phase == PhaseSheriff && u.Phase == PhaseRecipient:
+		deputize(p, v, u)
+	case u.Phase == PhaseDeputy && v.Phase == PhaseRecipient && !v.HasLabel:
+		labeling(p, u, v) // Protocol 10
+	case v.Phase == PhaseDeputy && u.Phase == PhaseRecipient && !u.HasLabel:
+		labeling(p, v, u)
+	}
+	mergeChannels(p, u, v) // Protocol 7 lines 8–11
+}
+
+// electSheriff is Protocol 8: leader-election agents run FastLeaderElect
+// among themselves; a leader-election agent meeting a non-leader-election
+// agent learns the election is over and becomes a recipient.
+func electSheriff(p Params, u, v *State, su, sv coin.Sampler) {
+	uLE, vLE := u.Phase == PhaseLeaderElection, v.Phase == PhaseLeaderElection
+	switch {
+	case uLE && vLE:
+		leStep(&u.LE, &v.LE, p.IDSpace, p.LECount0, su, sv)
+		for _, s := range [2]*State{u, v} {
+			if s.LE.Done && s.LE.Leader {
+				s.becomeSheriff(p)
+			}
+		}
+	case uLE:
+		u.Phase = PhaseRecipient
+	case vLE:
+		v.Phase = PhaseRecipient
+	}
+}
+
+// deputize is Protocol 9: the sheriff w hands the upper half of its badge
+// pool to the recipient x, and any endpoint left with a single badge becomes
+// a deputy.
+func deputize(p Params, w, x *State) {
+	if w.LowBadge >= w.HighBadge {
+		// Degenerate pool (only reachable from adversarial initialization):
+		// collapse to a deputy without splitting.
+		if w.LowBadge < 1 {
+			w.LowBadge = 1
+		}
+		if w.LowBadge > p.R {
+			w.LowBadge = p.R
+		}
+		w.HighBadge = w.LowBadge
+		w.maybeDeputize()
+		return
+	}
+	x.Phase = PhaseSheriff
+	x.HighBadge = w.HighBadge
+	w.HighBadge = (w.HighBadge + w.LowBadge) / 2
+	x.LowBadge = w.HighBadge + 1
+	if x.Channel == nil {
+		x.Channel = make([]int32, p.R)
+	}
+	x.maybeDeputize()
+	w.maybeDeputize()
+}
+
+// labeling is Protocol 10: once the deputy's channel certifies that all r
+// deputies exist (sum ≥ r), it assigns the next label from its pool to an
+// unlabelled recipient.
+func labeling(p Params, w, x *State) {
+	if w.channelSum() < int64(p.R) {
+		return
+	}
+	if w.Counter >= p.LabelCap {
+		return
+	}
+	w.Counter++
+	if int(w.DeputyID-1) < len(w.Channel) && w.DeputyID >= 1 {
+		w.Channel[w.DeputyID-1] = w.Counter
+	}
+	x.HasLabel = true
+	x.Label = Label{Deputy: w.DeputyID, Serial: w.Counter}
+}
+
+// sleep is Protocol 11: sleepers tick their timers; ranked agents wake
+// sleepers (rank epidemic); an expired timer wakes both endpoints; and a
+// sleeper pulls a non-sleeping, non-ranked partner into sleep.
+func sleep(p Params, u, v *State) {
+	for _, s := range [2]*State{u, v} {
+		if s.Phase == PhaseSleeper && s.SleepT < p.SleepCap {
+			s.SleepT++
+		}
+	}
+	uSl, vSl := u.Phase == PhaseSleeper, v.Phase == PhaseSleeper
+	switch {
+	case uSl && v.Phase == PhaseRanked:
+		u.becomeRanked()
+	case vSl && u.Phase == PhaseRanked:
+		v.becomeRanked()
+	case (uSl && u.SleepT >= p.SleepCap) || (vSl && v.SleepT >= p.SleepCap):
+		u.becomeRanked()
+		v.becomeRanked()
+	case uSl && !vSl:
+		becomeSleeper(v)
+	case vSl && !uSl:
+		becomeSleeper(u)
+	}
+}
+
+// becomeSleeper puts a non-ranked agent to sleep with timer 1, keeping its
+// label and channel (Appendix D state description).
+func becomeSleeper(s *State) {
+	if s.Phase == PhaseRanked || s.Phase == PhaseSleeper {
+		return
+	}
+	s.Phase = PhaseSleeper
+	s.SleepT = 1
+}
+
+// mergeChannels is Protocol 7 lines 8–11: agents holding channels exchange
+// entrywise maxima, and any non-sleeping agent whose channel now sums to
+// exactly n goes to sleep.
+func mergeChannels(p Params, u, v *State) {
+	uc, vc := u.Channel, v.Channel
+	if uc != nil && vc != nil {
+		for i := range uc {
+			if i >= len(vc) {
+				break
+			}
+			if vc[i] > uc[i] {
+				uc[i] = vc[i]
+			} else {
+				vc[i] = uc[i]
+			}
+		}
+	}
+	for _, s := range [2]*State{u, v} {
+		if s.Channel != nil && s.Phase != PhaseSleeper && s.Phase != PhaseRanked &&
+			s.channelSum() == int64(p.N) {
+			becomeSleeper(s)
+		}
+	}
+}
+
+// Protocol is the standalone AssignRanks_r population protocol used to
+// validate Lemma D.1 (experiment T3). All agents start in leader election,
+// modelling the configuration right after a full reset's awakening.
+type Protocol struct {
+	params Params
+	agents []*State
+	sample coin.Sampler
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// NewProtocol returns a standalone AssignRanks_r over n agents with
+// parameter r, drawing randomness from src.
+func NewProtocol(n, r int, src *rng.PRNG) (*Protocol, error) {
+	p := DefaultParams(n, r)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pr := &Protocol{params: p, agents: make([]*State, n), sample: coin.FromPRNG(src)}
+	for i := range pr.agents {
+		pr.agents[i] = InitState(p)
+	}
+	return pr, nil
+}
+
+// N returns the population size.
+func (pr *Protocol) N() int { return len(pr.agents) }
+
+// Interact applies one AssignRanks_r interaction.
+func (pr *Protocol) Interact(a, b int) {
+	Interact(pr.params, pr.agents[a], pr.agents[b], pr.sample, pr.sample)
+}
+
+// Correct reports whether every agent is ranked and the ranks form a
+// permutation of [n].
+func (pr *Protocol) Correct() bool {
+	seen := make([]bool, len(pr.agents))
+	for _, s := range pr.agents {
+		if !s.Ranked() {
+			return false
+		}
+		r := int(s.Rank)
+		if r < 1 || r > len(pr.agents) || seen[r-1] {
+			return false
+		}
+		seen[r-1] = true
+	}
+	return true
+}
+
+// AllRanked reports whether every agent has committed to a rank.
+func (pr *Protocol) AllRanked() bool {
+	for _, s := range pr.agents {
+		if !s.Ranked() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ranks returns the current rank beliefs of all agents.
+func (pr *Protocol) Ranks() []int32 {
+	out := make([]int32, len(pr.agents))
+	for i, s := range pr.agents {
+		out[i] = s.Rank
+	}
+	return out
+}
+
+// Phases returns a count of agents per phase, for tests and tracing.
+func (pr *Protocol) Phases() map[Phase]int {
+	out := make(map[Phase]int, 6)
+	for _, s := range pr.agents {
+		out[s.Phase]++
+	}
+	return out
+}
+
+// State returns agent i's state for inspection by tests.
+func (pr *Protocol) State(i int) *State { return pr.agents[i] }
+
+// CheckInvariants verifies structural invariants that must hold in every
+// reachable configuration of a clean execution: unique deputy ids, unique
+// labels, valid channels (no entry exceeding the issuing deputy's counter
+// when that deputy exists), and badge-pool disjointness.
+func (pr *Protocol) CheckInvariants() error {
+	p := pr.params
+	deputyCounter := make(map[int32]int32, p.R)
+	labels := make(map[Label]int)
+	badges := make([]bool, p.R+1)
+	for i, s := range pr.agents {
+		switch s.Phase {
+		case PhaseDeputy:
+			if s.DeputyID < 1 || s.DeputyID > p.R {
+				return fmt.Errorf("agent %d: deputy id %d out of range", i, s.DeputyID)
+			}
+			if _, dup := deputyCounter[s.DeputyID]; dup {
+				return fmt.Errorf("duplicate deputy id %d", s.DeputyID)
+			}
+			deputyCounter[s.DeputyID] = s.Counter
+			if err := markBadges(badges, s.DeputyID, s.DeputyID); err != nil {
+				return fmt.Errorf("agent %d: %w", i, err)
+			}
+		case PhaseSheriff:
+			if err := markBadges(badges, s.LowBadge, s.HighBadge); err != nil {
+				return fmt.Errorf("agent %d: %w", i, err)
+			}
+		}
+		if s.HasLabel {
+			if prev, dup := labels[s.Label]; dup {
+				return fmt.Errorf("agents %d and %d share label %+v", prev, i, s.Label)
+			}
+			labels[s.Label] = i
+		}
+	}
+	for i, s := range pr.agents {
+		if s.Channel == nil {
+			continue
+		}
+		for d, val := range s.Channel {
+			if cnt, ok := deputyCounter[int32(d+1)]; ok && val > cnt {
+				return fmt.Errorf("agent %d: channel[%d] = %d exceeds deputy counter %d", i, d, val, cnt)
+			}
+		}
+	}
+	return nil
+}
+
+// markBadges marks the badge range [lo, hi] as used, failing on overlap.
+func markBadges(badges []bool, lo, hi int32) error {
+	if lo < 1 || hi >= int32(len(badges)) || lo > hi {
+		return fmt.Errorf("badge range [%d, %d] invalid", lo, hi)
+	}
+	for b := lo; b <= hi; b++ {
+		if badges[b] {
+			return fmt.Errorf("badge %d held twice", b)
+		}
+		badges[b] = true
+	}
+	return nil
+}

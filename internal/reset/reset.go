@@ -1,0 +1,145 @@
+// Package reset implements the PropagateReset protocol of Appendix C
+// (Protocols 4–6), originally from Burman, Chen, Chen, Doty, Nowak,
+// Severson, and Xu (PODC 2021), which ElectLeader_r uses as its hard-reset
+// ("full reset") mechanism.
+//
+// A resetting agent carries a resetCount that propagates an infection: while
+// the count is positive, every computing agent it initiates an interaction
+// with becomes a resetter too, and interacting resetters adopt
+// max(count_u, count_v) − 1. When the count hits zero the agent becomes
+// dormant and waits out a delayTimer, after which it re-awakens as a fresh
+// computing agent (Reset, Protocol 6); computing agents also wake dormant
+// agents on contact, so awakening spreads as an epidemic.
+//
+// Corollary C.3: from a triggered configuration the population is fully
+// dormant within O(n·log n) interactions w.h.p., and from a fully dormant
+// configuration it reaches an awakening configuration within O(n·log n)
+// interactions w.h.p.
+//
+// The package owns only the resetter-local state; role changes (who is
+// Resetting versus computing) belong to the caller and are communicated via
+// Outcome values, keeping this module reusable exactly like the paper's
+// black-box usage.
+package reset
+
+import "math"
+
+// Params holds the two timer ceilings of PropagateReset.
+type Params struct {
+	// RMax is the initial resetCount of a triggered agent (paper: Θ(log n),
+	// concretely 60·log n in Lemma C.1; the constant is tunable here).
+	RMax int32
+	// DMax is the dormancy delay (paper: Θ(log n), with DMax = Ω(log n + RMax)).
+	DMax int32
+}
+
+// DefaultParams returns parameters for a population of size n with the
+// paper's asymptotics: RMax = cR·⌈ln n⌉ and DMax = 2·RMax. cR defaults to a
+// value that keeps the infection alive for the full epidemic w.h.p. at
+// simulation scales.
+func DefaultParams(n int) Params {
+	ln := int32(math.Ceil(math.Log(float64(n) + 1)))
+	if ln < 1 {
+		ln = 1
+	}
+	r := 20 * ln
+	return Params{RMax: r, DMax: 2 * r}
+}
+
+// State is the per-agent local state of a resetting agent.
+type State struct {
+	// Count is the infection counter (resetCount). Positive: actively
+	// spreading; zero: dormant.
+	Count int32
+	// Delay is the dormancy timer (delayTimer), armed at DMax when Count
+	// reaches zero.
+	Delay int32
+}
+
+// Triggered returns the state installed by TriggerReset (Protocol 5).
+func Triggered(p Params) State { return State{Count: p.RMax, Delay: p.DMax} }
+
+// Dormant reports whether the agent is dormant (waiting to re-awaken).
+func (s State) Dormant() bool { return s.Count == 0 }
+
+// Outcome tells the caller which role transition an endpoint underwent
+// during a Step.
+type Outcome uint8
+
+const (
+	// OutNone means the agent's role is unchanged.
+	OutNone Outcome = iota
+	// OutInfected means a computing agent became a resetter. Its State has
+	// already been initialized by Step.
+	OutInfected
+	// OutAwaken means a resetter must execute Reset (Protocol 6): the caller
+	// re-initializes it as a fresh computing agent (role Ranking with clean
+	// AssignRanks state and a full countdown).
+	OutAwaken
+)
+
+// Step applies PropagateReset (Protocol 4) to the ordered pair (u, v).
+// uRes and vRes report whether each endpoint currently has role Resetting;
+// following Protocol 1 line 1, callers invoke Step only when the initiator u
+// is a resetter (uRes must be true). The State structs are mutated in place;
+// the outcomes report infection and awakening so the caller can update
+// roles. When an endpoint was not a resetter and is not infected, its State
+// is ignored.
+func Step(p Params, uRes bool, u *State, vRes bool, v *State) (uo, vo Outcome) {
+	if !uRes {
+		return OutNone, OutNone
+	}
+	uPrev, vPrev := u.Count, v.Count
+
+	// Lines 1–2: infection of a computing responder.
+	if u.Count > 0 && !vRes {
+		vRes = true
+		vo = OutInfected
+		*v = State{Count: 0, Delay: p.DMax}
+		vPrev = 1 // infection counts as "just became 0" if the max below is 0
+	}
+
+	// Lines 3–4: joint count decay.
+	if vRes {
+		m := u.Count - 1
+		if v.Count-1 > m {
+			m = v.Count - 1
+		}
+		if m < 0 {
+			m = 0
+		}
+		u.Count, v.Count = m, m
+	}
+
+	// Lines 5–11: dormancy handling and awakening, sequentially for (u, v)
+	// then (v, u); roles updated mid-loop exactly as the pseudocode implies.
+	uIsRes, vIsRes := uRes, vRes
+	type side struct {
+		isRes *bool
+		other *bool
+		st    *State
+		prev  int32
+		out   *Outcome
+	}
+	sides := [2]side{
+		{isRes: &uIsRes, other: &vIsRes, st: u, prev: uPrev, out: &uo},
+		{isRes: &vIsRes, other: &uIsRes, st: v, prev: vPrev, out: &vo},
+	}
+	for _, s := range sides {
+		if !*s.isRes || s.st.Count != 0 {
+			continue
+		}
+		if s.prev > 0 {
+			// resetCount just became 0: arm the dormancy timer.
+			s.st.Delay = p.DMax
+		} else if s.st.Delay > 0 {
+			s.st.Delay--
+		}
+		if s.st.Delay <= 0 || !*s.other {
+			// Reset(i): the agent re-awakens as a computing agent.
+			*s.isRes = false
+			*s.out = OutAwaken
+		}
+	}
+	return uo, vo
+}

@@ -1,0 +1,239 @@
+package reset
+
+import (
+	"math"
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// harness simulates a population running only PropagateReset, with a boolean
+// role per agent, to validate the Appendix C guarantees in isolation.
+type harness struct {
+	p         Params
+	resetting []bool
+	st        []State
+	awakened  int
+}
+
+func newHarness(n int, p Params) *harness {
+	return &harness{p: p, resetting: make([]bool, n), st: make([]State, n)}
+}
+
+func (h *harness) trigger(i int) {
+	h.resetting[i] = true
+	h.st[i] = Triggered(h.p)
+}
+
+func (h *harness) interact(a, b int) {
+	if !h.resetting[a] {
+		return // Protocol 1 line 1: only called when the initiator resets.
+	}
+	uo, vo := Step(h.p, h.resetting[a], &h.st[a], h.resetting[b], &h.st[b])
+	h.apply(a, uo)
+	h.apply(b, vo)
+}
+
+func (h *harness) apply(i int, o Outcome) {
+	switch o {
+	case OutInfected:
+		h.resetting[i] = true
+	case OutAwaken:
+		h.resetting[i] = false
+		h.awakened++
+	}
+}
+
+func (h *harness) countResetting() int {
+	c := 0
+	for _, r := range h.resetting {
+		if r {
+			c++
+		}
+	}
+	return c
+}
+
+func (h *harness) fullyDormant() bool {
+	for i, r := range h.resetting {
+		if !r || !h.st[i].Dormant() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(128)
+	if p.RMax <= 0 || p.DMax < p.RMax {
+		t.Fatalf("bad defaults: %+v", p)
+	}
+	small := DefaultParams(1)
+	if small.RMax <= 0 {
+		t.Fatalf("degenerate n: %+v", small)
+	}
+}
+
+func TestTriggeredState(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	s := Triggered(p)
+	if s.Count != 10 || s.Delay != 20 {
+		t.Fatalf("Triggered = %+v", s)
+	}
+	if s.Dormant() {
+		t.Fatal("triggered state must not be dormant")
+	}
+	if (State{Count: 0, Delay: 5}).Dormant() != true {
+		t.Fatal("count 0 must be dormant")
+	}
+}
+
+func TestInfection(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := Triggered(p)
+	var v State
+	uo, vo := Step(p, true, &u, false, &v)
+	if vo != OutInfected {
+		t.Fatalf("vo = %v, want OutInfected", vo)
+	}
+	if uo != OutNone {
+		t.Fatalf("uo = %v, want OutNone", uo)
+	}
+	// Joint decay: both take max(10-1, 0-1, 0) = 9.
+	if u.Count != 9 || v.Count != 9 {
+		t.Fatalf("counts = %d,%d, want 9,9", u.Count, v.Count)
+	}
+}
+
+func TestNoInfectionWhenDormant(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := State{Count: 0, Delay: 5}
+	var v State
+	_, vo := Step(p, true, &u, false, &v)
+	if vo == OutInfected {
+		t.Fatal("dormant agent must not infect")
+	}
+}
+
+func TestDormantWokenByComputingResponder(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := State{Count: 0, Delay: 5}
+	var v State
+	uo, _ := Step(p, true, &u, false, &v)
+	if uo != OutAwaken {
+		t.Fatalf("uo = %v, want OutAwaken (computing partner wakes dormant)", uo)
+	}
+}
+
+func TestDelayArmedWhenCountHitsZero(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := State{Count: 1, Delay: 3}
+	v := State{Count: 1, Delay: 3}
+	Step(p, true, &u, true, &v)
+	if u.Count != 0 || v.Count != 0 {
+		t.Fatalf("counts = %d,%d, want 0,0", u.Count, v.Count)
+	}
+	if u.Delay != p.DMax || v.Delay != p.DMax {
+		t.Fatalf("delays = %d,%d, want %d (armed on transition)", u.Delay, v.Delay, p.DMax)
+	}
+}
+
+func TestDelayCountdownAndAwaken(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := State{Count: 0, Delay: 2}
+	v := State{Count: 0, Delay: 2}
+	uo, vo := Step(p, true, &u, true, &v)
+	if uo != OutNone || vo != OutNone {
+		t.Fatalf("first step should only decrement: %v %v", uo, vo)
+	}
+	if u.Delay != 1 || v.Delay != 1 {
+		t.Fatalf("delays = %d,%d, want 1,1", u.Delay, v.Delay)
+	}
+	uo, vo = Step(p, true, &u, true, &v)
+	if uo != OutAwaken {
+		t.Fatalf("uo = %v, want OutAwaken at delay 0", uo)
+	}
+	// Once u awakened (now computing), the sequential loop wakes v too.
+	if vo != OutAwaken {
+		t.Fatalf("vo = %v, want OutAwaken via epidemic", vo)
+	}
+}
+
+func TestStepNonResetterInitiatorIsNoop(t *testing.T) {
+	p := Params{RMax: 10, DMax: 20}
+	u := State{Count: 5, Delay: 5}
+	v := State{Count: 5, Delay: 5}
+	uo, vo := Step(p, false, &u, true, &v)
+	if uo != OutNone || vo != OutNone || u.Count != 5 || v.Count != 5 {
+		t.Fatal("Step with non-resetting initiator must be a no-op")
+	}
+}
+
+// TestFullCycle validates Corollary C.3 end to end: trigger one agent,
+// everyone becomes resetting, then fully dormant within O(n log n), then all
+// awaken within O(n log n).
+func TestFullCycle(t *testing.T) {
+	const n = 128
+	for seed := uint64(0); seed < 5; seed++ {
+		p := DefaultParams(n)
+		h := newHarness(n, p)
+		h.trigger(0)
+		r := rng.New(seed)
+		bound := uint64(200 * float64(n) * math.Log(n))
+
+		// Phase 1: reach fully dormant with everyone resetting.
+		var t1 uint64
+		for ; t1 < bound && !h.fullyDormant(); t1++ {
+			a, b := r.Pair(n)
+			h.interact(a, b)
+		}
+		if !h.fullyDormant() {
+			t.Fatalf("seed %d: not fully dormant after %d interactions (resetting=%d)",
+				seed, t1, h.countResetting())
+		}
+
+		// Phase 2: everyone awakens.
+		var t2 uint64
+		for ; t2 < bound && h.countResetting() > 0; t2++ {
+			a, b := r.Pair(n)
+			h.interact(a, b)
+		}
+		if h.countResetting() != 0 {
+			t.Fatalf("seed %d: %d agents still resetting after %d interactions",
+				seed, h.countResetting(), t2)
+		}
+		if h.awakened != n {
+			t.Fatalf("seed %d: awakened %d, want %d", seed, h.awakened, n)
+		}
+	}
+}
+
+// TestInfectionReachesAll checks that a single trigger infects the entire
+// population before anyone awakens (the property RMax must be large enough
+// to guarantee, per Lemma C.1).
+func TestInfectionReachesAll(t *testing.T) {
+	const n = 256
+	for seed := uint64(0); seed < 5; seed++ {
+		p := DefaultParams(n)
+		h := newHarness(n, p)
+		h.trigger(n / 2)
+		r := rng.New(seed)
+		bound := uint64(100 * float64(n) * math.Log(n))
+		everyone := false
+		for i := uint64(0); i < bound; i++ {
+			a, b := r.Pair(n)
+			h.interact(a, b)
+			if h.countResetting() == n {
+				everyone = true
+				break
+			}
+			if h.awakened > 0 {
+				t.Fatalf("seed %d: agent awakened before infection completed (%d resetting)",
+					seed, h.countResetting())
+			}
+		}
+		if !everyone {
+			t.Fatalf("seed %d: infection incomplete (%d/%d)", seed, h.countResetting(), n)
+		}
+	}
+}

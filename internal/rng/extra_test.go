@@ -1,0 +1,83 @@
+package rng
+
+import "testing"
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Uint64n(0)")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestInt31n(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 10000; i++ {
+		if v := p.Int31n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int31n out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Int31n(0)")
+		}
+	}()
+	p.Int31n(0)
+}
+
+func TestPairPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Pair(1)")
+		}
+	}()
+	New(1).Pair(1)
+}
+
+func TestBoolRoughlyBalanced(t *testing.T) {
+	p := New(5)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if p.Bool() {
+			trues++
+		}
+	}
+	if trues < draws/2-2000 || trues > draws/2+2000 {
+		t.Fatalf("Bool bias: %d/%d", trues, draws)
+	}
+}
+
+func TestUint32Range(t *testing.T) {
+	p := New(6)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		seen[p.Uint32()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("Uint32 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+// TestUint64nRejectionPath exercises the Lemire rejection branch: a bound
+// just below a large power of two forces occasional resampling.
+func TestUint64nRejectionPath(t *testing.T) {
+	p := New(7)
+	const bound = (1 << 63) + (1 << 62) + 12345
+	for i := 0; i < 10000; i++ {
+		if v := p.Uint64n(bound); v >= bound {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestPermZeroAndOne(t *testing.T) {
+	p := New(8)
+	if got := p.Perm(0); len(got) != 0 {
+		t.Fatalf("Perm(0) = %v", got)
+	}
+	if got := p.Perm(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Perm(1) = %v", got)
+	}
+}

@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from distinct seeds collided %d/100 times", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	a := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = a.Uint64()
+	}
+	a.Reseed(7)
+	for i := range first {
+		if got := a.Uint64(); got != first[i] {
+			t.Fatalf("reseed did not reset stream at %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	p := New(3)
+	f := func(nRaw uint16, _ uint8) bool {
+		n := int(nRaw%1000) + 1
+		v := p.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nSmallUniform(t *testing.T) {
+	// Chi-square-style sanity check: counts for n=8 over many draws should
+	// be close to uniform.
+	p := New(99)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[p.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestPairDistinctAndUniform(t *testing.T) {
+	p := New(5)
+	const n = 6
+	counts := map[[2]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		a, b := p.Pair(n)
+		if a == b {
+			t.Fatalf("Pair returned identical indices %d", a)
+		}
+		if a < 0 || a >= n || b < 0 || b >= n {
+			t.Fatalf("Pair out of range: (%d,%d)", a, b)
+		}
+		counts[[2]int{a, b}]++
+	}
+	want := float64(draws) / (n * (n - 1))
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("pair %v count %d too far from %f", k, c, want)
+		}
+	}
+	if len(counts) != n*(n-1) {
+		t.Fatalf("only %d of %d ordered pairs observed", len(counts), n*(n-1))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(11)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		perm := p.Perm(n)
+		if len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	p := New(13)
+	xs := []int{1, 2, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	p.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(17)
+	b := a.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked stream matched parent %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(23)
+	for i := 0; i < 10000; i++ {
+		v := p.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	p := New(29)
+	ones := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		ones += int(p.Bit())
+	}
+	if math.Abs(float64(ones)-draws/2) > 5*math.Sqrt(draws/4) {
+		t.Fatalf("bit bias: %d ones of %d", ones, draws)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPair(b *testing.B) {
+	p := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a, c := p.Pair(1024)
+		sink += a + c
+	}
+	_ = sink
+}

@@ -1,0 +1,116 @@
+// scheduler.go abstracts the pair scheduler. The paper's model (§1.1) is
+// the uniform scheduler — every ordered pair equally likely — which
+// *rng.PRNG implements directly. The weighted scheduler below models
+// heterogeneous contact rates (e.g. well-mixed chemical solutions with
+// unequal diffusion, or devices with unequal duty cycles) and powers the
+// robustness extension T16: the paper's guarantees are proved for the
+// uniform case; the experiment probes how gracefully stabilization degrades
+// away from it.
+
+package sim
+
+import (
+	"math"
+
+	"sspp/internal/rng"
+)
+
+// Scheduler draws ordered pairs of distinct agents in [0, n).
+type Scheduler interface {
+	Pair(n int) (a, b int)
+}
+
+// *rng.PRNG is the uniform scheduler of the population model.
+var _ Scheduler = (*rng.PRNG)(nil)
+
+// Weighted is a scheduler that picks each endpoint independently with fixed
+// per-agent probabilities (re-drawing identical pairs), modelling agents
+// with heterogeneous interaction rates.
+type Weighted struct {
+	r   *rng.PRNG
+	cum []float64 // cumulative weights, cum[n-1] == 1
+}
+
+// NewWeighted builds a weighted scheduler from non-negative per-agent
+// weights (at least two positive entries). The slice is not retained.
+func NewWeighted(r *rng.PRNG, weights []float64) *Weighted {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		// Degenerate input: fall back to uniform.
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(len(cum))
+		}
+		total = 1
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Weighted{r: r, cum: cum}
+}
+
+// NewZipf builds a weighted scheduler with Zipf-like weights
+// w_i ∝ 1/(i+1)^s. s = 0 is uniform; larger s concentrates interactions on
+// low-index agents.
+func NewZipf(r *rng.PRNG, n int, s float64) *Weighted {
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return NewWeighted(r, weights)
+}
+
+// Pair draws an ordered pair of distinct agents.
+func (w *Weighted) Pair(n int) (a, b int) {
+	if n > len(w.cum) {
+		n = len(w.cum)
+	}
+	a = w.draw()
+	b = a
+	for b == a {
+		b = w.draw()
+	}
+	if a >= n {
+		a %= n
+	}
+	if b >= n || b == a {
+		b = (a + 1) % n
+	}
+	return a, b
+}
+
+// draw samples one index by CDF inversion (binary search).
+func (w *Weighted) draw() int {
+	x := w.r.Float64()
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RunSched is Run with an arbitrary scheduler.
+func RunSched(p Protocol, sched Scheduler, opt Options) Result {
+	return runWith(p, sched, opt)
+}
+
+// StepsSched performs exactly k interactions under an arbitrary scheduler.
+func StepsSched(p Protocol, sched Scheduler, k uint64) {
+	n := p.N()
+	for i := uint64(0); i < k; i++ {
+		a, b := sched.Pair(n)
+		p.Interact(a, b)
+	}
+}

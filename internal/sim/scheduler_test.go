@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sspp/internal/rng"
+)
+
+func TestWeightedPairDistinct(t *testing.T) {
+	w := NewZipf(rng.New(1), 16, 1.0)
+	for i := 0; i < 20000; i++ {
+		a, b := w.Pair(16)
+		if a == b {
+			t.Fatal("identical pair")
+		}
+		if a < 0 || a >= 16 || b < 0 || b >= 16 {
+			t.Fatalf("out of range: (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestWeightedSkew(t *testing.T) {
+	const n = 16
+	w := NewZipf(rng.New(2), n, 1.0)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		a, b := w.Pair(n)
+		counts[a]++
+		counts[b]++
+	}
+	// Agent 0's rate should be roughly n·H_n⁻¹ ≈ 4.7× agent 15's.
+	ratio := float64(counts[0]) / float64(counts[n-1])
+	if ratio < 3 {
+		t.Fatalf("skew too weak: ratio %.2f", ratio)
+	}
+	// Expected ratio for Zipf s=1 between ranks 1 and 16 is 16 (modulo the
+	// distinct-pair redraw); allow a broad band.
+	if ratio > 30 {
+		t.Fatalf("skew implausibly strong: ratio %.2f", ratio)
+	}
+}
+
+func TestWeightedUniformWeightsMatchUniform(t *testing.T) {
+	const n = 8
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	w := NewWeighted(rng.New(3), weights)
+	counts := make([]int, n)
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		a, _ := w.Pair(n)
+		counts[a]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("agent %d count %d too far from uniform %f", i, c, want)
+		}
+	}
+}
+
+func TestWeightedDegenerateWeights(t *testing.T) {
+	w := NewWeighted(rng.New(4), []float64{0, 0, 0, -1})
+	for i := 0; i < 1000; i++ {
+		a, b := w.Pair(4)
+		if a == b || a < 0 || a >= 4 || b < 0 || b >= 4 {
+			t.Fatal("degenerate weights must fall back to uniform")
+		}
+	}
+}
+
+func TestWeightedDrawInRangeProperty(t *testing.T) {
+	f := func(seed uint64, sRaw uint8) bool {
+		n := 4 + int(seed%13)
+		s := float64(sRaw%30) / 10
+		w := NewZipf(rng.New(seed), n, s)
+		for i := 0; i < 50; i++ {
+			a, b := w.Pair(n)
+			if a == b || a < 0 || a >= n || b < 0 || b >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedAndStepsSched(t *testing.T) {
+	p := &countdownProto{n: 8, correctAt: 50}
+	res := RunSched(p, NewZipf(rng.New(5), 8, 0.5), Options{MaxInteractions: 1000, CheckEvery: 1})
+	if !res.Stabilized {
+		t.Fatal("weighted run did not stabilize")
+	}
+	q := &countdownProto{n: 8}
+	StepsSched(q, NewZipf(rng.New(6), 8, 0.5), 77)
+	if q.t != 77 {
+		t.Fatalf("StepsSched performed %d interactions, want 77", q.t)
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim implements the population-protocol execution model of the
+// paper (§1.1): n agents, and in every step a uniformly random ordered pair
+// of distinct agents interacts and updates its states via the protocol's
+// transition function.
+//
+// The package provides the Protocol abstraction, a deterministic seeded
+// scheduler, a Runner that measures stabilization times, and an Events sink
+// that protocols use to report notable transitions (resets, detections,
+// phase changes) to experiments and tests.
+//
+// Throughout the repository, "time" follows the paper's convention: parallel
+// time equals the number of interactions divided by n.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sspp/internal/rng"
+)
+
+// Protocol is a population protocol over a fixed set of agents.
+//
+// Implementations are single-threaded state machines: the Runner calls
+// Interact sequentially, never concurrently.
+type Protocol interface {
+	// N returns the population size.
+	N() int
+	// Interact applies the transition function to the ordered pair of
+	// distinct agents (a, b), where a is the initiator and b the responder.
+	Interact(a, b int)
+	// Correct reports whether the current configuration has correct output
+	// (for leader election: exactly one agent outputs "leader").
+	Correct() bool
+}
+
+// NeverStabilized is the sentinel value of Result.StabilizedAt when the run
+// did not end in a correct configuration.
+const NeverStabilized = ^uint64(0)
+
+// Options configures a Runner execution.
+type Options struct {
+	// MaxInteractions bounds the run. Required (> 0).
+	MaxInteractions uint64
+	// CheckEvery is the correctness polling cadence in interactions.
+	// Defaults to max(1, n/4). Smaller values tighten the measurement of
+	// stabilization times at the cost of more Correct() calls.
+	CheckEvery uint64
+	// StopAfterStableFor, when positive, stops the run early once
+	// correctness has been observed continuously for at least this many
+	// interactions. For self-stabilizing protocols the safe set is closed,
+	// so a window of a few n interactions is a cheap confirmation.
+	StopAfterStableFor uint64
+	// Invariant, when non-nil, is polled every CheckEvery interactions; a
+	// non-nil error aborts the run and is reported in Result.Err. Tests use
+	// this to assert protocol invariants during execution.
+	Invariant func() error
+	// OnCheck, when non-nil, is called at every poll with the current
+	// interaction count and correctness flag (tracing hook).
+	OnCheck func(interactions uint64, correct bool)
+}
+
+// Result reports the outcome of a Runner execution.
+type Result struct {
+	// Interactions is the number of interactions performed.
+	Interactions uint64
+	// Stabilized reports whether the configuration was correct at the end
+	// of the run (and, when StopAfterStableFor was set, had been correct for
+	// at least that long).
+	Stabilized bool
+	// StabilizedAt is the poll index (in interactions) at which the final
+	// stretch of uninterrupted correctness began, or NeverStabilized.
+	// Its resolution is CheckEvery interactions.
+	StabilizedAt uint64
+	// FirstCorrectAt is the first poll at which correctness was observed,
+	// or NeverStabilized if it never was. A value smaller than StabilizedAt
+	// indicates the configuration regressed at least once (e.g. a reset).
+	FirstCorrectAt uint64
+	// Flips counts observed correctness transitions (in either direction).
+	Flips int
+	// Err is the first invariant violation, if any.
+	Err error
+}
+
+// ParallelTime returns the stabilization time in parallel-time units
+// (interactions divided by n), the measure used throughout the paper.
+func (r Result) ParallelTime(n int) float64 {
+	if !r.Stabilized || n == 0 {
+		return -1
+	}
+	return float64(r.StabilizedAt) / float64(n)
+}
+
+// Run executes p under the uniform random scheduler drawn from rand.
+func Run(p Protocol, rand *rng.PRNG, opt Options) Result {
+	return runWith(p, rand, opt)
+}
+
+// runWith executes p under an arbitrary scheduler.
+func runWith(p Protocol, sched Scheduler, opt Options) Result {
+	res := Result{StabilizedAt: NeverStabilized, FirstCorrectAt: NeverStabilized}
+	n := p.N()
+	if n < 2 {
+		res.Err = fmt.Errorf("sim: population size %d < 2", n)
+		return res
+	}
+	if opt.MaxInteractions == 0 {
+		res.Err = errors.New("sim: MaxInteractions must be positive")
+		return res
+	}
+	check := opt.CheckEvery
+	if check == 0 {
+		check = uint64(n / 4)
+		if check == 0 {
+			check = 1
+		}
+	}
+
+	wasCorrect := false
+	var stableSince uint64 // start of current correct stretch (valid when wasCorrect)
+	var t uint64
+	poll := func() bool {
+		correct := p.Correct()
+		if opt.OnCheck != nil {
+			opt.OnCheck(t, correct)
+		}
+		if correct != wasCorrect {
+			res.Flips++
+			if correct {
+				stableSince = t
+				if res.FirstCorrectAt == NeverStabilized {
+					res.FirstCorrectAt = t
+				}
+			}
+			wasCorrect = correct
+		}
+		if opt.Invariant != nil {
+			if err := opt.Invariant(); err != nil {
+				res.Err = fmt.Errorf("sim: invariant violated at interaction %d: %w", t, err)
+				return false
+			}
+		}
+		return true
+	}
+
+	// Poll the initial configuration so that a run that starts correct and
+	// stays correct reports StabilizedAt = 0.
+	if !poll() {
+		res.Interactions = 0
+		return res
+	}
+	for t = 1; t <= opt.MaxInteractions; t++ {
+		a, b := sched.Pair(n)
+		p.Interact(a, b)
+		if t%check == 0 {
+			if !poll() {
+				break
+			}
+			if wasCorrect && opt.StopAfterStableFor > 0 && t-stableSince >= opt.StopAfterStableFor {
+				break
+			}
+		}
+	}
+	if t > opt.MaxInteractions {
+		t = opt.MaxInteractions
+	}
+	res.Interactions = t
+	if res.Err == nil && wasCorrect {
+		res.Stabilized = true
+		res.StabilizedAt = stableSince
+	}
+	return res
+}
+
+// Steps performs exactly k scheduler-driven interactions on p without any
+// correctness polling. It is the low-level building block used by examples
+// and adversarial setups that need fine-grained control.
+func Steps(p Protocol, rand *rng.PRNG, k uint64) {
+	n := p.N()
+	for i := uint64(0); i < k; i++ {
+		a, b := rand.Pair(n)
+		p.Interact(a, b)
+	}
+}
+
+// Events is a counter sink for notable protocol transitions. Protocols call
+// Inc/IncAt; experiments and tests read Count/FirstAt/LastAt. The zero value
+// is unusable; construct with NewEvents. Events is not safe for concurrent
+// use, matching the single-threaded execution model.
+type Events struct {
+	counts  map[string]uint64
+	firstAt map[string]uint64
+	lastAt  map[string]uint64
+}
+
+// NewEvents returns an empty event sink.
+func NewEvents() *Events {
+	return &Events{
+		counts:  make(map[string]uint64),
+		firstAt: make(map[string]uint64),
+		lastAt:  make(map[string]uint64),
+	}
+}
+
+// Inc records one occurrence of name with no timestamp.
+func (e *Events) Inc(name string) { e.IncAt(name, 0) }
+
+// IncAt records one occurrence of name at interaction t.
+func (e *Events) IncAt(name string, t uint64) {
+	if e == nil {
+		return
+	}
+	if _, ok := e.counts[name]; !ok {
+		e.firstAt[name] = t
+	}
+	e.counts[name]++
+	e.lastAt[name] = t
+}
+
+// Count returns the number of occurrences of name.
+func (e *Events) Count(name string) uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.counts[name]
+}
+
+// FirstAt returns the interaction at which name first occurred; ok is false
+// if it never occurred.
+func (e *Events) FirstAt(name string) (t uint64, ok bool) {
+	if e == nil {
+		return 0, false
+	}
+	t, ok = e.firstAt[name]
+	return t, ok
+}
+
+// LastAt returns the interaction at which name last occurred; ok is false if
+// it never occurred.
+func (e *Events) LastAt(name string) (t uint64, ok bool) {
+	if e == nil {
+		return 0, false
+	}
+	t, ok = e.lastAt[name]
+	return t, ok
+}
+
+// Reset clears all recorded events.
+func (e *Events) Reset() {
+	if e == nil {
+		return
+	}
+	clear(e.counts)
+	clear(e.firstAt)
+	clear(e.lastAt)
+}
+
+// Names returns all recorded event names in sorted order.
+func (e *Events) Names() []string {
+	if e == nil {
+		return nil
+	}
+	names := make([]string, 0, len(e.counts))
+	for k := range e.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters sorted by name, for logs and debugging.
+func (e *Events) String() string {
+	var b strings.Builder
+	for _, k := range e.Names() {
+		fmt.Fprintf(&b, "%s=%d ", k, e.counts[k])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,288 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: online accumulators, sample summaries, quantiles,
+// normal-approximation confidence intervals, least-squares fits (used for
+// log-log scaling-exponent estimates), and fixed-width text histograms.
+//
+// The package is deliberately minimal and dependency-free; it only needs to
+// support the evaluation of the reproduction experiments in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Acc is an online mean/variance accumulator using Welford's algorithm.
+// The zero value is an empty accumulator ready for use.
+type Acc struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples added.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 if no samples were added.
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two samples.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample added, or 0 if empty.
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample added, or 0 if empty.
+func (a *Acc) Max() float64 { return a.max }
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// under a normal approximation (1.96·σ/√n). It returns 0 for n < 2.
+func (a *Acc) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Summary is a full descriptive summary of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P10    float64
+	P90    float64
+	CI95   float64
+}
+
+// Summarize computes a Summary of xs. It does not modify xs.
+func Summarize(xs []float64) Summary {
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	s := Summary{
+		N:    a.N(),
+		Mean: a.Mean(),
+		Std:  a.Std(),
+		Min:  a.Min(),
+		Max:  a.Max(),
+		CI95: a.CI95(),
+	}
+	if len(xs) > 0 {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		s.Median = Quantile(sorted, 0.5)
+		s.P10 = Quantile(sorted, 0.1)
+		s.P90 = Quantile(sorted, 0.9)
+	}
+	return s
+}
+
+// String renders the summary compactly, e.g. "µ=12.3 ±1.1 (med 12.0, n=30)".
+func (s Summary) String() string {
+	return fmt.Sprintf("µ=%.4g ±%.2g (med %.4g, n=%d)", s.Mean, s.CI95, s.Median, s.N)
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample using
+// linear interpolation. It panics if sorted is empty.
+func Quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit holds the result of an ordinary least-squares line fit y = a + b·x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares. It panics when the
+// slices have different lengths or fewer than two points, or when all xs are
+// identical.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			res := ys[i] - (a + b*xs[i])
+			ssRes += res * res
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2}
+}
+
+// LogLogFit fits log(y) = a + b·log(x): the scaling-exponent estimator used
+// to verify asymptotic claims (e.g. "time grows like n^b"). All inputs must
+// be strictly positive.
+func LogLogFit(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: LogLogFit requires positive samples")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Histogram is a fixed-bin histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples above Hi
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi].
+// It panics when bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with bins <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records x into its bin.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // x == Hi
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Render draws the histogram as rows of '#' characters with width columns.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d %s\n", h.Lo+float64(i)*binW, h.Lo+float64(i+1)*binW, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "underflow: %d\n", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "overflow: %d\n", h.Over)
+	}
+	return b.String()
+}
+
+// MeanOf is a convenience helper returning the mean of xs (0 when empty).
+func MeanOf(xs []float64) float64 {
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Mean()
+}
+
+// MaxOf returns the maximum of xs; it panics when xs is empty.
+func MaxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: MaxOf of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased = 32/7.
+	if !almostEqual(a.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccEmptyAndSingle(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.CI95() != 0 {
+		t.Fatal("empty accumulator should be all zero")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 {
+		t.Fatalf("single sample: mean %v var %v", a.Mean(), a.Var())
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Acc
+		for _, x := range xs {
+			a.Add(x)
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		a := math.Mod(math.Abs(p1), 1)
+		b := math.Mod(math.Abs(p2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f := LinearFit(xs, ys)
+	if !almostEqual(f.Slope, 2, 1e-9) || !almostEqual(f.Intercept, 3, 1e-9) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 3", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	xs := []float64{8, 16, 32, 64, 128}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5 * math.Pow(x, 1.7)
+	}
+	f := LogLogFit(xs, ys)
+	if !almostEqual(f.Slope, 1.7, 1e-9) {
+		t.Fatalf("exponent = %v, want 1.7", f.Slope)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"short", []float64{1}, []float64{1}},
+		{"constantX", []float64{2, 2, 2}, []float64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			LinearFit(c.xs, c.ys)
+		})
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 9.99, 10, -1, 11} {
+		h.Add(x)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("in-range count = %d, want 5", total)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if h.Render(20) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 13)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		total := h.Under + h.Over
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanOfAndMaxOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) should be 0")
+	}
+	if got := MeanOf([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("MeanOf = %v", got)
+	}
+	if got := MaxOf([]float64{1, 9, 3}); got != 9 {
+		t.Fatalf("MaxOf = %v", got)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Acc
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v >= %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,54 @@
+package sspp
+
+import (
+	"testing"
+)
+
+// TestSoak is a longer-running confidence test (skipped with -short): a
+// mid-size population is repeatedly struck by random adversarial classes and
+// transient bursts, and must recover every single time with no false
+// behaviour in between. This emulates the lifetime of a deployed
+// self-stabilizing system.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is not -short")
+	}
+	const n, r = 24, 6
+	sys, err := New(Config{N: n, R: r, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.RunToSafeSet(78, 0); !res.Stabilized {
+		t.Fatal("initial stabilization failed")
+	}
+	classes := AdversaryClasses()
+	for round := 0; round < 12; round++ {
+		seed := uint64(1000 + round)
+		if round%2 == 0 {
+			class := classes[round%len(classes)]
+			if err := sys.Inject(class, seed); err != nil {
+				// Some classes are unrealizable at some (n, r); strike with
+				// a transient burst instead.
+				sys.InjectTransient(3, seed)
+			}
+		} else {
+			sys.InjectTransient(1+round%n, seed)
+		}
+		res := sys.RunToSafeSet(seed+1, 0)
+		if !res.Stabilized {
+			t.Fatalf("round %d: no recovery (events %s)", round, sys.Events())
+		}
+		if sys.Leaders() != 1 || !sys.CorrectRanking() {
+			t.Fatalf("round %d: invalid stable state", round)
+		}
+		// Quiet period: correctness must hold without any further resets.
+		hard := sys.HardResets()
+		sys.Step(seed+2, 50_000)
+		if !sys.Correct() {
+			t.Fatalf("round %d: correctness lost during quiet period", round)
+		}
+		if sys.HardResets() != hard {
+			t.Fatalf("round %d: spurious hard reset during quiet period", round)
+		}
+	}
+}

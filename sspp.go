@@ -1,0 +1,318 @@
+// Package sspp is the public interface to this repository's reproduction of
+// "A Space-Time Trade-off for Fast Self-Stabilizing Leader Election in
+// Population Protocols" (Austin, Berenbrink, Friedetzky, Götte, Hintze;
+// PODC 2025, arXiv:2505.01210).
+//
+// The package wraps the full ElectLeader_r implementation (internal/core and
+// its substrates) behind a small facade: build a System, optionally corrupt
+// its configuration with an adversary class, run it under the uniform random
+// scheduler, and inspect leaders, ranks, and safety. Everything is
+// deterministic given the seeds.
+//
+// A minimal session:
+//
+//	sys, err := sspp.New(sspp.Config{N: 64, R: 8, Seed: 1})
+//	if err != nil { ... }
+//	_ = sys.Inject(sspp.AdversaryTwoLeaders, 7)
+//	res := sys.RunToSafeSet(2, 0) // scheduler seed 2, default budget
+//	if res.Stabilized {
+//	    leader, _ := sys.Leader()
+//	    fmt.Println("leader:", leader, "after", res.Interactions, "interactions")
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results; cmd/benchtab regenerates every table.
+package sspp
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// Config configures a System.
+type Config struct {
+	// N is the population size (n ≥ 2).
+	N int
+	// R is the space-time trade-off parameter (1 ≤ r ≤ n/2): larger r is
+	// faster and uses more states (Theorem 1.1).
+	R int
+	// Seed seeds the protocol-internal randomness. The scheduler seed is
+	// passed to the Run* methods separately.
+	Seed uint64
+	// SyntheticCoins runs the protocol fully derandomized (Appendix B).
+	SyntheticCoins bool
+}
+
+// System is a running ElectLeader_r population.
+type System struct {
+	proto  *core.Protocol
+	events *sim.Events
+	cfg    Config
+}
+
+// New builds a System. The initial configuration is the clean
+// post-awakening one (all agents fresh rankers); use Inject for adversarial
+// starts.
+func New(cfg Config) (*System, error) {
+	ev := sim.NewEvents()
+	opts := []core.Option{core.WithSeed(cfg.Seed), core.WithEvents(ev)}
+	if cfg.SyntheticCoins {
+		opts = append(opts, core.WithSyntheticCoins())
+	}
+	p, err := core.New(cfg.N, cfg.R, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sspp: %w", err)
+	}
+	return &System{proto: p, events: ev, cfg: cfg}, nil
+}
+
+// N returns the population size.
+func (s *System) N() int { return s.proto.N() }
+
+// R returns the trade-off parameter.
+func (s *System) R() int { return s.proto.R() }
+
+// Interactions returns the number of interactions executed so far.
+func (s *System) Interactions() uint64 { return s.proto.Clock() }
+
+// Adversary identifies an adversarial starting-configuration class; see
+// AdversaryClasses for the full list and Inject to apply one.
+type Adversary string
+
+// The adversary classes (DESIGN.md §5, internal/adversary).
+const (
+	AdversaryCleanRankers      = Adversary(adversary.ClassCleanRankers)
+	AdversaryTriggered         = Adversary(adversary.ClassTriggered)
+	AdversaryMixedRoles        = Adversary(adversary.ClassMixedRoles)
+	AdversaryStuckRankers      = Adversary(adversary.ClassStuckRankers)
+	AdversaryMixedGenerations  = Adversary(adversary.ClassMixedGenerations)
+	AdversaryProbationSkew     = Adversary(adversary.ClassProbationSkew)
+	AdversaryTwoLeaders        = Adversary(adversary.ClassTwoLeaders)
+	AdversaryNoLeader          = Adversary(adversary.ClassNoLeader)
+	AdversaryDuplicateRanks    = Adversary(adversary.ClassDuplicateRanks)
+	AdversaryCorruptMessages   = Adversary(adversary.ClassCorruptMessages)
+	AdversaryDuplicateMessages = Adversary(adversary.ClassDuplicateMessages)
+	AdversaryRandomGarbage     = Adversary(adversary.ClassRandomGarbage)
+)
+
+// AdversaryClasses returns every supported adversary class.
+func AdversaryClasses() []Adversary {
+	classes := adversary.Classes()
+	out := make([]Adversary, len(classes))
+	for i, c := range classes {
+		out[i] = Adversary(c)
+	}
+	return out
+}
+
+// DescribeAdversary returns a one-line description of the class.
+func DescribeAdversary(a Adversary) string {
+	return adversary.Describe(adversary.Class(a))
+}
+
+// Inject rewrites the current configuration according to the adversary
+// class, using seed for any random choices the class needs.
+func (s *System) Inject(a Adversary, seed uint64) error {
+	return adversary.Apply(s.proto, adversary.Class(a), rng.New(seed))
+}
+
+// InjectTransient corrupts k uniformly chosen agents in place with random
+// type-valid states (rank claims, resets, scrambled timers, corrupted
+// messages), leaving the rest of the population untouched — the mid-run
+// transient-fault model that motivates self-stabilization. It returns the
+// victim indices. The population recovers on its own (experiment T14).
+func (s *System) InjectTransient(k int, seed uint64) []int {
+	return adversary.Transient(s.proto, k, rng.New(seed))
+}
+
+// Step executes k uniformly random interactions with the given scheduler
+// seed stream. Repeated calls with the same *System advance the same
+// configuration; pass different seeds to explore schedules.
+func (s *System) Step(schedulerSeed uint64, k uint64) {
+	sim.Steps(s.proto, rng.New(schedulerSeed), k)
+}
+
+// Result reports a Run* outcome.
+type Result struct {
+	// Interactions is the total interactions executed by the call.
+	Interactions uint64
+	// Stabilized reports whether the target condition was reached.
+	Stabilized bool
+	// ParallelTime is Interactions/n, the paper's time measure (-1 when not
+	// stabilized).
+	ParallelTime float64
+}
+
+// DefaultBudget returns the default interaction budget for the system's
+// (n, r): a generous multiple of the Theorem 1.1 bound (n²/r)·log n.
+func (s *System) DefaultBudget() uint64 {
+	n, r := float64(s.N()), float64(s.R())
+	return uint64(1000 * n * n / r * math.Log(n+1))
+}
+
+// RunToSafeSet runs until the configuration enters the safe set of Lemma 6.1
+// (correct ranking, all verifiers, coherent generations — correct forever),
+// or until max interactions (0 means DefaultBudget).
+func (s *System) RunToSafeSet(schedulerSeed uint64, max uint64) Result {
+	if max == 0 {
+		max = s.DefaultBudget()
+	}
+	took, ok := s.proto.RunToSafeSet(rng.New(schedulerSeed), max)
+	res := Result{Interactions: took, Stabilized: ok, ParallelTime: -1}
+	if ok {
+		res.ParallelTime = float64(took) / float64(s.N())
+	}
+	return res
+}
+
+// RunToStableOutput runs until the output (exactly one leader) has held for
+// the confirmation window (0 means 20·n interactions), or until max
+// interactions (0 means DefaultBudget). It reports the interaction count at
+// which the final correct stretch began.
+func (s *System) RunToStableOutput(schedulerSeed uint64, max, confirm uint64) Result {
+	if max == 0 {
+		max = s.DefaultBudget()
+	}
+	if confirm == 0 {
+		confirm = uint64(20 * s.N())
+	}
+	at, ok := s.proto.RunToOutputStable(rng.New(schedulerSeed), max, confirm)
+	res := Result{Interactions: at, Stabilized: ok, ParallelTime: -1}
+	if ok {
+		res.ParallelTime = float64(at) / float64(s.N())
+	}
+	return res
+}
+
+// Leader returns the index of the unique leader, or ok = false when the
+// configuration does not currently have exactly one leader.
+func (s *System) Leader() (int, bool) {
+	if s.proto.Leaders() != 1 {
+		return 0, false
+	}
+	for i := 0; i < s.N(); i++ {
+		if s.proto.IsLeader(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Leaders returns the number of agents currently outputting "leader".
+func (s *System) Leaders() int { return s.proto.Leaders() }
+
+// Ranks returns every agent's current rank output.
+func (s *System) Ranks() []int {
+	out := make([]int, s.N())
+	for i := range out {
+		out[i] = int(s.proto.RankOutput(i))
+	}
+	return out
+}
+
+// Correct reports whether exactly one agent outputs "leader".
+func (s *System) Correct() bool { return s.proto.Correct() }
+
+// CorrectRanking reports whether the rank outputs form a permutation.
+func (s *System) CorrectRanking() bool { return s.proto.CorrectRanking() }
+
+// InSafeSet reports whether the configuration is in (the checkable core of)
+// the safe set of Lemma 6.1.
+func (s *System) InSafeSet() bool { return s.proto.InSafeSet() }
+
+// Roles returns the number of agents that are resetting, ranking, and
+// verifying.
+func (s *System) Roles() (resetting, ranking, verifying int) {
+	return s.proto.Roles()
+}
+
+// EventCount returns how often the named event occurred; see Events for the
+// available names.
+func (s *System) EventCount(name string) uint64 { return s.events.Count(name) }
+
+// Events returns all recorded event names with counts, rendered compactly.
+func (s *System) Events() string { return s.events.String() }
+
+// HardResets returns the number of full resets triggered so far.
+func (s *System) HardResets() uint64 { return s.events.Count(core.EventHardReset) }
+
+// StateBits returns log₂ of the per-agent state-space size of ElectLeader_r
+// for the given parameters (the Figure 1 formula) — 2^O(r²·log n).
+func StateBits(n, r int) float64 {
+	return core.ElectLeaderBits(float64(n), float64(r))
+}
+
+// Snapshot is a point-in-time view of the population used for tracing.
+type Snapshot struct {
+	// Interactions is the total interactions executed so far.
+	Interactions uint64
+	// Resetting, Ranking, Verifying are the role counts.
+	Resetting, Ranking, Verifying int
+	// Leaders is the number of agents outputting "leader".
+	Leaders int
+	// HardResets, SoftResets, Tops are cumulative event counts.
+	HardResets, SoftResets, Tops uint64
+	// InSafeSet reports whether the configuration is in the safe set.
+	InSafeSet bool
+}
+
+// Snapshot returns the current population composition.
+func (s *System) Snapshot() Snapshot {
+	resetting, rankingCount, verifying := s.proto.Roles()
+	return Snapshot{
+		Interactions: s.proto.Clock(),
+		Resetting:    resetting,
+		Ranking:      rankingCount,
+		Verifying:    verifying,
+		Leaders:      s.proto.Leaders(),
+		HardResets:   s.events.Count(core.EventHardReset),
+		SoftResets:   s.events.Count("verify.soft_reset"),
+		Tops:         s.events.Count("verify.top"),
+		InSafeSet:    s.proto.InSafeSet(),
+	}
+}
+
+// Trace runs under a single scheduler stream for at most max interactions
+// (0 means DefaultBudget), invoking observe every cadence interactions
+// (0 means n) and once more at the end; it stops early when the safe set is
+// reached. It returns the same result as RunToSafeSet.
+func (s *System) Trace(schedulerSeed uint64, max, cadence uint64, observe func(Snapshot)) Result {
+	if max == 0 {
+		max = s.DefaultBudget()
+	}
+	if cadence == 0 {
+		cadence = uint64(s.N())
+	}
+	sched := rng.New(schedulerSeed)
+	var t uint64
+	res := Result{ParallelTime: -1}
+	for t < max {
+		limit := t + cadence
+		if limit > max {
+			limit = max
+		}
+		for t < limit {
+			a, b := sched.Pair(s.N())
+			s.proto.Interact(a, b)
+			t++
+		}
+		snap := s.Snapshot()
+		if observe != nil {
+			observe(snap)
+		}
+		if snap.InSafeSet {
+			res.Stabilized = true
+			break
+		}
+	}
+	res.Interactions = t
+	if res.Stabilized {
+		res.ParallelTime = float64(t) / float64(s.N())
+	}
+	return res
+}

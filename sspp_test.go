@@ -1,0 +1,153 @@
+package sspp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1, R: 1}); err == nil {
+		t.Fatal("n < 2 must fail")
+	}
+	if _, err := New(Config{N: 32, R: 17}); err == nil {
+		t.Fatal("r > n/2 must fail")
+	}
+	if _, err := New(Config{N: 32, R: 17}); err != nil && !strings.Contains(err.Error(), "sspp:") {
+		t.Fatal("errors must be wrapped with the package prefix")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 16 || sys.R() != 4 {
+		t.Fatal("accessors broken")
+	}
+	res := sys.RunToSafeSet(2, 0)
+	if !res.Stabilized {
+		t.Fatalf("no stabilization within default budget %d", sys.DefaultBudget())
+	}
+	if res.ParallelTime <= 0 {
+		t.Fatalf("parallel time = %v", res.ParallelTime)
+	}
+	leader, ok := sys.Leader()
+	if !ok {
+		t.Fatal("no unique leader after stabilization")
+	}
+	if got := sys.Ranks()[leader]; got != 1 {
+		t.Fatalf("leader rank = %d, want 1", got)
+	}
+	if !sys.Correct() || !sys.CorrectRanking() || !sys.InSafeSet() {
+		t.Fatal("predicates disagree after stabilization")
+	}
+	if sys.Leaders() != 1 {
+		t.Fatal("Leaders() should be 1")
+	}
+	if sys.Interactions() == 0 {
+		t.Fatal("interaction counter did not advance")
+	}
+	_, _, verifying := sys.Roles()
+	if verifying != 16 {
+		t.Fatalf("verifying = %d, want 16", verifying)
+	}
+}
+
+func TestInjectAndRecover(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(AdversaryTwoLeaders, 5); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Leaders() != 2 {
+		t.Fatalf("injection produced %d leaders, want 2", sys.Leaders())
+	}
+	res := sys.RunToSafeSet(6, 0)
+	if !res.Stabilized {
+		t.Fatal("no recovery from two leaders")
+	}
+	if sys.HardResets() == 0 {
+		t.Fatal("two-leader recovery requires a hard reset")
+	}
+	if sys.Events() == "" {
+		t.Fatal("event log empty")
+	}
+	if sys.EventCount("core.hard_reset") != sys.HardResets() {
+		t.Fatal("EventCount/HardResets mismatch")
+	}
+}
+
+func TestInjectUnknownClass(t *testing.T) {
+	sys, err := New(Config{N: 8, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(Adversary("bogus"), 1); err == nil {
+		t.Fatal("unknown class must error")
+	}
+}
+
+func TestAdversaryCatalog(t *testing.T) {
+	classes := AdversaryClasses()
+	if len(classes) != 12 {
+		t.Fatalf("classes = %d, want 12", len(classes))
+	}
+	for _, c := range classes {
+		if DescribeAdversary(c) == "unknown class" {
+			t.Errorf("class %q undescribed", c)
+		}
+	}
+}
+
+func TestRunToStableOutput(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunToStableOutput(7, 0, 0)
+	if !res.Stabilized {
+		t.Fatal("output never stabilized")
+	}
+	if !sys.Correct() {
+		t.Fatal("output-stable but incorrect")
+	}
+}
+
+func TestStepDeterminism(t *testing.T) {
+	build := func() *System {
+		sys, err := New(Config{N: 16, R: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a, b := build(), build()
+	a.Step(11, 5000)
+	b.Step(11, 5000)
+	ra, rb := a.Ranks(), b.Ranks()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seeds diverged at agent %d", i)
+		}
+	}
+}
+
+func TestSyntheticCoinsConfig(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 5, SyntheticCoins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunToSafeSet(8, 0)
+	if !res.Stabilized {
+		t.Fatal("derandomized mode did not stabilize")
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	if StateBits(1024, 512) <= StateBits(1024, 1) {
+		t.Fatal("state bits must grow with r")
+	}
+}
