@@ -8,16 +8,41 @@
 //	benchtab -quick          # reduced sizes and seeds (a few minutes)
 //	benchtab -experiment T7  # a single experiment
 //	benchtab -list           # enumerate experiments
+//	benchtab -workers 1      # force sequential trials (default: GOMAXPROCS)
+//	benchtab -json           # machine-readable output for BENCH_*.json archives
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sspp/internal/experiments"
 )
+
+// jsonTable is the archival form of one experiment table (BENCH_*.json).
+type jsonTable struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim,omitempty"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Quick     bool        `json:"quick"`
+	Seeds     int         `json:"seeds,omitempty"`
+	BaseSeed  uint64      `json:"base_seed"`
+	Workers   int         `json:"workers"`
+	GoMaxProc int         `json:"gomaxprocs"`
+	Tables    []jsonTable `json:"tables"`
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -28,10 +53,13 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "reduced sizes and seed counts")
-		exp   = flag.String("experiment", "", "run a single experiment by ID (e.g. T7)")
-		seeds = flag.Int("seeds", 0, "override the number of seeds per point")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced sizes and seed counts")
+		exp      = flag.String("experiment", "", "run a single experiment by ID (e.g. T7)")
+		seeds    = flag.Int("seeds", 0, "override the number of seeds per point")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", 0, "trial-engine workers (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
+		baseSeed = flag.Uint64("baseseed", 0, "offset all trial seeds (reproducibility studies)")
 	)
 	flag.Parse()
 
@@ -42,7 +70,7 @@ func run() error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds, BaseSeed: *baseSeed, Workers: *workers}
 
 	ids := experiments.IDs()
 	if *exp != "" {
@@ -51,11 +79,36 @@ func run() error {
 		}
 		ids = []string{*exp}
 	}
+	report := jsonReport{
+		Quick:     *quick,
+		Seeds:     *seeds,
+		BaseSeed:  *baseSeed,
+		Workers:   *workers,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
 	for _, id := range ids {
 		start := time.Now()
 		table := registry[id](cfg)
+		elapsed := time.Since(start)
+		if *jsonOut {
+			report.Tables = append(report.Tables, jsonTable{
+				ID:        table.ID,
+				Title:     table.Title,
+				Claim:     table.Claim,
+				Header:    table.Header,
+				Rows:      table.Rows,
+				Notes:     table.Notes,
+				ElapsedMS: elapsed.Milliseconds(),
+			})
+			continue
+		}
 		table.Render(os.Stdout)
-		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s completed in %s]\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
 }

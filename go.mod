@@ -1,0 +1,3 @@
+module sspp
+
+go 1.24

@@ -103,6 +103,28 @@ type Protocol struct {
 	events    *sim.Events
 	scratch   *detect.Scratch
 	clock     uint64
+
+	// Incremental predicate counters (counters.go). Maintained by
+	// untrack/track around every agent mutation, they make the correctness
+	// predicates and the cheap gates of InSafeSet O(1).
+	roleCount  [3]int                     // agents per Role
+	genCount   [verify.Generations]int    // verifiers per generation (mod 6)
+	probCount  [verify.Generations]int    // verifiers on probation, per generation
+	topCount   int                        // verifiers in ⊤
+	rankCount  []int32                    // agents per in-range rank output
+	rankExcess int                        // Σ_rank max(0, rankCount-1)
+	rankOOR    int                        // agents with out-of-range rank output
+	leaderSum  int                        // Σ of indices of rank-1 agents
+
+	// Free lists recycling the O(g²) per-role states across role
+	// transitions (counters.go), cutting GC pressure in reset-heavy runs.
+	arFree []*ranking.State
+	svFree []*verify.State
+
+	// Reusable buffers of the safe-set coherence check (correct.go).
+	coh       *detect.CohScratch
+	cohRanks  []int32
+	cohStates []*detect.State
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -166,6 +188,7 @@ func New(n, r int, opts ...Option) (*Protocol, error) {
 		src:       rng.New(cfg.seed),
 		events:    cfg.events,
 		scratch:   detect.NewScratch(),
+		rankCount: make([]int32, n),
 	}
 	width := coin.WidthFor(int(consts.Ranking.IDSpace))
 	prngSampler := coin.FromPRNG(p.src)
@@ -180,6 +203,7 @@ func New(n, r int, opts ...Option) (*Protocol, error) {
 	for i := range p.agents {
 		p.reinitRanker(i)
 	}
+	p.recount()
 	return p, nil
 }
 
@@ -207,25 +231,30 @@ func (p *Protocol) Events() *sim.Events { return p.events }
 func (p *Protocol) Agent(i int) *Agent { return &p.agents[i] }
 
 // reinitRanker is the Reset routine (Protocol 6): agent i becomes a fresh
-// ranker with a clean qAR and a full countdown.
+// ranker with a clean qAR and a full countdown. Discarded states are
+// recycled through the free lists.
 func (p *Protocol) reinitRanker(i int) {
+	p.releaseSV(i)
 	a := &p.agents[i]
 	a.Role = RoleRanking
 	a.Reset = reset.State{}
 	a.Countdown = p.consts.CountdownMax
-	a.AR = ranking.InitState(p.consts.Ranking)
+	ar := a.AR // reuse the agent's own state in place when it has one
+	if ar == nil {
+		ar = p.popAR()
+	}
+	a.AR = ranking.ReinitInto(p.consts.Ranking, ar)
 	a.Rank = 0
-	a.SV = nil
 }
 
 // triggerReset is TriggerReset (Protocol 5): agent i becomes a triggered
 // resetter, discarding all other state.
 func (p *Protocol) triggerReset(i int) {
+	p.releaseAR(i)
+	p.releaseSV(i)
 	a := &p.agents[i]
 	a.Role = RoleResetting
 	a.Reset = reset.Triggered(p.consts.Reset)
-	a.AR = nil
-	a.SV = nil
 	a.Rank = 0
 	p.events.IncAt(EventHardReset, p.clock)
 }
@@ -244,17 +273,28 @@ func (p *Protocol) becomeVerifier(i int) {
 	if int(rank) > p.n {
 		rank = int32(p.n)
 	}
+	p.releaseAR(i)
 	a.Role = RoleVerifying
 	a.Rank = rank
-	a.SV = verify.InitState(p.vp, rank)
-	a.AR = nil
+	a.SV = verify.ReinitInto(p.vp, rank, p.popSV())
 	a.Countdown = 0
 	p.events.IncAt(EventBecameVerifier, p.clock)
 }
 
 // Interact applies one ElectLeader_r interaction (Protocol 1) to the ordered
-// pair (a, b).
+// pair (a, b). Only the two participating agents can change, so the
+// incremental counters are maintained by bracketing the transition with
+// untrack/track on exactly those two.
 func (p *Protocol) Interact(a, b int) {
+	p.untrack(a)
+	p.untrack(b)
+	p.interact(a, b)
+	p.track(a)
+	p.track(b)
+}
+
+// interact is the tracking-free transition body of Interact.
+func (p *Protocol) interact(a, b int) {
 	p.clock++
 	u, v := &p.agents[a], &p.agents[b]
 	if p.synthetic {
@@ -309,10 +349,10 @@ func (p *Protocol) Interact(a, b int) {
 func (p *Protocol) applyResetOutcome(i int, o reset.Outcome) {
 	switch o {
 	case reset.OutInfected:
+		p.releaseAR(i)
+		p.releaseSV(i)
 		a := &p.agents[i]
 		a.Role = RoleResetting
-		a.AR = nil
-		a.SV = nil
 		a.Rank = 0
 		p.events.IncAt(EventInfected, p.clock)
 	case reset.OutAwaken:

@@ -31,70 +31,44 @@ func (p *Protocol) RankOutput(i int) int32 {
 func (p *Protocol) IsLeader(i int) bool { return p.RankOutput(i) == 1 }
 
 // Leaders returns the number of agents currently outputting "leader".
-func (p *Protocol) Leaders() int {
-	c := 0
-	for i := range p.agents {
-		if p.IsLeader(i) {
-			c++
-		}
+// O(1): maintained incrementally (counters.go).
+func (p *Protocol) Leaders() int { return int(p.rankCount[0]) }
+
+// LeaderIndex returns the index of the unique leader, or ok = false when the
+// configuration does not have exactly one leader. O(1): the counters track
+// the index sum of all rank-1 agents, which with exactly one leader is the
+// leader itself.
+func (p *Protocol) LeaderIndex() (int, bool) {
+	if p.rankCount[0] != 1 {
+		return 0, false
 	}
-	return c
+	return p.leaderSum, true
 }
 
 // Correct reports whether exactly one agent outputs "leader" — the
-// correctness predicate of self-stabilizing leader election.
-func (p *Protocol) Correct() bool { return p.Leaders() == 1 }
+// correctness predicate of self-stabilizing leader election. O(1).
+func (p *Protocol) Correct() bool { return p.rankCount[0] == 1 }
 
 // CorrectRanking reports whether the rank outputs form a permutation of
 // [1, n] — the stronger ranking correctness the protocol actually
-// establishes.
+// establishes. O(1): with all n outputs in range and no rank held twice,
+// the outputs are a permutation by pigeonhole.
 func (p *Protocol) CorrectRanking() bool {
-	seen := make([]bool, p.n)
-	for i := range p.agents {
-		r := p.RankOutput(i)
-		if r < 1 || int(r) > p.n || seen[r-1] {
-			return false
-		}
-		seen[r-1] = true
-	}
-	return true
+	return p.rankOOR == 0 && p.rankExcess == 0
 }
 
-// Roles returns the number of agents per role.
+// Roles returns the number of agents per role. O(1).
 func (p *Protocol) Roles() (resetting, rankingCount, verifying int) {
-	for i := range p.agents {
-		switch p.agents[i].Role {
-		case RoleResetting:
-			resetting++
-		case RoleRanking:
-			rankingCount++
-		case RoleVerifying:
-			verifying++
-		}
-	}
-	return resetting, rankingCount, verifying
+	return p.roleCount[RoleResetting], p.roleCount[RoleRanking], p.roleCount[RoleVerifying]
 }
 
-// AllVerifiers reports whether every agent is in the Verifying role.
+// AllVerifiers reports whether every agent is in the Verifying role. O(1).
 func (p *Protocol) AllVerifiers() bool {
-	for i := range p.agents {
-		if p.agents[i].Role != RoleVerifying {
-			return false
-		}
-	}
-	return true
+	return p.roleCount[RoleVerifying] == p.n
 }
 
-// AnyTop reports whether any verifier's collision detector is in ⊤.
-func (p *Protocol) AnyTop() bool {
-	for i := range p.agents {
-		a := &p.agents[i]
-		if a.Role == RoleVerifying && a.SV != nil && a.SV.DC != nil && a.SV.DC.Err {
-			return true
-		}
-	}
-	return false
-}
+// AnyTop reports whether any verifier's collision detector is in ⊤. O(1).
+func (p *Protocol) AnyTop() bool { return p.topCount > 0 }
 
 // InSafeSet implements the checkable core of Lemma 6.1's safe set: all
 // agents are verifiers with a correct ranking; the generations present span
@@ -105,71 +79,66 @@ func (p *Protocol) AnyTop() bool {
 // and matches its governor's observation, which together with the correct
 // ranking implies no ⊤ can ever be raised again.
 func (p *Protocol) InSafeSet() bool {
-	if !p.AllVerifiers() || !p.CorrectRanking() || p.AnyTop() {
+	// Cheap gates, all O(1) from the incremental counters: during
+	// stabilization the poll almost always fails here without touching any
+	// agent state.
+	if p.roleCount[RoleVerifying] != p.n || p.rankOOR != 0 || p.rankExcess != 0 || p.topCount > 0 {
 		return false
 	}
-	if !p.messagesCoherent() {
-		return false
-	}
-	var gens [verify.Generations]bool
 	distinct := 0
-	for i := range p.agents {
-		g := p.agents[i].SV.Generation % verify.Generations
-		if !gens[g] {
-			gens[g] = true
+	for g := 0; g < verify.Generations; g++ {
+		if p.genCount[g] > 0 {
 			distinct++
 		}
 	}
 	switch distinct {
 	case 1:
-		return true
 	case 2:
-		// The two generations must be adjacent: find i with gens[i] and
-		// gens[i+1]; all generation-i agents must be off probation.
+		// The two generations must be adjacent: find g with both g and g+1
+		// present; all generation-g (behind) agents must be off probation.
+		ok := false
 		for g := 0; g < verify.Generations; g++ {
 			next := (g + 1) % verify.Generations
-			if !gens[g] || !gens[next] {
-				continue
-			}
-			behind := uint8(g)
-			ok := true
-			for i := range p.agents {
-				a := &p.agents[i]
-				if a.SV.Generation%verify.Generations == behind && a.SV.Probation != 0 {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				return true
+			if p.genCount[g] > 0 && p.genCount[next] > 0 && p.probCount[g] == 0 {
+				ok = true
+				break
 			}
 		}
-		return false
+		if !ok {
+			return false
+		}
 	default:
 		return false
 	}
+	// Only a configuration that passed every cheap gate pays for the full
+	// message-coherence walk.
+	return p.messagesCoherent()
 }
 
 // messagesCoherent checks per-generation message coherence among verifiers
 // (see InSafeSet). Cross-generation relations are irrelevant: agents of
 // different generations never run DetectCollision_r together, and adopting
-// the successor generation rebuilds the detection state from scratch.
+// the successor generation rebuilds the detection state from scratch. The
+// check reuses scratch buffers held on the Protocol, so repeated polls do
+// not allocate.
 func (p *Protocol) messagesCoherent() bool {
-	buckets := make(map[uint8]int, verify.Generations)
-	for i := range p.agents {
-		buckets[p.agents[i].SV.Generation%verify.Generations]++
+	if p.coh == nil {
+		p.coh = detect.NewCohScratch()
 	}
-	for gen := range buckets {
-		ranks := make([]int32, 0, buckets[gen])
-		states := make([]*detect.State, 0, buckets[gen])
+	for gen := uint8(0); gen < verify.Generations; gen++ {
+		if p.genCount[gen] == 0 {
+			continue
+		}
+		p.cohRanks = p.cohRanks[:0]
+		p.cohStates = p.cohStates[:0]
 		for i := range p.agents {
 			a := &p.agents[i]
 			if a.SV.Generation%verify.Generations == gen {
-				ranks = append(ranks, a.Rank)
-				states = append(states, a.SV.DC)
+				p.cohRanks = append(p.cohRanks, a.Rank)
+				p.cohStates = append(p.cohStates, a.SV.DC)
 			}
 		}
-		if err := detect.CheckCoherence(p.vp.Detect, ranks, states); err != nil {
+		if !detect.Coherent(p.vp.Detect, p.cohRanks, p.cohStates, p.coh) {
 			return false
 		}
 	}
@@ -177,18 +146,11 @@ func (p *Protocol) messagesCoherent() bool {
 }
 
 // Generations returns the set of generation values currently present among
-// verifiers (empty when none).
+// verifiers (empty when none). O(1) up to building the result slice.
 func (p *Protocol) Generations() []uint8 {
-	var present [verify.Generations]bool
-	for i := range p.agents {
-		a := &p.agents[i]
-		if a.Role == RoleVerifying && a.SV != nil {
-			present[a.SV.Generation%verify.Generations] = true
-		}
-	}
 	out := make([]uint8, 0, verify.Generations)
 	for g := uint8(0); g < verify.Generations; g++ {
-		if present[g] {
+		if p.genCount[g] > 0 {
 			out = append(out, g)
 		}
 	}

@@ -22,28 +22,40 @@ func (p *Protocol) ForceVerifier(i int, rank int32) {
 	if int(rank) > p.n {
 		rank = int32(p.n)
 	}
+	p.untrack(i)
+	p.releaseAR(i)
 	a := &p.agents[i]
 	a.Role = RoleVerifying
 	a.Rank = rank
-	a.SV = verify.InitState(p.vp, rank)
-	a.AR = nil
+	sv := a.SV // reuse the agent's own state in place when it has one
+	if sv == nil {
+		sv = p.popSV()
+	}
+	a.SV = verify.ReinitInto(p.vp, rank, sv)
 	a.Countdown = 0
 	a.Reset = reset.State{}
+	p.track(i)
 }
 
 // ForceRanker makes agent i a fresh ranker (the Reset routine's output).
-func (p *Protocol) ForceRanker(i int) { p.reinitRanker(i) }
+func (p *Protocol) ForceRanker(i int) {
+	p.untrack(i)
+	p.reinitRanker(i)
+	p.track(i)
+}
 
 // ForceTriggered makes agent i a freshly triggered resetter (TriggerReset
 // without the event-sink side effect, so adversarial setup does not pollute
 // experiment counters).
 func (p *Protocol) ForceTriggered(i int) {
+	p.untrack(i)
+	p.releaseAR(i)
+	p.releaseSV(i)
 	a := &p.agents[i]
 	a.Role = RoleResetting
 	a.Reset = reset.Triggered(p.consts.Reset)
-	a.AR = nil
-	a.SV = nil
 	a.Rank = 0
+	p.track(i)
 }
 
 // ForceDormant makes agent i a dormant resetter with the given remaining
@@ -55,19 +67,23 @@ func (p *Protocol) ForceDormant(i int, delay int32) {
 	if delay > p.consts.Reset.DMax {
 		delay = p.consts.Reset.DMax
 	}
+	p.untrack(i)
+	p.releaseAR(i)
+	p.releaseSV(i)
 	a := &p.agents[i]
 	a.Role = RoleResetting
 	a.Reset = reset.State{Count: 0, Delay: delay}
-	a.AR = nil
-	a.SV = nil
 	a.Rank = 0
+	p.track(i)
 }
 
 // SetGeneration sets a verifier's generation (mod 6); no-op for other roles.
 func (p *Protocol) SetGeneration(i int, gen uint8) {
 	a := &p.agents[i]
 	if a.Role == RoleVerifying && a.SV != nil {
+		p.untrack(i)
 		a.SV.Generation = gen % verify.Generations
+		p.track(i)
 	}
 }
 
@@ -84,7 +100,9 @@ func (p *Protocol) SetProbation(i int, v int32) {
 	if v > p.consts.PMax {
 		v = p.consts.PMax
 	}
+	p.untrack(i)
 	a.SV.Probation = v
+	p.track(i)
 }
 
 // SetCountdown sets a ranker's countdown, clamped into [0, CountdownMax];

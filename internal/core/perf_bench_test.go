@@ -1,0 +1,111 @@
+// perf_bench_test.go holds the hot-path micro-benchmarks that anchor the
+// repo's performance trajectory (BENCH_*.json): steady-state Interact cost,
+// the safe-set polling predicate, and end-to-end RunToSafeSet wall-clock at
+// n ∈ {64, 256}. The Interact and InSafeSet targets must report 0 allocs/op
+// in steady state — any regression shows up as a nonzero allocs/op column.
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// BenchmarkInteractSteadyState measures one ElectLeader_r interaction on a
+// stabilized (all-verifier) population under the uniform scheduler — the
+// single hottest operation in the repository. Steady state must be
+// allocation-free.
+func BenchmarkInteractSteadyState(b *testing.B) {
+	for _, bc := range []struct{ n, r int }{{64, 8}, {256, 64}} {
+		b.Run(fmt.Sprintf("n=%d/r=%d", bc.n, bc.r), func(b *testing.B) {
+			p, err := New(bc.n, bc.r, WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < bc.n; i++ {
+				p.ForceVerifier(i, int32(i+1))
+			}
+			sched := rng.New(2)
+			// Warm the scratch buffers and free lists before measuring.
+			for i := 0; i < 4*bc.n; i++ {
+				x, y := sched.Pair(bc.n)
+				p.Interact(x, y)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x, y := sched.Pair(bc.n)
+				p.Interact(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkInSafeSetPoll measures the full safe-set predicate on a safe
+// configuration — the poll RunToSafeSet executes every ⌈n/2⌉ interactions.
+// It must be allocation-free.
+func BenchmarkInSafeSetPoll(b *testing.B) {
+	for _, bc := range []struct{ n, r int }{{64, 8}, {256, 64}} {
+		b.Run(fmt.Sprintf("n=%d/r=%d", bc.n, bc.r), func(b *testing.B) {
+			p, err := New(bc.n, bc.r, WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < bc.n; i++ {
+				p.ForceVerifier(i, int32(i+1))
+			}
+			if !p.InSafeSet() {
+				b.Fatal("configuration should be safe")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !p.InSafeSet() {
+					b.Fatal("should be safe")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInSafeSetPollUnsafe measures the predicate on a configuration that
+// fails the cheap gates (a ranker present) — the common case during
+// stabilization, which must short-circuit in O(1).
+func BenchmarkInSafeSetPollUnsafe(b *testing.B) {
+	const n, r = 256, 64
+	p, err := New(n, r, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.InSafeSet() {
+			b.Fatal("fresh rankers should not be safe")
+		}
+	}
+}
+
+// BenchmarkRunToSafeSet measures end-to-end stabilization wall-clock from a
+// triggered configuration (Lemma 6.2's starting point) — the workload every
+// experiment table is built from.
+func BenchmarkRunToSafeSet(b *testing.B) {
+	for _, bc := range []struct{ n, r int }{{64, 16}, {256, 64}} {
+		b.Run(fmt.Sprintf("n=%d/r=%d", bc.n, bc.r), func(b *testing.B) {
+			budget := 200 * uint64(bc.n) * uint64(bc.n)
+			for i := 0; i < b.N; i++ {
+				p, err := New(bc.n, bc.r, WithSeed(uint64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < bc.n; j++ {
+					p.ForceTriggered(j)
+				}
+				if _, ok := p.RunToSafeSet(rng.New(uint64(i)+13), budget); !ok {
+					b.Fatalf("iteration %d: no stabilization within %d", i, budget)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// run_test.go covers the execution helpers of run.go, in particular the
+// RunToOutputStable edge cases: an already-stable start, a confirmation
+// window landing exactly on the interaction budget, and a window larger than
+// the budget (unconfirmable by construction).
+package core
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// newStableProtocol returns a protocol in a safe configuration (identity
+// ranking, all verifiers): output-correct now and forever.
+func newStableProtocol(t *testing.T, n, r int) *Protocol {
+	t.Helper()
+	p, err := New(n, r, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p.ForceVerifier(i, int32(i+1))
+	}
+	if !p.Correct() {
+		t.Fatal("forced identity ranking should be output-correct")
+	}
+	return p
+}
+
+// TestRunToOutputStableAlreadyStable starts from a correct configuration:
+// the final correct stretch begins at interaction 0.
+func TestRunToOutputStableAlreadyStable(t *testing.T) {
+	const n, r = 16, 4
+	p := newStableProtocol(t, n, r)
+	at, ok := p.RunToOutputStable(rng.New(2), 10_000, 500)
+	if !ok {
+		t.Fatal("stable start not confirmed")
+	}
+	if at != 0 {
+		t.Fatalf("stableSince = %d, want 0 for an already-stable start", at)
+	}
+}
+
+// TestRunToOutputStableExactBudgetBoundary confirms the window exactly when
+// the budget is consumed: with correctness holding from interaction 0,
+// max == confirm must succeed and max == confirm-1 must fail.
+func TestRunToOutputStableExactBudgetBoundary(t *testing.T) {
+	const n, r = 16, 4
+	const confirm = 1024
+	at, ok := newStableProtocol(t, n, r).RunToOutputStable(rng.New(3), confirm, confirm)
+	if !ok {
+		t.Fatalf("confirmation window ending exactly at the budget must succeed")
+	}
+	if at != 0 {
+		t.Fatalf("stableSince = %d, want 0", at)
+	}
+	if _, ok := newStableProtocol(t, n, r).RunToOutputStable(rng.New(3), confirm-1, confirm); ok {
+		t.Fatal("budget one short of the confirmation window must fail")
+	}
+}
+
+// TestRunToOutputStableMaxBelowConfirm can never confirm: the window exceeds
+// the whole budget, whatever the configuration does.
+func TestRunToOutputStableMaxBelowConfirm(t *testing.T) {
+	const n, r = 16, 4
+	p := newStableProtocol(t, n, r)
+	at, ok := p.RunToOutputStable(rng.New(4), 100, 10_000)
+	if ok {
+		t.Fatal("max < confirm must never confirm")
+	}
+	if at != 0 {
+		t.Fatalf("unconfirmed run returned stableSince = %d, want 0", at)
+	}
+}
+
+// TestRunToOutputStableFromTriggered exercises the normal path: from a
+// triggered configuration the output stabilizes strictly after interaction 0
+// and within the Theorem 1.1 budget.
+func TestRunToOutputStableFromTriggered(t *testing.T) {
+	const n, r = 16, 4
+	p, err := New(n, r, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p.ForceTriggered(i)
+	}
+	at, ok := p.RunToOutputStable(rng.New(6), 4_000_000, uint64(20*n))
+	if !ok {
+		t.Fatal("no output stabilization from a triggered configuration")
+	}
+	if at == 0 {
+		t.Fatal("a triggered start cannot be output-correct at interaction 0")
+	}
+}
+
+// TestRunToSafeSetAlreadySafe checks the zero-interaction fast path.
+func TestRunToSafeSetAlreadySafe(t *testing.T) {
+	const n, r = 16, 4
+	p := newStableProtocol(t, n, r)
+	took, ok := p.RunToSafeSet(rng.New(7), 1000)
+	if !ok || took != 0 {
+		t.Fatalf("RunToSafeSet from a safe configuration = (%d, %v), want (0, true)", took, ok)
+	}
+}

@@ -1,0 +1,114 @@
+package detect
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// cleanPopulation returns the identity-ranked clean states for (n, r).
+func cleanPopulation(t *testing.T, n, r int) (*Params, []int32, []*State) {
+	t.Helper()
+	p := NewParams(n, r)
+	ranks := make([]int32, n)
+	states := make([]*State, n)
+	for i := range ranks {
+		ranks[i] = int32(i + 1)
+		states[i] = InitState(p, ranks[i])
+	}
+	return p, ranks, states
+}
+
+// TestCoherentMatchesCheckCoherence pins the allocation-free Coherent to the
+// error-reporting CheckCoherence on clean, tampered, and duplicated states.
+func TestCoherentMatchesCheckCoherence(t *testing.T) {
+	const n, r = 8, 4
+	check := func(name string, p *Params, ranks []int32, states []*State, sc *CohScratch) {
+		t.Helper()
+		want := CheckCoherence(p, ranks, states) == nil
+		if got := Coherent(p, ranks, states, sc); got != want {
+			t.Fatalf("%s: Coherent = %v, CheckCoherence agrees = %v", name, got, want)
+		}
+	}
+	sc := NewCohScratch()
+	p, ranks, states := cleanPopulation(t, n, r)
+	check("clean", p, ranks, states, sc)
+	if !TamperForeignMessage(p, ranks[0], states[0]) {
+		t.Fatal("no foreign message to tamper")
+	}
+	check("tampered", p, ranks, states, sc)
+
+	p2, ranks2, states2 := cleanPopulation(t, n, r)
+	if !DuplicateMessageInto(p2, ranks2[0], states2[0], ranks2[1], states2[1]) {
+		t.Fatal("no message to duplicate")
+	}
+	check("duplicated", p2, ranks2, states2, sc)
+}
+
+// TestCohScratchAcrossParams reuses one scratch across two Params with the
+// same rank-space size but different partitions: the layout must be rebuilt,
+// not silently reused.
+func TestCohScratchAcrossParams(t *testing.T) {
+	sc := NewCohScratch()
+	for _, r := range []int{4, 2, 4} {
+		p, ranks, states := cleanPopulation(t, 8, r)
+		if !Coherent(p, ranks, states, sc) {
+			t.Fatalf("clean population at r=%d judged incoherent with a reused scratch", r)
+		}
+	}
+}
+
+// TestCoherentAgentInTop checks that an agent in ⊤ makes the subpopulation
+// incoherent.
+func TestCoherentAgentInTop(t *testing.T) {
+	p, ranks, states := cleanPopulation(t, 8, 4)
+	states[2].Err = true
+	if Coherent(p, ranks, states, NewCohScratch()) {
+		t.Fatal("population with a ⊤ agent judged coherent")
+	}
+}
+
+// TestCoherentRepeatedPollsNoAlloc pins the zero-allocation property of the
+// steady-state poll.
+func TestCoherentRepeatedPollsNoAlloc(t *testing.T) {
+	p, ranks, states := cleanPopulation(t, 16, 8)
+	sc := NewCohScratch()
+	if !Coherent(p, ranks, states, sc) {
+		t.Fatal("clean population judged incoherent")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if !Coherent(p, ranks, states, sc) {
+			t.Fatal("clean population judged incoherent")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Coherent allocated %.1f times per poll, want 0", allocs)
+	}
+}
+
+// TestCoherentAfterInteractions runs the harness and checks the clean
+// population stays coherent under protocol dynamics (restamp + balance).
+func TestCoherentAfterInteractions(t *testing.T) {
+	const n, r = 8, 4
+	h, err := NewHarness(n, r, nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := rng.New(2)
+	sc := NewCohScratch()
+	for step := 0; step < 50; step++ {
+		for k := 0; k < 100; k++ {
+			a, b := sched.Pair(n)
+			h.Interact(a, b)
+		}
+		ranks := make([]int32, n)
+		states := make([]*State, n)
+		for i := 0; i < n; i++ {
+			ranks[i] = h.Rank(i)
+			states[i] = h.State(i)
+		}
+		if !Coherent(h.Params(), ranks, states, sc) {
+			t.Fatalf("step %d: clean run became incoherent", step)
+		}
+	}
+}

@@ -151,23 +151,45 @@ type State struct {
 // where p is the rank's position in its group. Out-of-range ranks yield an
 // immediate ⊤ (they cannot occur in valid configurations).
 func InitState(p *Params, rank int32) *State {
+	return ReinitInto(p, rank, nil)
+}
+
+// ReinitInto resets s to the clean initial state q0,DC for rank, reusing its
+// message and observation buffers when they have the right shape; a nil s
+// allocates fresh (InitState). Callers recycling states across role
+// transitions use this to avoid re-allocating the O(g²) detection state.
+func ReinitInto(p *Params, rank int32, s *State) *State {
 	g := p.pt.SizeOf(rank)
 	if g == 0 {
-		return &State{Err: true}
+		if s == nil {
+			return &State{Err: true}
+		}
+		*s = State{Err: true}
+		return s
+	}
+	if s == nil {
+		s = &State{}
 	}
 	pos := p.pt.PosOf(rank)
-	s := &State{
-		Signature: 1,
-		Counter:   1,
-		Msgs:      make([][]msg, g),
-		Obs:       make([]int32, 2*g*g),
+	s.Err = false
+	s.Signature = 1
+	s.Counter = 1
+	if cap(s.Obs) >= int(2*g*g) {
+		s.Obs = s.Obs[:2*g*g]
+	} else {
+		s.Obs = make([]int32, 2*g*g)
 	}
 	for j := range s.Obs {
 		s.Obs[j] = 1
 	}
+	if cap(s.Msgs) >= int(g) {
+		s.Msgs = s.Msgs[:g]
+	} else {
+		s.Msgs = make([][]msg, g)
+	}
 	lo := 2 * (pos - 1) * g // exclusive of +1 offset; IDs lo+1 .. lo+2g
 	for i := int32(0); i < g; i++ {
-		row := make([]msg, 0, 2*g)
+		row := s.Msgs[i][:0]
 		for k := int32(1); k <= 2*g; k++ {
 			row = append(row, msg{id: lo + k, content: 1})
 		}
@@ -338,23 +360,33 @@ func updateMessages(p *Params, uRank int32, u, v *State, su coin.Sampler) {
 		u.Signature = int32(su(int(p.sigSpace(g)))) + 1
 		u.Counter = 1
 		if int(idx) < len(u.Msgs) {
-			for i := range u.Msgs[idx] {
-				m := &u.Msgs[idx][i]
-				m.content = u.Signature
-				if m.id >= 1 && int(m.id) <= len(u.Obs) {
-					u.Obs[m.id-1] = u.Signature
-				}
-			}
+			restamp(u.Msgs[idx], u.Signature, u.Obs)
 		}
 	}
 	if int(idx) < len(v.Msgs) {
-		for i := range v.Msgs[idx] {
-			m := &v.Msgs[idx][i]
-			m.content = u.Signature
-			if m.id >= 1 && int(m.id) <= len(u.Obs) {
-				u.Obs[m.id-1] = u.Signature
-			}
+		restamp(v.Msgs[idx], u.Signature, u.Obs)
+	}
+}
+
+// restamp rewrites every message of row to the governor's current signature,
+// mirroring each write into the governor's observations. A row whose contents
+// actually changed is re-sorted to restore the (content, id) row invariant
+// that balanceLoad's linear merge relies on (uniform content, so the sort
+// reduces to an ID sort).
+func restamp(row []msg, sig int32, obs []int32) {
+	changed := false
+	for i := range row {
+		m := &row[i]
+		if m.content != sig {
+			m.content = sig
+			changed = true
 		}
+		if m.id >= 1 && int(m.id) <= len(obs) {
+			obs[m.id-1] = sig
+		}
+	}
+	if changed {
+		sortMsgs(row)
 	}
 }
 
@@ -376,10 +408,7 @@ func balanceLoad(g int32, u, v *State, sc *Scratch) {
 		if len(uRow)+len(vRow) == 0 {
 			continue
 		}
-		sc.merged = sc.merged[:0]
-		sc.merged = append(sc.merged, uRow...)
-		sc.merged = append(sc.merged, vRow...)
-		sortMsgs(sc.merged)
+		mergeRows(sc, uRow, vRow)
 		sc.uOut, sc.vOut = sc.uOut[:0], sc.vOut[:0]
 		for lo := 0; lo < len(sc.merged); {
 			hi := lo + 1
@@ -419,6 +448,53 @@ func sortMsgs(ms []msg) {
 		}
 		return int(a.id) - int(b.id)
 	})
+}
+
+// msgLess is the (content, id) order of sortMsgs.
+func msgLess(a, b msg) bool {
+	if a.content != b.content {
+		return a.content < b.content
+	}
+	return a.id < b.id
+}
+
+// msgsSorted reports whether ms is sorted by (content, id). Clean executions
+// maintain this as a row invariant (InitState, restamp and balanceLoad all
+// emit sorted rows); only adversarially constructed states violate it.
+func msgsSorted(ms []msg) bool {
+	for i := 1; i < len(ms); i++ {
+		if msgLess(ms[i], ms[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRows fills sc.merged with the (content, id)-sorted union of uRow and
+// vRow: a linear two-way merge when both rows honor the row invariant, and an
+// explicit sort otherwise (adversarial states only). The result is exactly
+// what sorting the concatenation would produce — ties are identical msg
+// values, so run order is preserved bit-for-bit.
+func mergeRows(sc *Scratch, uRow, vRow []msg) {
+	sc.merged = sc.merged[:0]
+	if !msgsSorted(uRow) || !msgsSorted(vRow) {
+		sc.merged = append(sc.merged, uRow...)
+		sc.merged = append(sc.merged, vRow...)
+		sortMsgs(sc.merged)
+		return
+	}
+	i, j := 0, 0
+	for i < len(uRow) && j < len(vRow) {
+		if msgLess(vRow[j], uRow[i]) {
+			sc.merged = append(sc.merged, vRow[j])
+			j++
+		} else {
+			sc.merged = append(sc.merged, uRow[i])
+			i++
+		}
+	}
+	sc.merged = append(sc.merged, uRow[i:]...)
+	sc.merged = append(sc.merged, vRow[j:]...)
 }
 
 // CheckStateRestriction verifies the definitional restriction of §5.1: if an

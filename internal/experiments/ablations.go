@@ -42,39 +42,24 @@ func A1SoftResetAblation(cfg Config) *Table {
 		if hardOnly {
 			name = "ablated (hard only)"
 		}
-		var hard, times stats.Acc
-		preserved, runs := 0, 0
-		for s := 0; s < cfg.seeds(); s++ {
-			seed := cfg.BaseSeed + uint64(s)
+		results := seedTrials(cfg, cfg.seeds(), func(s int) preservationOutcome {
 			consts := core.DefaultConstants(n, r)
 			consts.DisableSoftReset = hardOnly
-			ev := sim.NewEvents()
-			p, err := core.New(n, r, core.WithSeed(seed), core.WithConstants(consts), core.WithEvents(ev))
-			if err != nil {
+			return preservationTrial(n, r, &consts, cfg.BaseSeed+uint64(s), adversary.ClassCorruptMessages)
+		})
+		var hard, times stats.Acc
+		preserved, runs := 0, 0
+		for _, o := range results {
+			if !o.ran {
 				continue
-			}
-			if err := adversary.Apply(p, adversary.ClassCorruptMessages, rng.New(seed+3)); err != nil {
-				continue
-			}
-			before := make([]int32, n)
-			for i := 0; i < n; i++ {
-				before[i] = p.RankOutput(i)
 			}
 			runs++
-			took, ok := p.RunToSafeSet(rng.New(seed+5), safeSetBudget(n, r))
-			if !ok {
+			if !o.finished {
 				continue
 			}
-			times.Add(float64(took))
-			hard.Add(float64(ev.Count(core.EventHardReset)))
-			same := true
-			for i := 0; i < n; i++ {
-				if p.RankOutput(i) != before[i] {
-					same = false
-					break
-				}
-			}
-			if same {
+			times.Add(o.took)
+			hard.Add(float64(o.hard))
+			if o.preserved {
 				preserved++
 			}
 		}
@@ -103,30 +88,40 @@ func A2ProbationAblation(cfg Config) *Table {
 	base := verify.DefaultPMax(n, r)
 	for _, factor := range []float64{0.02, 0.25, 1, 4} {
 		pmax := int32(math.Max(1, factor*float64(base)))
-		var soft, hard, times stats.Acc
-		fails := 0
-		for s := 0; s < cfg.seeds(); s++ {
+		type outcome struct {
+			ok               bool
+			took, soft, hard float64
+		}
+		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
 			seed := cfg.BaseSeed + uint64(s)
 			consts := core.DefaultConstants(n, r)
 			consts.PMax = pmax
 			ev := sim.NewEvents()
 			p, err := core.New(n, r, core.WithSeed(seed), core.WithConstants(consts), core.WithEvents(ev))
 			if err != nil {
-				fails++
-				continue
+				return outcome{}
 			}
 			if err := adversary.Apply(p, adversary.ClassTwoLeaders, rng.New(seed+3)); err != nil {
-				fails++
-				continue
+				return outcome{}
 			}
 			took, ok := p.RunToSafeSet(rng.New(seed+5), safeSetBudget(n, r))
 			if !ok {
+				return outcome{}
+			}
+			return outcome{ok: true, took: float64(took),
+				soft: float64(ev.Count(verify.EventSoftReset)),
+				hard: float64(ev.Count(core.EventHardReset))}
+		})
+		var soft, hard, times stats.Acc
+		fails := 0
+		for _, o := range results {
+			if !o.ok {
 				fails++
 				continue
 			}
-			times.Add(float64(took))
-			soft.Add(float64(ev.Count(verify.EventSoftReset)))
-			hard.Add(float64(ev.Count(core.EventHardReset)))
+			times.Add(o.took)
+			soft.Add(o.soft)
+			hard.Add(o.hard)
 		}
 		if times.N() == 0 {
 			t.Append(fmtF(factor, 2), itoa(int(pmax)), "-", "-", "-", itoa(fails))
@@ -157,26 +152,19 @@ func A3RefreshAblation(cfg Config) *Table {
 	}
 	ranks[1] = 1
 	for _, c := range []int{1, 8, 64, 100000} {
-		var times []float64
-		misses := 0
-		for s := 0; s < 2*cfg.seeds(); s++ {
+		times, misses := seedTimes(cfg, 2*cfg.seeds(), func(s int) (float64, bool) {
 			seed := cfg.BaseSeed + uint64(s)
 			h, err := newHarnessWithRefresh(n, r, ranks, seed, c)
 			if err != nil {
-				misses++
-				continue
+				return 0, false
 			}
 			res := sim.Run(h, rng.New(seed+41), sim.Options{
 				MaxInteractions:    4 * safeSetBudget(n, r),
 				CheckEvery:         uint64(n / 2),
 				StopAfterStableFor: 1,
 			})
-			if !res.Stabilized {
-				misses++
-				continue
-			}
-			times = append(times, float64(res.StabilizedAt))
-		}
+			return float64(res.StabilizedAt), res.Stabilized
+		})
 		if len(times) == 0 {
 			t.Append(itoa(c), "-", "-", itoa(misses))
 			continue
@@ -225,31 +213,23 @@ func A4LoadBalanceAblation(cfg Config) *Table {
 		if disable {
 			name = "ablated (no balancing)"
 		}
-		var times []float64
-		misses := 0
-		for s := 0; s < 2*cfg.seeds(); s++ {
+		times, misses := seedTimes(cfg, 2*cfg.seeds(), func(s int) (float64, bool) {
 			seed := cfg.BaseSeed + uint64(s)
 			h, err := detect.NewHarness(n, n/2, ranks, rng.New(seed))
 			if err != nil {
-				misses++
-				continue
+				return 0, false
 			}
 			h.Params().SetNoBalance(disable)
 			if err := h.ClumpRankMessages(1, 4); err != nil {
-				misses++
-				continue
+				return 0, false
 			}
 			res := sim.Run(h, rng.New(seed+41), sim.Options{
 				MaxInteractions:    8 * safeSetBudget(n, n/2),
 				CheckEvery:         uint64(n / 2),
 				StopAfterStableFor: 1,
 			})
-			if !res.Stabilized {
-				misses++
-				continue
-			}
-			times = append(times, float64(res.StabilizedAt))
-		}
+			return float64(res.StabilizedAt), res.Stabilized
+		})
 		if len(times) == 0 {
 			t.Append(name, itoa(n), "-", "-", itoa(misses))
 			continue

@@ -35,15 +35,21 @@ func T11Baselines(cfg Config) *Table {
 	var cCIW, cEL stats.Acc // fitted constants of c·n² and c·n·ln n
 	for _, n := range ns {
 		// CIW from the all-rank-1 start, measured to output stability.
-		var ciw stats.Acc
-		for s := 0; s < cfg.seeds(); s++ {
+		results := seedTrials(cfg, cfg.seeds(), func(s int) float64 {
 			c := baseline.NewCIW(n)
 			res := sim.Run(c, rng.New(cfg.BaseSeed+uint64(s)), sim.Options{
 				MaxInteractions:    uint64(2000 * n * n),
 				StopAfterStableFor: uint64(20 * n * n),
 			})
-			if res.Stabilized {
-				ciw.Add(float64(res.StabilizedAt))
+			if !res.Stabilized {
+				return -1
+			}
+			return float64(res.StabilizedAt)
+		})
+		var ciw stats.Acc
+		for _, took := range results {
+			if took >= 0 {
+				ciw.Add(took)
 			}
 		}
 		cCIW.Add(ciw.Mean() / float64(n*n))
@@ -126,9 +132,12 @@ func T12SyntheticCoin(cfg Config) *Table {
 
 	// Part b: end-to-end derandomized run.
 	const en, er = 24, 6
-	var prng, synth stats.Acc
-	for s := 0; s < cfg.seeds(); s++ {
+	type modePair struct {
+		prng, synth float64 // -1 when the mode did not stabilize
+	}
+	pairs := seedTrials(cfg, cfg.seeds(), func(s int) modePair {
 		seed := cfg.BaseSeed + uint64(s)
+		out := modePair{prng: -1, synth: -1}
 		for _, mode := range []bool{false, true} {
 			opts := []core.Option{core.WithSeed(seed)}
 			if mode {
@@ -143,10 +152,20 @@ func T12SyntheticCoin(cfg Config) *Table {
 				continue
 			}
 			if mode {
-				synth.Add(float64(took))
+				out.synth = float64(took)
 			} else {
-				prng.Add(float64(took))
+				out.prng = float64(took)
 			}
+		}
+		return out
+	})
+	var prng, synth stats.Acc
+	for _, pair := range pairs {
+		if pair.prng >= 0 {
+			prng.Add(pair.prng)
+		}
+		if pair.synth >= 0 {
+			synth.Add(pair.synth)
 		}
 	}
 	t.Append("ElectLeader(24,6) PRNG mode: mean safe-set time", fmtU(uint64(prng.Mean())))
@@ -175,31 +194,46 @@ func T13LooseLeader(cfg Config) *Table {
 	// heartbeat epidemic needs Θ(log n) of them to arrive, so the
 	// interesting τ scale is Θ(log n) — not Θ(n·log n).
 	ln := math.Log(float64(n))
+	type outcome struct {
+		converged   bool
+		conv        float64
+		held, polls float64
+	}
 	for _, factor := range []float64{0.5, 1, 4, 16} {
 		tau := int32(factor * ln)
-		var conv stats.Acc
-		held := 0.0
-		polls := 0.0
-		converged := 0
-		for s := 0; s < cfg.seeds(); s++ {
+		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
 			l := baseline.NewLooseLE(n, tau)
 			r := rng.New(cfg.BaseSeed + uint64(s))
 			res := sim.Run(l, r, sim.Options{
 				MaxInteractions:    uint64(200 * float64(n) * ln),
 				StopAfterStableFor: uint64(4 * n),
 			})
+			out := outcome{}
 			if res.Stabilized {
-				converged++
-				conv.Add(float64(res.StabilizedAt))
+				out.converged = true
+				out.conv = float64(res.StabilizedAt)
 			}
 			// Measure the holding fraction over a follow-up window.
 			for i := 0; i < 200; i++ {
 				sim.Steps(l, r, uint64(n))
-				polls++
+				out.polls++
 				if l.Correct() {
-					held++
+					out.held++
 				}
 			}
+			return out
+		})
+		var conv stats.Acc
+		held := 0.0
+		polls := 0.0
+		converged := 0
+		for _, o := range results {
+			if o.converged {
+				converged++
+				conv.Add(o.conv)
+			}
+			held += o.held
+			polls += o.polls
 		}
 		convStr := "-"
 		if conv.N() > 0 {

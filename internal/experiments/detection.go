@@ -32,9 +32,7 @@ func T7DetectionLatency(cfg Config) *Table {
 			if r > n/2 {
 				continue
 			}
-			var times []float64
-			misses := 0
-			for s := 0; s < 2*cfg.seeds(); s++ {
+			times, misses := seedTimes(cfg, 2*cfg.seeds(), func(s int) (float64, bool) {
 				seed := cfg.BaseSeed + uint64(s)
 				ranks := make([]int32, n)
 				for i := range ranks {
@@ -43,20 +41,15 @@ func T7DetectionLatency(cfg Config) *Table {
 				ranks[1] = 1 // duplicate inside the first group
 				h, err := detect.NewHarness(n, r, ranks, rng.New(seed))
 				if err != nil {
-					misses++
-					continue
+					return 0, false
 				}
 				res := sim.Run(h, rng.New(seed+41), sim.Options{
 					MaxInteractions:    safeSetBudget(n, r),
 					CheckEvery:         uint64(n / 2),
 					StopAfterStableFor: 1,
 				})
-				if !res.Stabilized {
-					misses++
-					continue
-				}
-				times = append(times, float64(res.StabilizedAt))
-			}
+				return float64(res.StabilizedAt), res.Stabilized
+			})
 			if len(times) == 0 {
 				t.Append(itoa(n), itoa(r), "-", "-", "-", itoa(misses))
 				continue
@@ -88,28 +81,46 @@ func T8Soundness(cfg Config) *Table {
 		cases = append(cases, []struct{ n, r int }{{32, 16}, {64, 8}}...)
 	}
 	perSeed := uint64(60_000)
+	type outcome struct {
+		ran                        bool
+		tops                       int
+		conservation, restriction  string
+	}
 	for _, c := range cases {
-		var total uint64
-		falseTops := 0
-		conservation, restriction := "ok", "ok"
-		for s := 0; s < cfg.seeds(); s++ {
+		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
 			seed := cfg.BaseSeed + uint64(s)
 			h, err := detect.NewHarness(c.n, c.r, nil, rng.New(seed))
 			if err != nil {
-				continue
+				return outcome{}
 			}
 			r := rng.New(seed + 51)
 			for i := uint64(0); i < perSeed; i++ {
 				a, b := r.Pair(c.n)
 				h.Interact(a, b)
 			}
-			total += perSeed
-			falseTops += h.TopCount()
+			out := outcome{ran: true, tops: h.TopCount()}
 			if err := h.CheckMessageConservation(); err != nil {
-				conservation = err.Error()
+				out.conservation = err.Error()
 			}
 			if err := h.CheckRestriction(); err != nil {
-				restriction = err.Error()
+				out.restriction = err.Error()
+			}
+			return out
+		})
+		var total uint64
+		falseTops := 0
+		conservation, restriction := "ok", "ok"
+		for _, o := range results {
+			if !o.ran {
+				continue
+			}
+			total += perSeed
+			falseTops += o.tops
+			if o.conservation != "" {
+				conservation = o.conservation
+			}
+			if o.restriction != "" {
+				restriction = o.restriction
 			}
 		}
 		t.Append(itoa(c.n), itoa(c.r), fmtU(total), itoa(falseTops), conservation, restriction)

@@ -12,6 +12,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"sspp/internal/rng"
+	"sspp/internal/trials"
 )
 
 // Config controls experiment sizes and replication.
@@ -23,6 +26,10 @@ type Config struct {
 	Seeds int
 	// BaseSeed offsets all seeds for reproducibility studies.
 	BaseSeed uint64
+	// Workers is the trial-engine worker count: 0 (the default) means
+	// GOMAXPROCS, 1 forces sequential execution. Tables are byte-identical
+	// for every value (internal/trials).
+	Workers int
 }
 
 // seeds returns the effective number of seeds.
@@ -34,6 +41,40 @@ func (c Config) seeds() int {
 		return 3
 	}
 	return 5
+}
+
+// workers returns the effective trial-engine worker count.
+func (c Config) workers() int { return trials.DefaultWorkers(c.Workers) }
+
+// seedTrials fans count independent per-seed trials of one configuration
+// point across the trial engine and returns the results in seed order. fn
+// must derive all randomness deterministically from its seed index (plus
+// cfg.BaseSeed), so tables do not depend on the worker count.
+func seedTrials[T any](cfg Config, count int, fn func(s int) T) []T {
+	return trials.Run(cfg.workers(), count, cfg.BaseSeed, func(s int, _ *rng.PRNG) T {
+		return fn(s)
+	})
+}
+
+// seedTimes is seedTrials for the common single-measurement shape: each
+// trial yields one value or fails. It returns the successful measurements in
+// seed order and the number of failed trials.
+func seedTimes(cfg Config, count int, fn func(s int) (float64, bool)) (times []float64, misses int) {
+	type outcome struct {
+		took float64
+		ok   bool
+	}
+	for _, o := range seedTrials(cfg, count, func(s int) outcome {
+		took, ok := fn(s)
+		return outcome{took: took, ok: ok}
+	}) {
+		if o.ok {
+			times = append(times, o.took)
+		} else {
+			misses++
+		}
+	}
+	return times, misses
 }
 
 // Table is a rendered experiment result.

@@ -13,6 +13,55 @@ import (
 	"sspp/internal/verify"
 )
 
+// preservationOutcome is the result of one ranking-preservation trial (T9
+// and the A1 ablation): did the run finish, and did the pre-existing
+// ranking survive recovery?
+type preservationOutcome struct {
+	ran, finished, preserved bool
+	took, soft               float64
+	hard                     uint64
+}
+
+// preservationTrial builds ElectLeader_r (with optional constant overrides),
+// applies the adversary class, snapshots the rank outputs, runs to the safe
+// set, and reports whether the ranking was preserved. The seed offsets (+3
+// adversary, +5 scheduler) are shared by T9 and A1.
+func preservationTrial(n, r int, consts *core.Constants, seed uint64, class adversary.Class) preservationOutcome {
+	ev := sim.NewEvents()
+	opts := []core.Option{core.WithSeed(seed), core.WithEvents(ev)}
+	if consts != nil {
+		opts = append(opts, core.WithConstants(*consts))
+	}
+	p, err := core.New(n, r, opts...)
+	if err != nil {
+		return preservationOutcome{}
+	}
+	if err := adversary.Apply(p, class, rng.New(seed+3)); err != nil {
+		return preservationOutcome{} // class unrealizable at this (n, r); skip run
+	}
+	before := make([]int32, n)
+	for i := 0; i < n; i++ {
+		before[i] = p.RankOutput(i)
+	}
+	out := preservationOutcome{ran: true}
+	took, ok := p.RunToSafeSet(rng.New(seed+5), safeSetBudget(n, r))
+	if !ok {
+		return out
+	}
+	out.finished = true
+	out.took = float64(took)
+	out.hard = ev.Count(core.EventHardReset)
+	out.soft = float64(ev.Count(verify.EventSoftReset))
+	out.preserved = true
+	for i := 0; i < n; i++ {
+		if p.RankOutput(i) != before[i] {
+			out.preserved = false
+			break
+		}
+	}
+	return out
+}
+
 // T9SoftReset validates §3.2: with a correct ranking and corrupted (or
 // duplicated) circulating messages, recovery happens through soft resets
 // only — zero hard resets, ranking bit-identical afterwards.
@@ -29,39 +78,24 @@ func T9SoftReset(cfg Config) *Table {
 	}
 	for _, class := range []adversary.Class{adversary.ClassCorruptMessages, adversary.ClassDuplicateMessages} {
 		for _, c := range cases {
+			results := seedTrials(cfg, cfg.seeds(), func(s int) preservationOutcome {
+				return preservationTrial(c.n, c.r, nil, cfg.BaseSeed+uint64(s), class)
+			})
 			runs, hard := 0, uint64(0)
 			preserved := 0
 			var soft, times stats.Acc
-			for s := 0; s < cfg.seeds(); s++ {
-				seed := cfg.BaseSeed + uint64(s)
-				ev := sim.NewEvents()
-				p, err := core.New(c.n, c.r, core.WithSeed(seed), core.WithEvents(ev))
-				if err != nil {
+			for _, o := range results {
+				if !o.ran {
 					continue
-				}
-				if err := adversary.Apply(p, class, rng.New(seed+3)); err != nil {
-					continue // class unrealizable at this (n, r); skip run
-				}
-				before := make([]int32, c.n)
-				for i := 0; i < c.n; i++ {
-					before[i] = p.RankOutput(i)
 				}
 				runs++
-				took, ok := p.RunToSafeSet(rng.New(seed+5), safeSetBudget(c.n, c.r))
-				if !ok {
+				if !o.finished {
 					continue
 				}
-				times.Add(float64(took))
-				hard += ev.Count(core.EventHardReset)
-				soft.Add(float64(ev.Count(verify.EventSoftReset)))
-				same := true
-				for i := 0; i < c.n; i++ {
-					if p.RankOutput(i) != before[i] {
-						same = false
-						break
-					}
-				}
-				if same {
+				times.Add(o.took)
+				hard += o.hard
+				soft.Add(o.soft)
+				if o.preserved {
 					preserved++
 				}
 			}
@@ -89,28 +123,36 @@ func T10Recovery(cfg Config) *Table {
 			"(n=32, r=8)",
 		Header: []string{"class", "description", "mean safe-set time", "±95%", "hard resets (mean)", "fails"},
 	}
+	type outcome struct {
+		ok         bool
+		took, hard float64
+	}
 	for _, class := range adversary.Classes() {
-		var times, hard stats.Acc
-		fails := 0
-		for s := 0; s < cfg.seeds(); s++ {
+		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
 			seed := cfg.BaseSeed + uint64(s)*17
 			ev := sim.NewEvents()
 			p, err := core.New(n, r, core.WithSeed(seed), core.WithEvents(ev))
 			if err != nil {
-				fails++
-				continue
+				return outcome{}
 			}
 			if err := adversary.Apply(p, class, rng.New(seed+1)); err != nil {
-				fails++
-				continue
+				return outcome{}
 			}
 			took, ok := p.RunToSafeSet(rng.New(seed+2), safeSetBudget(n, r))
 			if !ok {
+				return outcome{}
+			}
+			return outcome{ok: true, took: float64(took), hard: float64(ev.Count(core.EventHardReset))}
+		})
+		var times, hard stats.Acc
+		fails := 0
+		for _, o := range results {
+			if !o.ok {
 				fails++
 				continue
 			}
-			times.Add(float64(took))
-			hard.Add(float64(ev.Count(core.EventHardReset)))
+			times.Add(o.took)
+			hard.Add(o.hard)
 		}
 		if times.N() == 0 {
 			t.Append(string(class), adversary.Describe(class), "-", "-", "-", itoa(fails))

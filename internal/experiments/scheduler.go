@@ -30,28 +30,27 @@ func T16SchedulerRobustness(cfg Config) *Table {
 	}
 	var uniform float64
 	for _, s := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		var times stats.Acc
-		recovered := 0
-		for seed := 0; seed < cfg.seeds(); seed++ {
+		measured, _ := seedTimes(cfg, cfg.seeds(), func(seed int) (float64, bool) {
 			sd := cfg.BaseSeed + uint64(seed)*13
 			p, err := core.New(n, r, core.WithSeed(sd))
 			if err != nil {
-				continue
+				return 0, false
 			}
 			if err := adversary.Apply(p, adversary.ClassTriggered, rng.New(sd+1)); err != nil {
-				continue
+				return 0, false
 			}
 			var sched sim.Scheduler = rng.New(sd + 2)
 			if s > 0 {
 				sched = sim.NewZipf(rng.New(sd+2), n, s)
 			}
 			took, ok := p.RunToSafeSetSched(sched, 8*safeSetBudget(n, r))
-			if !ok {
-				continue
-			}
-			recovered++
-			times.Add(float64(took))
+			return float64(took), ok
+		})
+		var times stats.Acc
+		for _, took := range measured {
+			times.Add(took)
 		}
+		recovered := len(measured)
 		if times.N() == 0 {
 			t.Append(fmtF(s, 2), "0/"+itoa(cfg.seeds()), "-", "-", "-")
 			continue

@@ -11,6 +11,7 @@ import (
 	"sspp/internal/core"
 	"sspp/internal/rng"
 	"sspp/internal/stats"
+	"sspp/internal/trials"
 )
 
 // safeSetBudget is the interaction budget used when measuring safe-set
@@ -19,27 +20,36 @@ func safeSetBudget(n, r int) uint64 {
 	return uint64(1000 * float64(n*n) / float64(r) * math.Log(float64(n)+1))
 }
 
-// measureSafeSet runs ElectLeader_r from the given adversary class and
-// returns per-seed safe-set arrival times in interactions; unfinished runs
-// are dropped (and counted by the caller via the failures return).
+// measureSafeSet runs ElectLeader_r from the given adversary class across
+// the trial engine and returns per-seed safe-set arrival times in
+// interactions; unfinished runs are dropped (and counted by the caller via
+// the failures return). Each seed's randomness comes from its own
+// deterministically forked stream, so the result is independent of the
+// worker count.
 func measureSafeSet(cfg Config, n, r int, class adversary.Class) (times []float64, failures int) {
-	for s := 0; s < cfg.seeds(); s++ {
-		seed := cfg.BaseSeed + uint64(s)
-		p, err := core.New(n, r, core.WithSeed(seed))
+	type outcome struct {
+		took float64
+		ok   bool
+	}
+	results := trials.Run(cfg.workers(), cfg.seeds(), cfg.BaseSeed, func(s int, src *rng.PRNG) outcome {
+		protoSeed := src.Uint64()
+		advSrc, schedSrc := src.Fork(), src.Fork()
+		p, err := core.New(n, r, core.WithSeed(protoSeed))
 		if err != nil {
-			failures++
-			continue
+			return outcome{}
 		}
-		if err := adversary.Apply(p, class, rng.New(seed+7)); err != nil {
-			failures++
-			continue
+		if err := adversary.Apply(p, class, advSrc); err != nil {
+			return outcome{}
 		}
-		took, ok := p.RunToSafeSet(rng.New(seed+13), safeSetBudget(n, r))
-		if !ok {
+		took, ok := p.RunToSafeSet(schedSrc, safeSetBudget(n, r))
+		return outcome{took: float64(took), ok: ok}
+	})
+	for _, res := range results {
+		if res.ok {
+			times = append(times, res.took)
+		} else {
 			failures++
-			continue
 		}
-		times = append(times, float64(took))
 	}
 	return times, failures
 }

@@ -27,19 +27,21 @@ func T14TransientFaults(cfg Config) *Table {
 			"O((n²/r)·log n) envelope (n=32, r=8)",
 		Header: []string{"k victims", "recovered", "mean re-stabilization", "±95%", "hard resets (mean)"},
 	}
+	type outcome struct {
+		ok         bool
+		took, hard float64
+	}
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
-		var times, hard stats.Acc
-		recovered := 0
-		for s := 0; s < cfg.seeds(); s++ {
+		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
 			seed := cfg.BaseSeed + uint64(s)*31
 			ev := sim.NewEvents()
 			p, err := core.New(n, r, core.WithSeed(seed), core.WithEvents(ev))
 			if err != nil {
-				continue
+				return outcome{}
 			}
 			// Stabilize first.
 			if _, ok := p.RunToSafeSet(rng.New(seed+1), safeSetBudget(n, r)); !ok {
-				continue
+				return outcome{}
 			}
 			hardBefore := ev.Count(core.EventHardReset)
 			// Strike.
@@ -47,11 +49,20 @@ func T14TransientFaults(cfg Config) *Table {
 			// Recover.
 			took, ok := p.RunToSafeSet(rng.New(seed+3), safeSetBudget(n, r))
 			if !ok {
+				return outcome{}
+			}
+			return outcome{ok: true, took: float64(took),
+				hard: float64(ev.Count(core.EventHardReset) - hardBefore)}
+		})
+		var times, hard stats.Acc
+		recovered := 0
+		for _, o := range results {
+			if !o.ok {
 				continue
 			}
 			recovered++
-			times.Add(float64(took))
-			hard.Add(float64(ev.Count(core.EventHardReset) - hardBefore))
+			times.Add(o.took)
+			hard.Add(o.hard)
 		}
 		if times.N() == 0 {
 			t.Append(itoa(k), "0/"+itoa(cfg.seeds()), "-", "-", "-")

@@ -180,11 +180,28 @@ type State struct {
 // (Protocol 6): the agent is in leader election with an empty channel and
 // rank belief 1.
 func InitState(p Params) *State {
-	return &State{
-		Phase:   PhaseLeaderElection,
-		Channel: make([]int32, p.R),
-		Rank:    1,
+	return ReinitInto(p, nil)
+}
+
+// ReinitInto resets s to the clean initial state q0,AR, reusing its channel
+// buffer when correctly sized; a nil s allocates fresh (InitState).
+// Reset-heavy runs recycle ranker states through this to cut GC pressure.
+func ReinitInto(p Params, s *State) *State {
+	if s == nil {
+		return &State{
+			Phase:   PhaseLeaderElection,
+			Channel: make([]int32, p.R),
+			Rank:    1,
+		}
 	}
+	ch := s.Channel
+	if int32(len(ch)) == p.R {
+		clear(ch)
+	} else {
+		ch = make([]int32, p.R)
+	}
+	*s = State{Phase: PhaseLeaderElection, Channel: ch, Rank: 1}
+	return s
 }
 
 // Ranked reports whether the agent has committed to its final rank.

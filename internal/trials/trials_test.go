@@ -1,0 +1,99 @@
+package trials
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"sspp/internal/rng"
+)
+
+// TestRunOrderAndStreams checks that results come back in trial order and
+// that each trial's PRNG stream is the i-th sequential fork of the root —
+// independent of the worker count.
+func TestRunOrderAndStreams(t *testing.T) {
+	const n = 64
+	const baseSeed = 42
+	want := make([]uint64, n)
+	root := rng.New(baseSeed)
+	for i := 0; i < n; i++ {
+		want[i] = root.Fork().Uint64()
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got := Run(workers, n, baseSeed, func(i int, src *rng.PRNG) uint64 {
+			return src.Uint64()
+		})
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trial %d drew %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunWorkerIndependence runs trials with deliberately skewed durations
+// so completion order differs from trial order, and checks the aggregation
+// is unaffected.
+func TestRunWorkerIndependence(t *testing.T) {
+	const n = 16
+	fn := func(i int, src *rng.PRNG) int {
+		if i%4 == 0 { // stagger completions
+			time.Sleep(time.Millisecond)
+		}
+		return i * i
+	}
+	seq := Run(1, n, 7, fn)
+	par := Run(8, n, 7, fn)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d: sequential %d != parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestMap checks the item-indexed wrapper.
+func TestMap(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	got := Map(0, items, 1, func(item int, _ *rng.PRNG) int { return item * 2 })
+	for i, item := range items {
+		if got[i] != 2*item {
+			t.Fatalf("item %d: got %d, want %d", i, got[i], 2*item)
+		}
+	}
+}
+
+// TestRunEmpty checks the degenerate sizes.
+func TestRunEmpty(t *testing.T) {
+	if got := Run(4, 0, 1, func(int, *rng.PRNG) int { return 1 }); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+	got := Run(8, 1, 1, func(int, *rng.PRNG) int { return 1 })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("n=1: got %v", got)
+	}
+}
+
+// TestForkStreamsDeterministic checks that ForkStreams is a pure function of
+// the root state.
+func TestForkStreamsDeterministic(t *testing.T) {
+	a := ForkStreams(rng.New(5), 8)
+	b := ForkStreams(rng.New(5), 8)
+	for i := range a {
+		if a[i].Uint64() != b[i].Uint64() {
+			t.Fatalf("stream %d diverged", i)
+		}
+	}
+}
+
+// TestDefaultWorkers checks the worker-count resolution.
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := DefaultWorkers(3); got != 3 {
+		t.Fatalf("DefaultWorkers(3) = %d", got)
+	}
+}

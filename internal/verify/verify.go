@@ -89,20 +89,29 @@ type State struct {
 // full probation timer (a freshly started verifier is on probation, so early
 // errors cause a safe full reset, §3.2), and a clean q0,DC.
 func InitState(p Params, rank int32) *State {
-	return &State{
-		Generation: 0,
-		Probation:  p.PMax,
-		DC:         detect.InitState(p.Detect, rank),
+	return ReinitInto(p, rank, nil)
+}
+
+// ReinitInto resets s to q0,SV for rank, reusing the embedded detection
+// buffers; a nil s allocates fresh (InitState). Role-transition hot paths use
+// this to recycle the O(g²) detection state instead of re-allocating it.
+func ReinitInto(p Params, rank int32, s *State) *State {
+	if s == nil {
+		s = &State{}
 	}
+	s.Generation = 0
+	s.Probation = p.PMax
+	s.DC = detect.ReinitInto(p.Detect, rank, s.DC)
+	return s
 }
 
 // softReset re-initializes only the collision-detection layer: the agent
 // joins generation gen, re-arms its probation timer, and rebuilds q0,DC from
-// its (unchanged) rank.
+// its (unchanged) rank, reusing the detection buffers in place.
 func (s *State) softReset(p Params, rank int32, gen uint8) {
 	s.Generation = gen % Generations
 	s.Probation = p.PMax
-	s.DC = detect.InitState(p.Detect, rank)
+	s.DC = detect.ReinitInto(p.Detect, rank, s.DC)
 }
 
 // Event names recorded by Interact.

@@ -190,20 +190,11 @@ func (s *System) RunToStableOutput(schedulerSeed uint64, max, confirm uint64) Re
 }
 
 // Leader returns the index of the unique leader, or ok = false when the
-// configuration does not currently have exactly one leader.
-func (s *System) Leader() (int, bool) {
-	if s.proto.Leaders() != 1 {
-		return 0, false
-	}
-	for i := 0; i < s.N(); i++ {
-		if s.proto.IsLeader(i) {
-			return i, true
-		}
-	}
-	return 0, false
-}
+// configuration does not currently have exactly one leader. O(1): the core
+// tracks the leader incrementally, so no scan is performed.
+func (s *System) Leader() (int, bool) { return s.proto.LeaderIndex() }
 
-// Leaders returns the number of agents currently outputting "leader".
+// Leaders returns the number of agents currently outputting "leader". O(1).
 func (s *System) Leaders() int { return s.proto.Leaders() }
 
 // Ranks returns every agent's current rank output.
