@@ -1,0 +1,90 @@
+package sspp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEveryAdversaryClassInjectsAndRecovers is the full catalogue × sizes
+// table: every AdversaryClasses() entry must inject without error and the
+// system must recover to the safe set of Lemma 6.1 for small (n, r) in all
+// three r-regimes (constant, log-ish, linear). Message-layer classes must
+// additionally keep the ranking intact (the §3.2 soft-reset guarantee,
+// via RankingPreserved).
+func TestEveryAdversaryClassInjectsAndRecovers(t *testing.T) {
+	sizes := []struct{ n, r int }{
+		{12, 3},
+		{16, 4},
+		{16, 8},
+	}
+	classes := AdversaryClasses()
+	if len(classes) != 12 {
+		t.Fatalf("classes = %d, want 12", len(classes))
+	}
+	for _, size := range sizes {
+		for i, class := range classes {
+			size, class, seed := size, class, uint64(i+1)
+			t.Run(fmt.Sprintf("n=%d/r=%d/%s", size.n, size.r, class), func(t *testing.T) {
+				t.Parallel()
+				sys, err := New(Config{N: size.n, R: size.r, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Inject(class, seed+100); err != nil {
+					t.Fatalf("inject: %v", err)
+				}
+				var before []int
+				if RankingPreserved(class) {
+					before = sys.Ranks()
+				}
+				res := sys.Run(Until(SafeSet), SchedulerSeed(seed+200))
+				if !res.Stabilized {
+					t.Fatalf("no recovery within %d interactions (events %s)",
+						res.Interactions, sys.Events())
+				}
+				if sys.Leaders() != 1 {
+					t.Fatalf("leaders = %d in safe set", sys.Leaders())
+				}
+				if !sys.CorrectRanking() {
+					t.Fatal("ranking not a permutation in safe set")
+				}
+				if before != nil {
+					if sys.HardResets() != 0 {
+						t.Fatalf("message fault caused %d hard resets", sys.HardResets())
+					}
+					for j, r := range sys.Ranks() {
+						if before[j] != r {
+							t.Fatalf("rank of agent %d changed %d -> %d", j, before[j], r)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDescribeEveryClass: the catalogue is fully documented.
+func TestDescribeEveryClass(t *testing.T) {
+	for _, c := range AdversaryClasses() {
+		if DescribeAdversary(c) == "unknown class" || DescribeAdversary(c) == "" {
+			t.Errorf("class %q undescribed", c)
+		}
+	}
+	if DescribeAdversary("bogus") != "unknown class" {
+		t.Error("unknown class described")
+	}
+}
+
+// TestRankingPreservedCatalogue: exactly the message-layer classes promise
+// ranking preservation.
+func TestRankingPreservedCatalogue(t *testing.T) {
+	want := map[Adversary]bool{
+		AdversaryCorruptMessages:   true,
+		AdversaryDuplicateMessages: true,
+	}
+	for _, c := range AdversaryClasses() {
+		if RankingPreserved(c) != want[c] {
+			t.Errorf("RankingPreserved(%q) = %v", c, RankingPreserved(c))
+		}
+	}
+}

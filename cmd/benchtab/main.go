@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sspp/internal/experiments"
+	"sspp/internal/trials"
 )
 
 // jsonTable is the archival form of one experiment table (BENCH_*.json).
@@ -34,14 +35,26 @@ type jsonTable struct {
 	ElapsedMS int64      `json:"elapsed_ms"`
 }
 
+// schemaVersion identifies the jsonReport layout, so archived BENCH_*.json
+// trajectories stay comparable across PRs. Bump on any breaking change to
+// jsonReport or jsonTable.
+const schemaVersion = 2
+
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Quick     bool        `json:"quick"`
-	Seeds     int         `json:"seeds,omitempty"`
-	BaseSeed  uint64      `json:"base_seed"`
-	Workers   int         `json:"workers"`
-	GoMaxProc int         `json:"gomaxprocs"`
-	Tables    []jsonTable `json:"tables"`
+	SchemaVersion int    `json:"schema_version"`
+	Quick         bool   `json:"quick"`
+	Seeds         int    `json:"seeds,omitempty"`
+	BaseSeed      uint64 `json:"base_seed"`
+	// Workers is the requested worker setting (0 = GOMAXPROCS) and
+	// WorkersResolved the resolved pool size (individual tables may use
+	// fewer when they have fewer trials). Tables are byte-identical for
+	// every value (internal/trials), so the stamp is provenance, not a
+	// reproducibility input.
+	Workers         int         `json:"workers"`
+	WorkersResolved int         `json:"workers_resolved"`
+	GoMaxProc       int         `json:"gomaxprocs"`
+	Tables          []jsonTable `json:"tables"`
 }
 
 func main() {
@@ -80,11 +93,13 @@ func run() error {
 		ids = []string{*exp}
 	}
 	report := jsonReport{
-		Quick:     *quick,
-		Seeds:     *seeds,
-		BaseSeed:  *baseSeed,
-		Workers:   *workers,
-		GoMaxProc: runtime.GOMAXPROCS(0),
+		SchemaVersion:   schemaVersion,
+		Quick:           *quick,
+		Seeds:           *seeds,
+		BaseSeed:        *baseSeed,
+		Workers:         *workers,
+		WorkersResolved: trials.DefaultWorkers(*workers),
+		GoMaxProc:       runtime.GOMAXPROCS(0),
 	}
 	for _, id := range ids {
 		start := time.Now()

@@ -28,7 +28,7 @@ import (
 )
 
 // traceRun executes the run while printing a phase timeline. The cadence
-// defaults to 1/40 of the default budget so a typical run fits on a screen.
+// defaults to 1/400 of the default budget so a typical run fits on a screen.
 func traceRun(sys *sspp.System, sched, maxI, cadence uint64) sspp.Result {
 	if cadence == 0 {
 		budget := maxI
@@ -42,33 +42,39 @@ func traceRun(sys *sspp.System, sched, maxI, cadence uint64) sspp.Result {
 	}
 	tl := trace.New(sys.N())
 	var last sspp.Snapshot
-	res := sys.Trace(sched, maxI, cadence, func(s sspp.Snapshot) {
-		marks := ""
-		if s.HardResets > last.HardResets {
-			marks += "H"
-		}
-		if s.SoftResets > last.SoftResets {
-			marks += "S"
-		}
-		if s.Tops > last.Tops {
-			marks += "T"
-		}
-		// Only record rows at composition changes or marks, so long quiet
-		// phases collapse.
-		if marks != "" || s.Resetting != last.Resetting || s.Ranking != last.Ranking ||
-			s.Verifying != last.Verifying || s.Leaders != last.Leaders || s.InSafeSet {
-			tl.Add(trace.Row{
-				T:         s.Interactions,
-				Resetting: s.Resetting,
-				Ranking:   s.Ranking,
-				Verifying: s.Verifying,
-				Leaders:   s.Leaders,
-				Marks:     marks,
-				Safe:      s.InSafeSet,
-			})
-		}
-		last = s
-	})
+	res := sys.Run(
+		sspp.Until(sspp.SafeSet),
+		sspp.SchedulerSeed(sched),
+		sspp.MaxInteractions(maxI),
+		sspp.PollEvery(cadence),
+		sspp.Observe(cadence, func(s sspp.Snapshot) {
+			marks := ""
+			if s.HardResets > last.HardResets {
+				marks += "H"
+			}
+			if s.SoftResets > last.SoftResets {
+				marks += "S"
+			}
+			if s.Tops > last.Tops {
+				marks += "T"
+			}
+			// Only record rows at composition changes or marks, so long quiet
+			// phases collapse.
+			if marks != "" || s.Resetting != last.Resetting || s.Ranking != last.Ranking ||
+				s.Verifying != last.Verifying || s.Leaders != last.Leaders || s.InSafeSet {
+				tl.Add(trace.Row{
+					T:         s.Interactions,
+					Resetting: s.Resetting,
+					Ranking:   s.Ranking,
+					Verifying: s.Verifying,
+					Leaders:   s.Leaders,
+					Marks:     marks,
+					Safe:      s.InSafeSet,
+				})
+			}
+			last = s
+		}),
+	)
 	tl.Render(os.Stdout, 48)
 	fmt.Println(tl.Summary())
 	return res
@@ -125,7 +131,11 @@ func run() error {
 	if *doTrace {
 		res = traceRun(sys, *sched, *maxI, *cadence)
 	} else {
-		res = sys.RunToSafeSet(*sched, *maxI)
+		res = sys.Run(
+			sspp.Until(sspp.SafeSet),
+			sspp.SchedulerSeed(*sched),
+			sspp.MaxInteractions(*maxI),
+		)
 	}
 	if !res.Stabilized {
 		fmt.Printf("NOT stabilized within %d interactions (leaders=%d)\n",

@@ -1,0 +1,287 @@
+// ensemble.go implements the first-class parallel experiment layer: an
+// Ensemble declares a grid of (n, r) parameter points × adversary classes ×
+// seed counts and runs every trial across GOMAXPROCS workers through the
+// deterministic trial engine (internal/trials). Aggregation is byte-exact
+// for every worker count: trial randomness is pre-derived per (cell, seed)
+// and results land in declaration order, so the summary statistics — and
+// their JSON export — are a pure function of the Grid.
+//
+// The per-seed randomness derivation matches the historical
+// internal/experiments harness (stream s is the s-th sequential Fork of
+// rng.New(BaseSeed); each trial draws protoSeed, then forks adversary and
+// scheduler streams), so Ensemble cells reproduce the experiment tables'
+// numbers byte-identically.
+
+package sspp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/stats"
+	"sspp/internal/trials"
+)
+
+// EnsembleSchemaVersion identifies the EnsembleResult JSON layout.
+const EnsembleSchemaVersion = 1
+
+// Point is one (n, r) parameter point of an Ensemble grid.
+type Point struct {
+	N int `json:"n"`
+	R int `json:"r"`
+}
+
+// Grid declares a family of runs: the cross product of parameter Points ×
+// Adversaries × Seeds independent seeds per cell. Every run starts from the
+// adversarial configuration, runs to the safe set of Lemma 6.1 under the
+// uniform scheduler, and reports its arrival time.
+type Grid struct {
+	// Points are the (n, r) parameter points (at least one).
+	Points []Point
+	// Adversaries are the starting-configuration classes; empty means a
+	// single clean (un-corrupted) start per point.
+	Adversaries []Adversary
+	// Seeds is the number of independent runs per cell (default 5).
+	Seeds int
+	// BaseSeed offsets all trial randomness for reproducibility studies.
+	BaseSeed uint64
+	// MaxInteractions is the per-run budget (0: each point's DefaultBudget,
+	// the generous Theorem 1.1 multiple).
+	MaxInteractions uint64
+	// SyntheticCoins runs every trial fully derandomized (Appendix B).
+	SyntheticCoins bool
+}
+
+// Ensemble executes a Grid across a worker pool. Build with NewEnsemble.
+type Ensemble struct {
+	grid    Grid
+	workers int
+}
+
+// EnsembleOption configures NewEnsemble.
+type EnsembleOption func(*Ensemble)
+
+// Workers sets the trial-engine worker count (< 1, the default, means
+// GOMAXPROCS). Results are byte-identical for every value.
+func Workers(k int) EnsembleOption {
+	return func(e *Ensemble) { e.workers = k }
+}
+
+// NewEnsemble validates the grid and returns an Ensemble ready to Run.
+func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
+	if len(g.Points) == 0 {
+		return nil, fmt.Errorf("sspp: ensemble grid has no points")
+	}
+	for _, pt := range g.Points {
+		if err := core.ValidateParams(pt.N, pt.R); err != nil {
+			return nil, fmt.Errorf("sspp: ensemble point (n=%d, r=%d): %w", pt.N, pt.R, err)
+		}
+	}
+	known := make(map[Adversary]bool)
+	for _, c := range AdversaryClasses() {
+		known[c] = true
+	}
+	for _, a := range g.Adversaries {
+		if !known[a] {
+			return nil, fmt.Errorf("sspp: ensemble grid names unknown adversary class %q", a)
+		}
+	}
+	if g.Seeds < 0 {
+		return nil, fmt.Errorf("sspp: ensemble grid has negative seed count %d", g.Seeds)
+	}
+	if g.Seeds == 0 {
+		g.Seeds = 5
+	}
+	e := &Ensemble{grid: g}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Distribution summarizes the per-seed samples of one cell measurement
+// (mean/median/quantiles via internal/stats). N is the sample count; the
+// zero Distribution means no successful samples.
+type Distribution struct {
+	N      int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P10    float64 `json:"p10"`
+	P90    float64 `json:"p90"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CI95   float64 `json:"ci95"`
+}
+
+// summarize converts a sample slice into a Distribution.
+func summarize(xs []float64) Distribution {
+	if len(xs) == 0 {
+		return Distribution{}
+	}
+	s := stats.Summarize(xs)
+	return Distribution{
+		N: s.N, Mean: s.Mean, Median: s.Median, P10: s.P10, P90: s.P90,
+		Min: s.Min, Max: s.Max, CI95: s.CI95,
+	}
+}
+
+// Cell is the aggregated outcome of one grid cell (a Point × Adversary
+// pair): safe-set arrival statistics over the cell's seeds.
+type Cell struct {
+	// Point is the (n, r) parameter point.
+	Point Point `json:"point"`
+	// Adversary is the starting-configuration class ("" for a clean start).
+	Adversary Adversary `json:"adversary,omitempty"`
+	// Seeds is the number of trials run for the cell.
+	Seeds int `json:"seeds"`
+	// Recovered counts trials that reached the safe set within budget.
+	Recovered int `json:"recovered"`
+	// Failures counts trials that did not (including unrealizable
+	// injections at this point).
+	Failures int `json:"failures"`
+	// Interactions summarizes safe-set arrival times over recovered trials,
+	// in interactions.
+	Interactions Distribution `json:"interactions"`
+	// ParallelTime is Interactions scaled by 1/n (the paper's time unit).
+	ParallelTime Distribution `json:"parallel_time"`
+	// HardResets summarizes full resets per recovered trial.
+	HardResets Distribution `json:"hard_resets"`
+	// Samples holds the raw safe-set arrival times (interactions) of the
+	// recovered trials, in seed order.
+	Samples []float64 `json:"samples"`
+}
+
+// EnsembleResult is the aggregated outcome of an Ensemble run. Its JSON
+// encoding is byte-identical for every worker count.
+type EnsembleResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	Seeds         int    `json:"seeds"`
+	BaseSeed      uint64 `json:"base_seed"`
+	Cells         []Cell `json:"cells"`
+}
+
+// Cell returns the cell for the given point and adversary class.
+func (r *EnsembleResult) Cell(p Point, a Adversary) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Point == p && c.Adversary == a {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// JSON renders the result as indented JSON.
+func (r *EnsembleResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteJSON writes the indented JSON rendering to w.
+func (r *EnsembleResult) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// trialOutcome is the raw result of one (cell, seed) trial.
+type trialOutcome struct {
+	ok   bool
+	took uint64
+	hard uint64
+}
+
+// seedStreams holds the pre-derived randomness of one seed index: the
+// protocol seed plus the initial states of the adversary and scheduler
+// streams. Every cell uses the same per-seed derivation — stream s is the
+// s-th sequential Fork of rng.New(BaseSeed), then protoSeed is drawn and
+// the two sub-streams forked, exactly as the historical experiment harness
+// did — so cell results are independent of the grid layout and the worker
+// count. Trials copy the PRNG states by value, never sharing instances.
+type seedStreams struct {
+	protoSeed  uint64
+	adv, sched rng.PRNG
+}
+
+// deriveSeedStreams pre-derives the per-seed randomness once, O(seeds).
+func deriveSeedStreams(baseSeed uint64, seeds int) []seedStreams {
+	root := rng.New(baseSeed)
+	out := make([]seedStreams, seeds)
+	for s := range out {
+		src := root.Fork()
+		out[s].protoSeed = src.Uint64()
+		out[s].adv = *src.Fork()
+		out[s].sched = *src.Fork()
+	}
+	return out
+}
+
+// Run executes every trial of the grid across the worker pool and
+// aggregates per cell, in grid declaration order.
+func (e *Ensemble) Run() *EnsembleResult {
+	g := e.grid
+	advs := g.Adversaries
+	if len(advs) == 0 {
+		advs = []Adversary{""}
+	}
+	cells := len(g.Points) * len(advs)
+	jobs := cells * g.Seeds
+	streams := deriveSeedStreams(g.BaseSeed, g.Seeds)
+
+	outs := trials.Run(e.workers, jobs, g.BaseSeed, func(j int, _ *rng.PRNG) trialOutcome {
+		ci, s := j/g.Seeds, j%g.Seeds
+		pt := g.Points[ci/len(advs)]
+		class := advs[ci%len(advs)]
+		advSrc, schedSrc := streams[s].adv, streams[s].sched
+		sys, err := New(Config{N: pt.N, R: pt.R, Seed: streams[s].protoSeed, SyntheticCoins: g.SyntheticCoins})
+		if err != nil {
+			return trialOutcome{}
+		}
+		if class != "" {
+			if err := adversary.Apply(sys.proto, adversary.Class(class), &advSrc); err != nil {
+				return trialOutcome{}
+			}
+		}
+		res := sys.Run(Until(SafeSet), WithScheduler(&schedSrc),
+			MaxInteractions(g.MaxInteractions))
+		return trialOutcome{ok: res.Stabilized, took: res.Interactions, hard: sys.HardResets()}
+	})
+
+	out := &EnsembleResult{
+		SchemaVersion: EnsembleSchemaVersion,
+		Seeds:         g.Seeds,
+		BaseSeed:      g.BaseSeed,
+		Cells:         make([]Cell, 0, cells),
+	}
+	for ci := 0; ci < cells; ci++ {
+		cell := Cell{
+			Point:     g.Points[ci/len(advs)],
+			Adversary: advs[ci%len(advs)],
+			Seeds:     g.Seeds,
+			Samples:   []float64{},
+		}
+		var par, hard []float64
+		for s := 0; s < g.Seeds; s++ {
+			o := outs[ci*g.Seeds+s]
+			if !o.ok {
+				cell.Failures++
+				continue
+			}
+			cell.Recovered++
+			cell.Samples = append(cell.Samples, float64(o.took))
+			par = append(par, float64(o.took)/float64(cell.Point.N))
+			hard = append(hard, float64(o.hard))
+		}
+		cell.Interactions = summarize(cell.Samples)
+		cell.ParallelTime = summarize(par)
+		cell.HardResets = summarize(hard)
+		out.Cells = append(out.Cells, cell)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package sspp
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+	"sspp/internal/trials"
+)
+
+// ensembleGrid is the acceptance grid: 2 (n, r) points × 2 adversary
+// classes.
+func ensembleGrid(seeds int) Grid {
+	return Grid{
+		Points:      []Point{{N: 16, R: 4}, {N: 24, R: 8}},
+		Adversaries: []Adversary{AdversaryTriggered, AdversaryRandomGarbage},
+		Seeds:       seeds,
+		BaseSeed:    11,
+	}
+}
+
+// legacyMeasure replicates the historical internal/experiments trial
+// derivation (pre-Ensemble measureSafeSet) verbatim: stream s is the s-th
+// sequential Fork of rng.New(baseSeed); each trial draws protoSeed, forks
+// adversary and scheduler streams, and runs the bare core protocol to the
+// safe set under the generous Theorem 1.1 budget.
+func legacyMeasure(t *testing.T, workers, seeds int, baseSeed uint64, n, r int, class Adversary) (times []float64, failures int) {
+	t.Helper()
+	sys, err := New(Config{N: n, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := sys.DefaultBudget()
+	type outcome struct {
+		took float64
+		ok   bool
+	}
+	results := trials.Run(workers, seeds, baseSeed, func(s int, src *rng.PRNG) outcome {
+		protoSeed := src.Uint64()
+		advSrc, schedSrc := src.Fork(), src.Fork()
+		p, err := core.New(n, r, core.WithSeed(protoSeed))
+		if err != nil {
+			return outcome{}
+		}
+		if err := adversary.Apply(p, adversary.Class(class), advSrc); err != nil {
+			return outcome{}
+		}
+		took, ok := p.RunToSafeSet(schedSrc, budget)
+		return outcome{took: float64(took), ok: ok}
+	})
+	for _, res := range results {
+		if res.ok {
+			times = append(times, res.took)
+		} else {
+			failures++
+		}
+	}
+	return times, failures
+}
+
+// TestEnsembleReproducesExperimentNumbers pins the acceptance criterion: a
+// public Ensemble over a 2-point grid × 2 adversary classes reproduces the
+// historical experiment-harness numbers byte-identically, at any worker
+// count.
+func TestEnsembleReproducesExperimentNumbers(t *testing.T) {
+	const seeds = 3
+	grid := ensembleGrid(seeds)
+	for _, workers := range []int{1, 8} {
+		ens, err := NewEnsemble(grid, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ens.Run()
+		if len(res.Cells) != 4 {
+			t.Fatalf("cells = %d, want 4", len(res.Cells))
+		}
+		for _, pt := range grid.Points {
+			for _, class := range grid.Adversaries {
+				cell, ok := res.Cell(Point{N: pt.N, R: pt.R}, class)
+				if !ok {
+					t.Fatalf("cell (%d, %d, %s) missing", pt.N, pt.R, class)
+				}
+				wantTimes, wantFails := legacyMeasure(t, 1, seeds, grid.BaseSeed, pt.N, pt.R, class)
+				if cell.Failures != wantFails || len(cell.Samples) != len(wantTimes) {
+					t.Fatalf("workers=%d cell (%d,%d,%s): %d samples / %d fails, want %d / %d",
+						workers, pt.N, pt.R, class, len(cell.Samples), cell.Failures,
+						len(wantTimes), wantFails)
+				}
+				for i := range wantTimes {
+					if cell.Samples[i] != wantTimes[i] {
+						t.Fatalf("workers=%d cell (%d,%d,%s) sample %d: %v != legacy %v",
+							workers, pt.N, pt.R, class, i, cell.Samples[i], wantTimes[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnsembleJSONWorkerCountIndependent pins the public determinism
+// contract: the same grid and seeds produce byte-identical JSON at
+// -workers=1 and -workers=8 (and GOMAXPROCS, whatever it is).
+func TestEnsembleJSONWorkerCountIndependent(t *testing.T) {
+	grid := ensembleGrid(2)
+	render := func(workers int) []byte {
+		ens, err := NewEnsemble(grid, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ens.Run().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	for _, workers := range []int{8, runtime.GOMAXPROCS(0)} {
+		if par := render(workers); !bytes.Equal(seq, par) {
+			t.Fatalf("JSON differs between workers=1 and workers=%d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, seq, par)
+		}
+	}
+	if !bytes.Contains(seq, []byte(`"schema_version": 1`)) {
+		t.Fatalf("schema version missing from JSON:\n%s", seq)
+	}
+	if bytes.Contains(seq, []byte(`"workers"`)) {
+		t.Fatalf("worker count leaked into the deterministic JSON:\n%s", seq)
+	}
+}
+
+// TestEnsembleCellStatistics: the distributions are self-consistent and in
+// the paper's units.
+func TestEnsembleCellStatistics(t *testing.T) {
+	ens, err := NewEnsemble(Grid{
+		Points:      []Point{{N: 16, R: 4}},
+		Adversaries: []Adversary{AdversaryTriggered},
+		Seeds:       4,
+		BaseSeed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ens.Run()
+	cell := res.Cells[0]
+	if cell.Recovered != 4 || cell.Failures != 0 {
+		t.Fatalf("recovered %d / failed %d, want 4 / 0", cell.Recovered, cell.Failures)
+	}
+	d := cell.Interactions
+	if d.N != 4 || d.Min > d.Median || d.Median > d.Max || d.Mean <= 0 {
+		t.Fatalf("inconsistent distribution %+v", d)
+	}
+	if d.P10 < d.Min || d.P90 > d.Max {
+		t.Fatalf("quantiles outside range: %+v", d)
+	}
+	wantPT := d.Mean / 16
+	if diff := cell.ParallelTime.Mean - wantPT; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("parallel time %v, want %v", cell.ParallelTime.Mean, wantPT)
+	}
+	// Triggered starts awaken without hard resets.
+	if cell.HardResets.Max != 0 {
+		t.Fatalf("triggered class hard resets = %+v", cell.HardResets)
+	}
+}
+
+// TestEnsembleCleanDefault: an empty adversary list runs one clean start
+// per point, which stabilizes.
+func TestEnsembleCleanDefault(t *testing.T) {
+	ens, err := NewEnsemble(Grid{Points: []Point{{N: 16, R: 4}}, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ens.Run()
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if res.Cells[0].Adversary != "" || res.Cells[0].Recovered != 2 {
+		t.Fatalf("clean cell = %+v", res.Cells[0])
+	}
+	if res.Seeds != 2 {
+		t.Fatalf("seeds = %d", res.Seeds)
+	}
+}
+
+// TestEnsembleValidation: bad grids are rejected up front.
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(Grid{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := NewEnsemble(Grid{Points: []Point{{N: 1, R: 1}}}); err == nil {
+		t.Fatal("invalid point accepted")
+	}
+	if _, err := NewEnsemble(Grid{Points: []Point{{N: 32, R: 17}}}); err == nil {
+		t.Fatal("r > n/2 accepted")
+	}
+	if _, err := NewEnsemble(Grid{
+		Points:      []Point{{N: 16, R: 4}},
+		Adversaries: []Adversary{"bogus"},
+	}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := NewEnsemble(Grid{Points: []Point{{N: 16, R: 4}}, Seeds: -1}); err == nil {
+		t.Fatal("negative seeds accepted")
+	}
+}

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"math"
 
+	"sspp"
 	"sspp/internal/baseline"
-	"sspp/internal/rng"
 	"sspp/internal/sim"
 )
 
@@ -27,8 +27,10 @@ func main() {
 	for _, factor := range []float64{0.25, 1, 4, 16} {
 		tau := int32(factor * nln)
 		l := baseline.NewLooseLE(*n, tau)
-		r := rng.New(7)
-		res := sim.Run(l, r, sim.Options{
+		// The public schedulers plug into the internal runner directly; the
+		// batched scheduler deals the identical uniform schedule.
+		sched := sspp.NewBatch(7, 0)
+		res := sim.RunSched(l, sched, sim.Options{
 			MaxInteractions:    uint64(64 * nln),
 			StopAfterStableFor: uint64(4 * *n),
 		})
@@ -39,7 +41,7 @@ func main() {
 		// Holding fraction over a follow-up window.
 		held, polls := 0, 0
 		for i := 0; i < 400; i++ {
-			sim.Steps(l, r, uint64(*n))
+			sim.StepsSched(l, sched, uint64(*n))
 			polls++
 			if l.Correct() {
 				held++

@@ -30,8 +30,13 @@ func main() {
 	fmt.Printf("injected fault: %d agents claim to be the leader\n", sys.Leaders())
 
 	// Run under the uniform random scheduler until the safe set (a
-	// configuration that stays correct forever) is reached.
-	res := sys.RunToSafeSet(2, 0)
+	// configuration that stays correct forever) is reached. Run options
+	// compose: the stop condition is a first-class predicate, the budget
+	// defaults to the generous Theorem 1.1 multiple.
+	res := sys.Run(
+		sspp.Until(sspp.SafeSet),
+		sspp.SchedulerSeed(2),
+	)
 	if !res.Stabilized {
 		log.Fatalf("no stabilization within budget (%d interactions)", res.Interactions)
 	}

@@ -34,7 +34,7 @@ func main() {
 		}
 		before := sys.Ranks()
 		hadRanking := sys.CorrectRanking()
-		res := sys.RunToSafeSet(44, 0)
+		res := sys.Run(sspp.Until(sspp.SafeSet), sspp.SchedulerSeed(44))
 		if !res.Stabilized {
 			fmt.Printf("%-20s did not stabilize within budget\n", class)
 			continue
@@ -53,6 +53,9 @@ func main() {
 					break
 				}
 			}
+		}
+		if sspp.RankingPreserved(class) {
+			survived += " (required, §3.2)"
 		}
 		fmt.Printf("%-20s %-14d %-12d %-12d %-16s\n",
 			class, res.Interactions, sys.HardResets(),

@@ -1,6 +1,8 @@
 // Tradeoff: sweep the parameter r at fixed n and print the space-time
 // trade-off of Theorem 1.1 — stabilization time falls like 1/r while the
-// per-agent state count explodes like 2^O(r²·log n).
+// per-agent state count explodes like 2^O(r²·log n). The whole sweep is one
+// declarative Ensemble grid, executed in parallel across GOMAXPROCS with
+// deterministic aggregation.
 //
 //	go run ./examples/tradeoff [-n 48] [-seeds 3]
 package main
@@ -16,52 +18,44 @@ import (
 func main() {
 	n := flag.Int("n", 48, "population size")
 	seeds := flag.Int("seeds", 3, "runs per r")
+	workers := flag.Int("workers", 0, "ensemble workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Declare the sweep: one (n, r) point per regime, all started from a
+	// full reset (the triggered class), seeds independent runs each.
+	var points []sspp.Point
+	for r := 1; r <= *n/4; r *= 2 {
+		points = append(points, sspp.Point{N: *n, R: r})
+	}
+	ens, err := sspp.NewEnsemble(sspp.Grid{
+		Points:      points,
+		Adversaries: []sspp.Adversary{sspp.AdversaryTriggered},
+		Seeds:       *seeds,
+	}, sspp.Workers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := ens.Run()
 
 	fmt.Printf("space-time trade-off at n = %d (averaged over %d seeds)\n\n", *n, *seeds)
 	fmt.Printf("%-6s %-18s %-16s %-20s %-10s\n",
 		"r", "interactions", "parallel time", "state bits (2^b)", "speedup")
 
 	var base float64
-	for r := 1; r <= *n/4; r *= 2 {
-		mean, ok := averageStabilization(*n, r, *seeds)
-		if !ok {
+	for _, cell := range out.Cells {
+		r := cell.Point.R
+		if cell.Recovered == 0 {
 			fmt.Printf("%-6d (did not stabilize within budget)\n", r)
 			continue
 		}
+		mean := cell.Interactions.Mean
 		if base == 0 {
 			base = mean
 		}
 		fmt.Printf("%-6d %-18.0f %-16.1f %-20.0f %-10.2f\n",
-			r, mean, mean/float64(*n), sspp.StateBits(*n, r), base/mean)
+			r, mean, cell.ParallelTime.Mean, sspp.StateBits(*n, r), base/mean)
 	}
 	fmt.Println("\nTheorem 1.1: interactions = O((n²/r)·log n) — doubling r should")
 	fmt.Println("roughly halve the time until the Θ(n·log n) floor; the state bits")
 	fmt.Println("column is the price being paid (2^O(r²·log n)).")
-}
-
-// averageStabilization runs ElectLeader_r from a full reset `seeds` times
-// and returns the mean safe-set arrival in interactions.
-func averageStabilization(n, r, seeds int) (float64, bool) {
-	var sum float64
-	count := 0
-	for s := 0; s < seeds; s++ {
-		sys, err := sspp.New(sspp.Config{N: n, R: r, Seed: uint64(s + 1)})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sys.Inject(sspp.AdversaryTriggered, uint64(s+100)); err != nil {
-			log.Fatal(err)
-		}
-		res := sys.RunToSafeSet(uint64(s+200), 0)
-		if !res.Stabilized {
-			continue
-		}
-		sum += float64(res.Interactions)
-		count++
-	}
-	if count == 0 {
-		return 0, false
-	}
-	return sum / float64(count), true
 }

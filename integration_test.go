@@ -27,7 +27,7 @@ func TestIntegrationRecoverFromEveryAdversary(t *testing.T) {
 			if rankingFault {
 				before = sys.Ranks()
 			}
-			res := sys.RunToSafeSet(seed+99, 0)
+			res := sys.Run(Until(SafeSet), SchedulerSeed(seed+99))
 			if !res.Stabilized {
 				t.Fatalf("no stabilization (events %s)", sys.Events())
 			}
@@ -56,7 +56,7 @@ func TestIntegrationClosureLongRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := sys.RunToSafeSet(3, 0); !res.Stabilized {
+	if res := sys.Run(Until(SafeSet), SchedulerSeed(3)); !res.Stabilized {
 		t.Fatal("setup failed")
 	}
 	leaderBefore, _ := sys.Leader()
@@ -76,10 +76,10 @@ func TestIntegrationClosureLongRun(t *testing.T) {
 	}
 }
 
-// TestIntegrationTraceObservesLifecycle checks that the Trace API reports
-// the full lifecycle from a triggered start: a resetting phase, a ranking
-// phase, a verifying phase, and finally the safe set.
-func TestIntegrationTraceObservesLifecycle(t *testing.T) {
+// TestIntegrationObserveLifecycle checks that the Observe run option
+// reports the full lifecycle from a triggered start: a resetting phase, a
+// ranking phase, a verifying phase, and finally the safe set.
+func TestIntegrationObserveLifecycle(t *testing.T) {
 	sys, err := New(Config{N: 16, R: 4, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -88,20 +88,22 @@ func TestIntegrationTraceObservesLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sawResetting, sawRanking, sawVerifying, sawSafe bool
-	res := sys.Trace(6, 0, uint64(sys.N()), func(s Snapshot) {
-		if s.Resetting == sys.N() {
-			sawResetting = true
-		}
-		if s.Ranking == sys.N() {
-			sawRanking = true
-		}
-		if s.Verifying == sys.N() {
-			sawVerifying = true
-		}
-		if s.InSafeSet {
-			sawSafe = true
-		}
-	})
+	res := sys.Run(Until(SafeSet), SchedulerSeed(6),
+		PollEvery(uint64(sys.N())),
+		Observe(uint64(sys.N()), func(s Snapshot) {
+			if s.Resetting == sys.N() {
+				sawResetting = true
+			}
+			if s.Ranking == sys.N() {
+				sawRanking = true
+			}
+			if s.Verifying == sys.N() {
+				sawVerifying = true
+			}
+			if s.InSafeSet {
+				sawSafe = true
+			}
+		}))
 	if !res.Stabilized {
 		t.Fatal("trace run did not stabilize")
 	}
@@ -130,7 +132,7 @@ func TestIntegrationTradeoffDirection(t *testing.T) {
 			if err := sys.Inject(AdversaryTriggered, s+9); err != nil {
 				t.Fatal(err)
 			}
-			res := sys.RunToSafeSet(s+17, 0)
+			res := sys.Run(Until(SafeSet), SchedulerSeed(s+17))
 			if !res.Stabilized {
 				t.Fatalf("r=%d seed=%d: no stabilization", r, s)
 			}
@@ -159,7 +161,7 @@ func TestIntegrationDeterministicReproduction(t *testing.T) {
 		if err := sys.Inject(AdversaryRandomGarbage, 12); err != nil {
 			t.Fatal(err)
 		}
-		res := sys.RunToSafeSet(13, 0)
+		res := sys.Run(Until(SafeSet), SchedulerSeed(13))
 		if !res.Stabilized {
 			t.Fatal("no stabilization")
 		}
@@ -180,7 +182,7 @@ func TestIntegrationTransientFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := sys.RunToSafeSet(42, 0); !res.Stabilized {
+	if res := sys.Run(Until(SafeSet), SchedulerSeed(42)); !res.Stabilized {
 		t.Fatal("setup failed")
 	}
 	for round := uint64(0); round < 3; round++ {
@@ -188,7 +190,7 @@ func TestIntegrationTransientFaults(t *testing.T) {
 		if len(victims) != 4 {
 			t.Fatalf("round %d: %d victims, want 4", round, len(victims))
 		}
-		if res := sys.RunToSafeSet(50+round, 0); !res.Stabilized {
+		if res := sys.Run(Until(SafeSet), SchedulerSeed(50+round)); !res.Stabilized {
 			t.Fatalf("round %d: no recovery from transient burst", round)
 		}
 		if sys.Leaders() != 1 {
@@ -197,7 +199,7 @@ func TestIntegrationTransientFaults(t *testing.T) {
 	}
 	// Whole-population burst.
 	sys.InjectTransient(100, 99) // clamps to n
-	if res := sys.RunToSafeSet(60, 0); !res.Stabilized {
+	if res := sys.Run(Until(SafeSet), SchedulerSeed(60)); !res.Stabilized {
 		t.Fatal("no recovery from full-population burst")
 	}
 }

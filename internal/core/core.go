@@ -107,14 +107,14 @@ type Protocol struct {
 	// Incremental predicate counters (counters.go). Maintained by
 	// untrack/track around every agent mutation, they make the correctness
 	// predicates and the cheap gates of InSafeSet O(1).
-	roleCount  [3]int                     // agents per Role
-	genCount   [verify.Generations]int    // verifiers per generation (mod 6)
-	probCount  [verify.Generations]int    // verifiers on probation, per generation
-	topCount   int                        // verifiers in ⊤
-	rankCount  []int32                    // agents per in-range rank output
-	rankExcess int                        // Σ_rank max(0, rankCount-1)
-	rankOOR    int                        // agents with out-of-range rank output
-	leaderSum  int                        // Σ of indices of rank-1 agents
+	roleCount  [3]int                  // agents per Role
+	genCount   [verify.Generations]int // verifiers per generation (mod 6)
+	probCount  [verify.Generations]int // verifiers on probation, per generation
+	topCount   int                     // verifiers in ⊤
+	rankCount  []int32                 // agents per in-range rank output
+	rankExcess int                     // Σ_rank max(0, rankCount-1)
+	rankOOR    int                     // agents with out-of-range rank output
+	leaderSum  int                     // Σ of indices of rank-1 agents
 
 	// Free lists recycling the O(g²) per-role states across role
 	// transitions (counters.go), cutting GC pressure in reset-heavy runs.
@@ -158,6 +158,13 @@ func WithSyntheticCoins() Option { return func(c *config) { c.synthetic = true }
 // WithEvents attaches an event sink recording resets, detections and role
 // transitions.
 func WithEvents(ev *sim.Events) Option { return func(c *config) { c.events = ev } }
+
+// ValidateParams reports whether New would accept (n, r) with default
+// constants, without building the population — an O(1) check for grid
+// validation.
+func ValidateParams(n, r int) error {
+	return DefaultConstants(n, r).Validate(n)
+}
 
 // New builds an ElectLeader_r instance over n agents with trade-off
 // parameter 1 ≤ r ≤ n/2. The initial configuration is the clean

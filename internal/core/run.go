@@ -51,6 +51,11 @@ func (p *Protocol) RunToSafeSetSched(sched sim.Scheduler, max uint64) (uint64, b
 // stretch began and whether it was confirmed. This is the output-level
 // stabilization measurement; RunToSafeSet is the configuration-level one.
 func (p *Protocol) RunToOutputStable(rand *rng.PRNG, max, confirm uint64) (uint64, bool) {
+	return p.RunToOutputStableSched(rand, max, confirm)
+}
+
+// RunToOutputStableSched is RunToOutputStable under an arbitrary scheduler.
+func (p *Protocol) RunToOutputStableSched(sched sim.Scheduler, max, confirm uint64) (uint64, bool) {
 	cadence := uint64(p.n/4 + 1)
 	var t, stableSince uint64
 	correct := p.Correct()
@@ -60,7 +65,7 @@ func (p *Protocol) RunToOutputStable(rand *rng.PRNG, max, confirm uint64) (uint6
 			limit = max
 		}
 		for t < limit {
-			a, b := rand.Pair(p.n)
+			a, b := sched.Pair(p.n)
 			p.Interact(a, b)
 			t++
 		}

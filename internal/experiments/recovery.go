@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"sspp"
 	"sspp/internal/adversary"
 	"sspp/internal/core"
 	"sspp/internal/rng"
@@ -113,7 +114,8 @@ func T9SoftReset(cfg Config) *Table {
 
 // T10Recovery walks the recovery ladder of Lemma 6.3: from every adversarial
 // class the protocol reaches the safe set, and the table records how long it
-// took and how many hard resets were needed.
+// took and how many hard resets were needed. The whole ladder is one public
+// Ensemble grid: a single (n, r) point crossed with every adversary class.
 func T10Recovery(cfg Config) *Table {
 	const n, r = 32, 8
 	t := &Table{
@@ -123,44 +125,20 @@ func T10Recovery(cfg Config) *Table {
 			"(n=32, r=8)",
 		Header: []string{"class", "description", "mean safe-set time", "±95%", "hard resets (mean)", "fails"},
 	}
-	type outcome struct {
-		ok         bool
-		took, hard float64
+	cells, ok := measureCells(cfg, []sspp.Point{{N: n, R: r}}, sspp.AdversaryClasses())
+	if !ok {
+		t.Note("grid rejected by the ensemble layer")
+		return t
 	}
-	for _, class := range adversary.Classes() {
-		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
-			seed := cfg.BaseSeed + uint64(s)*17
-			ev := sim.NewEvents()
-			p, err := core.New(n, r, core.WithSeed(seed), core.WithEvents(ev))
-			if err != nil {
-				return outcome{}
-			}
-			if err := adversary.Apply(p, class, rng.New(seed+1)); err != nil {
-				return outcome{}
-			}
-			took, ok := p.RunToSafeSet(rng.New(seed+2), safeSetBudget(n, r))
-			if !ok {
-				return outcome{}
-			}
-			return outcome{ok: true, took: float64(took), hard: float64(ev.Count(core.EventHardReset))}
-		})
-		var times, hard stats.Acc
-		fails := 0
-		for _, o := range results {
-			if !o.ok {
-				fails++
-				continue
-			}
-			times.Add(o.took)
-			hard.Add(o.hard)
-		}
-		if times.N() == 0 {
-			t.Append(string(class), adversary.Describe(class), "-", "-", "-", itoa(fails))
+	for _, cell := range cells {
+		class := cell.Adversary
+		if cell.Recovered == 0 {
+			t.Append(string(class), sspp.DescribeAdversary(class), "-", "-", "-", itoa(cell.Failures))
 			continue
 		}
-		t.Append(string(class), adversary.Describe(class),
-			fmtU(uint64(times.Mean())), fmtU(uint64(times.CI95())),
-			fmtF(hard.Mean(), 1), itoa(fails))
+		t.Append(string(class), sspp.DescribeAdversary(class),
+			fmtU(uint64(cell.Interactions.Mean)), fmtU(uint64(cell.Interactions.CI95)),
+			fmtF(cell.HardResets.Mean, 1), itoa(cell.Failures))
 	}
 	t.Note("probation-skew reads 0: a correctly ranked single-generation configuration with " +
 		"positive probation timers already satisfies Lemma 6.1 (condition (b) holds vacuously)")

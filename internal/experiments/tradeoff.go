@@ -7,51 +7,46 @@ package experiments
 import (
 	"math"
 
+	"sspp"
 	"sspp/internal/adversary"
 	"sspp/internal/core"
-	"sspp/internal/rng"
 	"sspp/internal/stats"
-	"sspp/internal/trials"
 )
 
 // safeSetBudget is the interaction budget used when measuring safe-set
-// arrival: a generous multiple of the Theorem 1.1 bound (n²/r)·log n.
+// arrival: a generous multiple of the Theorem 1.1 bound (n²/r)·log n. It
+// equals sspp.System.DefaultBudget, which the Ensemble layer applies.
 func safeSetBudget(n, r int) uint64 {
 	return uint64(1000 * float64(n*n) / float64(r) * math.Log(float64(n)+1))
 }
 
-// measureSafeSet runs ElectLeader_r from the given adversary class across
-// the trial engine and returns per-seed safe-set arrival times in
+// measureSafeSet runs ElectLeader_r from the given adversary class through
+// the public Ensemble layer and returns per-seed safe-set arrival times in
 // interactions; unfinished runs are dropped (and counted by the caller via
-// the failures return). Each seed's randomness comes from its own
-// deterministically forked stream, so the result is independent of the
-// worker count.
+// the failures return). The Ensemble pre-derives each seed's randomness
+// deterministically, so the result is independent of the worker count.
 func measureSafeSet(cfg Config, n, r int, class adversary.Class) (times []float64, failures int) {
-	type outcome struct {
-		took float64
-		ok   bool
+	cell, ok := measureCells(cfg, []sspp.Point{{N: n, R: r}}, []sspp.Adversary{sspp.Adversary(class)})
+	if !ok {
+		return nil, cfg.seeds()
 	}
-	results := trials.Run(cfg.workers(), cfg.seeds(), cfg.BaseSeed, func(s int, src *rng.PRNG) outcome {
-		protoSeed := src.Uint64()
-		advSrc, schedSrc := src.Fork(), src.Fork()
-		p, err := core.New(n, r, core.WithSeed(protoSeed))
-		if err != nil {
-			return outcome{}
-		}
-		if err := adversary.Apply(p, class, advSrc); err != nil {
-			return outcome{}
-		}
-		took, ok := p.RunToSafeSet(schedSrc, safeSetBudget(n, r))
-		return outcome{took: float64(took), ok: ok}
-	})
-	for _, res := range results {
-		if res.ok {
-			times = append(times, res.took)
-		} else {
-			failures++
-		}
+	return cell[0].Samples, cell[0].Failures
+}
+
+// measureCells runs the full points × classes grid through the public
+// Ensemble and returns the cells in grid order (points-major). ok is false
+// when the grid itself is invalid (e.g. r out of range for a point).
+func measureCells(cfg Config, points []sspp.Point, classes []sspp.Adversary) ([]sspp.Cell, bool) {
+	ens, err := sspp.NewEnsemble(sspp.Grid{
+		Points:      points,
+		Adversaries: classes,
+		Seeds:       cfg.seeds(),
+		BaseSeed:    cfg.BaseSeed,
+	}, sspp.Workers(cfg.Workers))
+	if err != nil {
+		return nil, false
 	}
-	return times, failures
+	return ens.Run().Cells, true
 }
 
 // T1StabilizeFromReset validates Theorem 1.1 / Lemma 6.2: from a triggered

@@ -5,7 +5,8 @@
 // unequal diffusion, or devices with unequal duty cycles) and powers the
 // robustness extension T16: the paper's guarantees are proved for the
 // uniform case; the experiment probes how gracefully stabilization degrades
-// away from it.
+// away from it. Batch amortizes draw overhead for throughput-bound sweeps,
+// and Recorder/Recording capture exact schedules for replay.
 
 package sim
 
@@ -99,6 +100,112 @@ func (w *Weighted) draw() int {
 		}
 	}
 	return lo
+}
+
+// Batch is a high-throughput uniform scheduler: it pre-draws pairs from the
+// underlying PRNG in fixed-size blocks, amortizing per-draw call overhead
+// across the block. The pair sequence it deals is identical to calling
+// Pair on the PRNG directly, so a Batch seeded like a plain uniform
+// scheduler reproduces that scheduler's schedule exactly — it only draws
+// ahead. The population size must stay fixed across calls (changing n
+// discards the remainder of the current block).
+type Batch struct {
+	src  *rng.PRNG
+	n    int
+	buf  []int32
+	next int
+}
+
+// NewBatch builds a batched uniform scheduler drawing size pairs per refill
+// (size < 1 selects a default of 1024).
+func NewBatch(src *rng.PRNG, size int) *Batch {
+	if size < 1 {
+		size = 1024
+	}
+	return &Batch{src: src, buf: make([]int32, 0, 2*size)}
+}
+
+// Pair deals the next pre-drawn pair, refilling the block when exhausted.
+func (b *Batch) Pair(n int) (int, int) {
+	if n != b.n || b.next >= len(b.buf) {
+		b.refill(n)
+	}
+	a, c := int(b.buf[b.next]), int(b.buf[b.next+1])
+	b.next += 2
+	return a, c
+}
+
+// refill draws a full block of pairs for population size n.
+func (b *Batch) refill(n int) {
+	b.n = n
+	b.buf = b.buf[:cap(b.buf)]
+	for i := 0; i+1 < len(b.buf); i += 2 {
+		a, c := b.src.Pair(n)
+		b.buf[i], b.buf[i+1] = int32(a), int32(c)
+	}
+	b.next = 0
+}
+
+// Recorder wraps a Scheduler and records every pair it deals, so a schedule
+// observed once (e.g. a run that exposed a bug) can be replayed exactly.
+type Recorder struct {
+	inner Scheduler
+	rec   *Recording
+}
+
+// NewRecorder builds a recording wrapper around inner.
+func NewRecorder(inner Scheduler) *Recorder {
+	return &Recorder{inner: inner, rec: &Recording{}}
+}
+
+// Pair deals the inner scheduler's next pair and records it.
+func (r *Recorder) Pair(n int) (int, int) {
+	a, b := r.inner.Pair(n)
+	r.rec.pairs = append(r.rec.pairs, int32(a), int32(b))
+	return a, b
+}
+
+// Recording returns the schedule captured so far. The recording keeps
+// growing while the Recorder is used; replay what has been captured at any
+// point.
+func (r *Recorder) Recording() *Recording { return r.rec }
+
+// Recording is a captured pair schedule.
+type Recording struct {
+	pairs []int32
+}
+
+// Len returns the number of recorded pairs.
+func (rec *Recording) Len() int { return len(rec.pairs) / 2 }
+
+// Replay returns a Scheduler that deals the recorded pairs in order. A
+// consumer that outruns the recording wraps around to its start; replaying
+// an empty recording panics. Pairs recorded for a larger population are
+// folded into [0, n).
+func (rec *Recording) Replay() Scheduler { return &replayer{rec: rec} }
+
+type replayer struct {
+	rec  *Recording
+	next int
+}
+
+// Pair deals the next recorded pair.
+func (r *replayer) Pair(n int) (int, int) {
+	if len(r.rec.pairs) == 0 {
+		panic("sim: Replay of an empty Recording")
+	}
+	if r.next >= len(r.rec.pairs) {
+		r.next = 0
+	}
+	a, b := int(r.rec.pairs[r.next]), int(r.rec.pairs[r.next+1])
+	r.next += 2
+	if a >= n {
+		a %= n
+	}
+	if b >= n || b == a {
+		b = (a + 1) % n
+	}
+	return a, b
 }
 
 // RunSched is Run with an arbitrary scheduler.

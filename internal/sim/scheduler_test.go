@@ -92,6 +92,78 @@ func TestWeightedDrawInRangeProperty(t *testing.T) {
 	}
 }
 
+func TestBatchMatchesPRNGPairStream(t *testing.T) {
+	const n = 24
+	ref := rng.New(7)
+	b := NewBatch(rng.New(7), 37) // odd block size: exercises refill offsets
+	for i := 0; i < 10_000; i++ {
+		ra, rb := ref.Pair(n)
+		ba, bb := b.Pair(n)
+		if ra != ba || rb != bb {
+			t.Fatalf("pair %d: PRNG (%d,%d) vs batch (%d,%d)", i, ra, rb, ba, bb)
+		}
+	}
+}
+
+func TestBatchPopulationChangeDiscardsBlock(t *testing.T) {
+	b := NewBatch(rng.New(8), 16)
+	b.Pair(10)
+	for i := 0; i < 100; i++ {
+		a, c := b.Pair(4) // shrink mid-block: must re-draw, stay in range
+		if a == c || a < 0 || a >= 4 || c < 0 || c >= 4 {
+			t.Fatalf("invalid pair (%d,%d) after population change", a, c)
+		}
+	}
+}
+
+func TestRecorderCapturesAndReplays(t *testing.T) {
+	const n = 9
+	rec := NewRecorder(rng.New(9))
+	var pairs [][2]int
+	for i := 0; i < 500; i++ {
+		a, b := rec.Pair(n)
+		pairs = append(pairs, [2]int{a, b})
+	}
+	if rec.Recording().Len() != 500 {
+		t.Fatalf("recording holds %d pairs", rec.Recording().Len())
+	}
+	replay := rec.Recording().Replay()
+	for i, want := range pairs {
+		a, b := replay.Pair(n)
+		if a != want[0] || b != want[1] {
+			t.Fatalf("replay pair %d = (%d,%d), want (%d,%d)", i, a, b, want[0], want[1])
+		}
+	}
+	// Exhausted: wraps to the start.
+	a, b := replay.Pair(n)
+	if a != pairs[0][0] || b != pairs[0][1] {
+		t.Fatalf("wrap-around dealt (%d,%d), want (%d,%d)", a, b, pairs[0][0], pairs[0][1])
+	}
+}
+
+func TestReplaySmallerPopulationFoldsPairs(t *testing.T) {
+	rec := NewRecorder(rng.New(10))
+	for i := 0; i < 64; i++ {
+		rec.Pair(32)
+	}
+	replay := rec.Recording().Replay()
+	for i := 0; i < 64; i++ {
+		a, b := replay.Pair(5)
+		if a == b || a < 0 || a >= 5 || b < 0 || b >= 5 {
+			t.Fatalf("folded pair (%d,%d) invalid for n=5", a, b)
+		}
+	}
+}
+
+func TestReplayEmptyRecordingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Recording{}).Replay().Pair(4)
+}
+
 func TestRunSchedAndStepsSched(t *testing.T) {
 	p := &countdownProto{n: 8, correctAt: 50}
 	res := RunSched(p, NewZipf(rng.New(5), 8, 0.5), Options{MaxInteractions: 1000, CheckEvery: 1})

@@ -1,0 +1,369 @@
+// run.go implements the composable run engine of the public API: one
+// generic, scheduler-driven execution loop configured by RunOption values,
+// with first-class stop conditions, confirmation windows, observation hooks,
+// mid-run transient faults, and cancellation. The legacy RunToSafeSet /
+// RunToStableOutput / Trace entry points survive as thin deprecated wrappers
+// and produce bit-identical results for identical seeds.
+
+package sspp
+
+import (
+	"context"
+	"sort"
+
+	"sspp/internal/adversary"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// Condition is a first-class stop predicate over a System. The built-in
+// conditions are SafeSet (Lemma 6.1 configuration-level stabilization) and
+// CorrectOutput (exactly one leader); build custom ones with ConditionFunc.
+type Condition struct {
+	name  string
+	holds func(*System) bool
+	// cadence is the default polling interval in interactions for a
+	// population of n agents (matching the historical per-condition poll
+	// rates, which the deprecated wrappers rely on for bit-identity).
+	cadence func(n int) uint64
+}
+
+// String returns the condition's name (also reported in Result.Condition).
+func (c Condition) String() string { return c.name }
+
+// SafeSet holds when the configuration is in (the checkable core of) the
+// safe set of Lemma 6.1: correct ranking, all verifiers, coherent
+// generations — correct forever. This is the paper's stabilization notion
+// and the default stop condition of Run.
+var SafeSet = Condition{
+	name:    "safe-set",
+	holds:   (*System).InSafeSet,
+	cadence: func(n int) uint64 { return uint64(n/2 + 1) },
+}
+
+// CorrectOutput holds when exactly one agent outputs "leader". Unlike
+// SafeSet it is not closed under further interactions, so it is normally
+// combined with Confirm to measure output-level stabilization.
+var CorrectOutput = Condition{
+	name:    "correct-output",
+	holds:   (*System).Correct,
+	cadence: func(n int) uint64 { return uint64(n/4 + 1) },
+}
+
+// ConditionFunc builds a custom stop condition from a predicate. The
+// predicate is polled on the condition cadence (override with PollEvery);
+// it must not mutate the system.
+func ConditionFunc(name string, holds func(*System) bool) Condition {
+	return Condition{
+		name:    name,
+		holds:   holds,
+		cadence: func(n int) uint64 { return uint64(n/2 + 1) },
+	}
+}
+
+// transientFault is one scheduled InjectTransientAt fault.
+type transientFault struct {
+	at   uint64
+	k    int
+	seed uint64
+}
+
+// runSpec is the resolved configuration of one Run call.
+type runSpec struct {
+	cond      Condition
+	max       uint64
+	confirm   uint64
+	poll      uint64
+	schedSeed uint64
+	seedSet   bool
+	sched     Scheduler
+	obsEvery  uint64
+	observe   func(Snapshot)
+	faults    []transientFault
+	ctx       context.Context
+}
+
+// RunOption configures a single System.Run call.
+type RunOption func(*runSpec)
+
+// Until sets the stop condition (default SafeSet).
+func Until(c Condition) RunOption {
+	return func(r *runSpec) { r.cond = c }
+}
+
+// MaxInteractions bounds the run (0, the default, means DefaultBudget).
+func MaxInteractions(m uint64) RunOption {
+	return func(r *runSpec) { r.max = m }
+}
+
+// Confirm requires the stop condition to have held continuously for at least
+// window interactions before the run stops (default 0: stop at the first
+// poll at which the condition holds). Result.StabilizedAt reports the start
+// of the confirmed stretch.
+func Confirm(window uint64) RunOption {
+	return func(r *runSpec) { r.confirm = window }
+}
+
+// PollEvery overrides the condition-polling cadence in interactions
+// (default: the stop condition's own cadence — ⌈n/2⌉+1 for SafeSet and
+// custom conditions, ⌈n/4⌉+1 for CorrectOutput).
+func PollEvery(cadence uint64) RunOption {
+	return func(r *runSpec) {
+		if cadence > 0 {
+			r.poll = cadence
+		}
+	}
+}
+
+// SchedulerSeed runs under the uniform random scheduler of the paper's
+// model, drawn from the given seed (default: Config.Seed + 1). Ignored when
+// WithScheduler is given.
+func SchedulerSeed(seed uint64) RunOption {
+	return func(r *runSpec) { r.schedSeed = seed; r.seedSet = true }
+}
+
+// WithScheduler runs under an arbitrary Scheduler (non-uniform, batched,
+// replayed, ...), overriding SchedulerSeed.
+func WithScheduler(s Scheduler) RunOption {
+	return func(r *runSpec) { r.sched = s }
+}
+
+// Observe invokes fn with a Snapshot every cadence interactions (0 means n)
+// and exactly once more with the final state when the run ends — whether it
+// stops on the condition, exhausts the budget, or is cancelled. When the end
+// falls on a cadence boundary the final observation is delivered exactly
+// once, not twice. A nil fn is ignored.
+func Observe(cadence uint64, fn func(Snapshot)) RunOption {
+	return func(r *runSpec) {
+		if fn != nil {
+			r.observe = fn
+			r.obsEvery = cadence
+		}
+	}
+}
+
+// InjectTransientAt corrupts k uniformly chosen agents in place (the
+// mid-run transient-fault model, see System.InjectTransient) once the run
+// reaches interaction t, counted from the start of this Run call. Faults
+// scheduled past the point at which the run stops do not fire. The option
+// may be repeated to schedule several bursts.
+func InjectTransientAt(t uint64, k int, seed uint64) RunOption {
+	return func(r *runSpec) {
+		r.faults = append(r.faults, transientFault{at: t, k: k, seed: seed})
+	}
+}
+
+// WithContext makes the run cancellable: the context is checked at every
+// condition poll and, when cancelled, the run stops with Result.Err set to
+// the context's error and Stabilized false.
+func WithContext(ctx context.Context) RunOption {
+	return func(r *runSpec) {
+		if ctx != nil {
+			r.ctx = ctx
+		}
+	}
+}
+
+// Result reports a Run outcome.
+type Result struct {
+	// Interactions is the total interactions executed by the call.
+	Interactions uint64
+	// Stabilized reports whether the stop condition was reached (and, with
+	// Confirm, had held for the full window).
+	Stabilized bool
+	// ParallelTime is StabilizedAt/n, the paper's time measure (-1 when not
+	// stabilized).
+	ParallelTime float64
+	// StabilizedAt is the interaction count at which the final satisfied
+	// stretch of the condition began (0 when not stabilized). Without
+	// Confirm it equals Interactions; with Confirm it is the start of the
+	// confirmed window. Its resolution is the polling cadence.
+	StabilizedAt uint64
+	// Condition names the stop condition the run used.
+	Condition string
+	// Err is non-nil when the run was cancelled via WithContext.
+	Err error
+}
+
+// Run executes the system under a scheduler until the stop condition is
+// reached (confirmed, if requested) or the interaction budget is exhausted.
+// With no options it runs to the safe set of Lemma 6.1 under the uniform
+// scheduler seeded with Config.Seed+1, within DefaultBudget interactions.
+//
+// The engine polls the condition on a fixed cadence, so the reported times
+// have that resolution; observation hooks and scheduled transient faults
+// fire at their exact interaction counts and never perturb the scheduler
+// stream, keeping runs bit-for-bit reproducible for identical seeds.
+func (s *System) Run(opts ...RunOption) Result {
+	spec := runSpec{cond: SafeSet, ctx: context.Background()}
+	for _, o := range opts {
+		o(&spec)
+	}
+	n := s.N()
+	max := spec.max
+	if max == 0 {
+		max = s.DefaultBudget()
+	}
+	poll := spec.poll
+	if poll == 0 {
+		poll = spec.cond.cadence(n)
+	}
+	sched := spec.sched
+	if sched == nil {
+		seed := spec.schedSeed
+		if !spec.seedSet {
+			seed = s.cfg.Seed + 1
+		}
+		sched = rng.New(seed)
+	}
+	sort.SliceStable(spec.faults, func(i, j int) bool { return spec.faults[i].at < spec.faults[j].at })
+	obsEvery := spec.obsEvery
+	if spec.observe != nil && obsEvery == 0 {
+		obsEvery = uint64(n)
+	}
+
+	const never = ^uint64(0)
+	res := Result{Condition: spec.cond.name, ParallelTime: -1}
+	var t, since uint64
+	fi := 0
+	// Faults scheduled at t = 0 strike the starting configuration, before
+	// the initial condition poll.
+	for fi < len(spec.faults) && spec.faults[fi].at == 0 {
+		adversary.Transient(s.proto, spec.faults[fi].k, rng.New(spec.faults[fi].seed))
+		fi++
+	}
+	held := spec.cond.holds(s)
+	lastObs := never
+
+	finish := func() Result {
+		res.Interactions = t
+		if res.Err == nil && held && t-since >= spec.confirm {
+			res.Stabilized = true
+			res.StabilizedAt = since
+			res.ParallelTime = float64(since) / float64(n)
+		}
+		if spec.observe != nil && lastObs != t {
+			spec.observe(s.Snapshot())
+		}
+		return res
+	}
+
+	if err := spec.ctx.Err(); err != nil {
+		res.Err = err
+		return finish()
+	}
+	if held && spec.confirm == 0 {
+		return finish()
+	}
+
+	nextPoll := poll
+	nextObs := never
+	if spec.observe != nil {
+		nextObs = obsEvery
+	}
+	for t < max {
+		next := max
+		if nextPoll < next {
+			next = nextPoll
+		}
+		if nextObs < next {
+			next = nextObs
+		}
+		if fi < len(spec.faults) && spec.faults[fi].at < next {
+			next = spec.faults[fi].at
+		}
+		for t < next {
+			a, b := sched.Pair(n)
+			s.proto.Interact(a, b)
+			t++
+		}
+		for fi < len(spec.faults) && spec.faults[fi].at == t {
+			adversary.Transient(s.proto, spec.faults[fi].k, rng.New(spec.faults[fi].seed))
+			fi++
+		}
+		if t == nextObs {
+			spec.observe(s.Snapshot())
+			lastObs = t
+			nextObs += obsEvery
+		}
+		if t == nextPoll || t == max {
+			now := spec.cond.holds(s)
+			if now != held {
+				if now {
+					since = t
+				}
+				held = now
+			}
+			if err := spec.ctx.Err(); err != nil {
+				res.Err = err
+				break
+			}
+			if held && t-since >= spec.confirm {
+				break
+			}
+			if t == nextPoll {
+				nextPoll += poll
+			}
+		}
+	}
+	return finish()
+}
+
+// Step executes k uniformly random interactions with the given scheduler
+// seed stream, with no condition polling. Repeated calls with the same
+// *System advance the same configuration; pass different seeds to explore
+// schedules.
+func (s *System) Step(schedulerSeed uint64, k uint64) {
+	sim.Steps(s.proto, rng.New(schedulerSeed), k)
+}
+
+// StepSched executes exactly k interactions under an arbitrary Scheduler,
+// with no condition polling.
+func (s *System) StepSched(sched Scheduler, k uint64) {
+	sim.StepsSched(s.proto, sched, k)
+}
+
+// RunToSafeSet runs until the configuration enters the safe set of Lemma 6.1
+// or until max interactions (0 means DefaultBudget).
+//
+// Deprecated: use Run(Until(SafeSet), SchedulerSeed(seed),
+// MaxInteractions(max)). The wrapper produces identical results for
+// identical seeds.
+func (s *System) RunToSafeSet(schedulerSeed uint64, max uint64) Result {
+	return s.Run(Until(SafeSet), SchedulerSeed(schedulerSeed), MaxInteractions(max))
+}
+
+// RunToStableOutput runs until the output (exactly one leader) has held for
+// the confirmation window (0 means 20·n interactions), or until max
+// interactions (0 means DefaultBudget). Result.Interactions reports the
+// interaction count at which the final correct stretch began.
+//
+// Deprecated: use Run(Until(CorrectOutput), Confirm(window),
+// SchedulerSeed(seed), MaxInteractions(max)); Result.StabilizedAt carries
+// the stretch start, and Result.Interactions the true interaction count. The
+// wrapper produces identical results for identical seeds.
+func (s *System) RunToStableOutput(schedulerSeed uint64, max, confirm uint64) Result {
+	if confirm == 0 {
+		confirm = uint64(20 * s.N())
+	}
+	res := s.Run(Until(CorrectOutput), SchedulerSeed(schedulerSeed),
+		MaxInteractions(max), Confirm(confirm))
+	res.Interactions = res.StabilizedAt // historical contract of this entry point
+	return res
+}
+
+// Trace runs to the safe set under a single scheduler stream, invoking
+// observe every cadence interactions (0 means n) and once more at the end.
+// Unlike the historical implementation, a system already in the safe set
+// returns immediately with zero interactions instead of executing one
+// cadence chunk first; all other schedules are dealt identically.
+//
+// Deprecated: use Run(Observe(cadence, observe), PollEvery(cadence),
+// SchedulerSeed(seed), MaxInteractions(max)).
+func (s *System) Trace(schedulerSeed uint64, max, cadence uint64, observe func(Snapshot)) Result {
+	if cadence == 0 {
+		cadence = uint64(s.N())
+	}
+	return s.Run(Until(SafeSet), SchedulerSeed(schedulerSeed), MaxInteractions(max),
+		PollEvery(cadence), Observe(cadence, observe))
+}

@@ -1,0 +1,357 @@
+package sspp
+
+import (
+	"context"
+	"testing"
+
+	"sspp/internal/adversary"
+	"sspp/internal/core"
+	"sspp/internal/rng"
+)
+
+// buildCorePair builds a System and a bare core.Protocol with identical
+// configuration and adversarial start, so a facade run can be compared
+// against the legacy core run loops pair for pair.
+func buildCorePair(t *testing.T, n, r int, seed uint64, class Adversary, advSeed uint64) (*System, *core.Protocol) {
+	t.Helper()
+	sys, err := New(Config{N: n, R: r, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(n, r, core.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "" {
+		if err := sys.Inject(class, advSeed); err != nil {
+			t.Fatal(err)
+		}
+		if err := adversary.Apply(p, adversary.Class(class), rng.New(advSeed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, p
+}
+
+// TestRunToSafeSetGolden pins the acceptance criterion of the API redesign:
+// the deprecated RunToSafeSet wrapper (now a thin shim over Run) returns
+// results identical to the legacy core run loop for identical seeds.
+func TestRunToSafeSetGolden(t *testing.T) {
+	cases := []struct {
+		n, r      int
+		class     Adversary
+		seed      uint64
+		schedSeed uint64
+	}{
+		{16, 4, AdversaryTriggered, 1, 2},
+		{16, 4, AdversaryTwoLeaders, 3, 4},
+		{24, 6, AdversaryRandomGarbage, 5, 6},
+		{16, 8, "", 7, 8},
+		{12, 3, AdversaryStuckRankers, 9, 10},
+	}
+	for _, c := range cases {
+		sys, p := buildCorePair(t, c.n, c.r, c.seed, c.class, c.seed+50)
+		budget := sys.DefaultBudget()
+		res := sys.RunToSafeSet(c.schedSeed, 0)
+		took, ok := p.RunToSafeSet(rng.New(c.schedSeed), budget)
+		if res.Stabilized != ok || res.Interactions != took {
+			t.Errorf("n=%d r=%d class=%q: wrapper (%d, %v) != legacy (%d, %v)",
+				c.n, c.r, c.class, res.Interactions, res.Stabilized, took, ok)
+		}
+		if ok {
+			want := float64(took) / float64(c.n)
+			if res.ParallelTime != want {
+				t.Errorf("parallel time %v, want %v", res.ParallelTime, want)
+			}
+			if res.StabilizedAt != took {
+				t.Errorf("StabilizedAt %d, want %d", res.StabilizedAt, took)
+			}
+		}
+	}
+}
+
+// TestRunToStableOutputGolden: the deprecated RunToStableOutput wrapper
+// matches the legacy core loop bit for bit, including the historical
+// contract that Interactions reports the start of the confirmed stretch.
+func TestRunToStableOutputGolden(t *testing.T) {
+	cases := []struct {
+		n, r         int
+		class        Adversary
+		seed         uint64
+		schedSeed    uint64
+		max, confirm uint64
+	}{
+		{16, 8, "", 4, 7, 0, 0},
+		{16, 4, AdversaryTriggered, 11, 12, 0, 100},
+		{16, 4, AdversaryNoLeader, 13, 14, 0, 0},
+		{16, 4, AdversaryTriggered, 15, 16, 500, 50}, // tight budget: not stabilized
+	}
+	for _, c := range cases {
+		sys, p := buildCorePair(t, c.n, c.r, c.seed, c.class, c.seed+50)
+		budget := c.max
+		if budget == 0 {
+			budget = sys.DefaultBudget()
+		}
+		confirm := c.confirm
+		if confirm == 0 {
+			confirm = uint64(20 * c.n)
+		}
+		res := sys.RunToStableOutput(c.schedSeed, c.max, c.confirm)
+		at, ok := p.RunToOutputStable(rng.New(c.schedSeed), budget, confirm)
+		if res.Stabilized != ok || res.Interactions != at {
+			t.Errorf("n=%d r=%d class=%q: wrapper (%d, %v) != legacy (%d, %v)",
+				c.n, c.r, c.class, res.Interactions, res.Stabilized, at, ok)
+		}
+	}
+}
+
+// TestRunDefaultsMatchExplicit: a bare Run() equals the fully spelled-out
+// option list it documents.
+func TestRunDefaultsMatchExplicit(t *testing.T) {
+	build := func() *System {
+		sys, err := New(Config{N: 16, R: 4, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryTriggered, 22); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a := build().Run()
+	b := build().Run(Until(SafeSet), SchedulerSeed(22), MaxInteractions(0))
+	if a != b {
+		t.Fatalf("defaults diverge: %+v vs %+v", a, b)
+	}
+	if a.Condition != "safe-set" {
+		t.Fatalf("condition = %q", a.Condition)
+	}
+}
+
+// TestObserveFinalDeliveredExactlyOnce is the regression test for the
+// final-observation contract: every cadence, plus exactly one closing
+// observation — never two — even when the budget is exhausted exactly on a
+// cadence boundary.
+func TestObserveFinalDeliveredExactlyOnce(t *testing.T) {
+	never := ConditionFunc("never", func(*System) bool { return false })
+	newSys := func() *System {
+		sys, err := New(Config{N: 16, R: 4, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	cases := []struct {
+		name         string
+		max, cadence uint64
+		wantObs      int
+		wantLast     uint64
+	}{
+		{"budget on cadence boundary", 800, 200, 4, 800},
+		{"budget off boundary", 700, 200, 4, 700}, // 200, 400, 600 + final at 700
+		{"cadence larger than budget", 150, 400, 1, 150},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var at []uint64
+			res := newSys().Run(
+				Until(never),
+				MaxInteractions(c.max),
+				Observe(c.cadence, func(s Snapshot) { at = append(at, s.Interactions) }),
+			)
+			if res.Stabilized {
+				t.Fatal("never-condition stabilized")
+			}
+			if len(at) != c.wantObs {
+				t.Fatalf("observations = %d at %v, want %d", len(at), at, c.wantObs)
+			}
+			if at[len(at)-1] != c.wantLast {
+				t.Fatalf("last observation at %d, want %d", at[len(at)-1], c.wantLast)
+			}
+			for i := 1; i < len(at); i++ {
+				if at[i] <= at[i-1] {
+					t.Fatalf("duplicate or unordered observation at %v", at)
+				}
+			}
+		})
+	}
+}
+
+// TestObserveFinalOnEarlyStop: when the run stops on its condition, the
+// closing observation shows the final state and is not duplicated when the
+// stop lands on an observation boundary.
+func TestObserveFinalOnEarlyStop(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(AdversaryTriggered, 34); err != nil {
+		t.Fatal(err)
+	}
+	var at []uint64
+	res := sys.Run(
+		Until(SafeSet),
+		SchedulerSeed(35),
+		// Observation cadence equals the poll cadence, so the stopping poll
+		// coincides with an observation boundary.
+		PollEvery(64),
+		Observe(64, func(s Snapshot) { at = append(at, s.Interactions) }),
+	)
+	if !res.Stabilized {
+		t.Fatal("no stabilization")
+	}
+	if len(at) == 0 || at[len(at)-1] != res.Interactions {
+		t.Fatalf("final observation missing: %v vs end %d", at, res.Interactions)
+	}
+	if len(at) >= 2 && at[len(at)-1] == at[len(at)-2] {
+		t.Fatalf("final observation duplicated: %v", at)
+	}
+}
+
+// TestRunCustomCondition: user-supplied predicates are first-class stop
+// conditions.
+func TestRunCustomCondition(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allVerifying := ConditionFunc("all-verifying", func(s *System) bool {
+		_, _, verifying := s.Roles()
+		return verifying == s.N()
+	})
+	res := sys.Run(Until(allVerifying), SchedulerSeed(42))
+	if !res.Stabilized {
+		t.Fatal("population never fully verifying")
+	}
+	if res.Condition != "all-verifying" {
+		t.Fatalf("condition = %q", res.Condition)
+	}
+	_, _, verifying := sys.Roles()
+	if verifying != 16 {
+		t.Fatalf("verifying = %d at stop", verifying)
+	}
+}
+
+// TestRunConfirmWindow: with Confirm, StabilizedAt reports the start of the
+// confirmed stretch and the run executes at least the window past it.
+func TestRunConfirmWindow(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 640
+	res := sys.Run(Until(CorrectOutput), SchedulerSeed(44), Confirm(window))
+	if !res.Stabilized {
+		t.Fatal("output never stabilized")
+	}
+	if res.Interactions-res.StabilizedAt < window {
+		t.Fatalf("window not honoured: stretch %d < %d",
+			res.Interactions-res.StabilizedAt, window)
+	}
+	if !sys.Correct() {
+		t.Fatal("confirmed but incorrect")
+	}
+}
+
+// TestRunWithContextCancel: a cancelled context stops the run at the next
+// poll with Err set and Stabilized false.
+func TestRunWithContextCancel(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(AdversaryTriggered, 46); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	polls := 0
+	gate := ConditionFunc("cancel-after-3", func(s *System) bool {
+		polls++
+		if polls == 3 {
+			cancel()
+		}
+		return false
+	})
+	res := sys.Run(Until(gate), SchedulerSeed(47), WithContext(ctx))
+	if res.Err == nil {
+		t.Fatal("cancellation not reported")
+	}
+	if res.Stabilized {
+		t.Fatal("cancelled run reported stabilized")
+	}
+	if res.Interactions == 0 || res.Interactions >= sys.DefaultBudget() {
+		t.Fatalf("cancelled at %d interactions", res.Interactions)
+	}
+}
+
+// TestRunPreCancelledContext: a context cancelled before the run starts
+// executes zero interactions.
+func TestRunPreCancelledContext(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := sys.Run(WithContext(ctx), SchedulerSeed(49))
+	if res.Err == nil || res.Interactions != 0 || res.Stabilized {
+		t.Fatalf("pre-cancelled run = %+v", res)
+	}
+}
+
+// TestInjectTransientAt: a fault burst scheduled inside the run strikes at
+// its exact interaction count and the run recovers past it.
+func TestInjectTransientAt(t *testing.T) {
+	sys, err := New(Config{N: 16, R: 4, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stabilize first, so the scheduled burst is the only disturbance.
+	if res := sys.Run(SchedulerSeed(52)); !res.Stabilized {
+		t.Fatal("setup failed")
+	}
+	var sawUnsafe bool
+	res := sys.Run(
+		Until(SafeSet),
+		SchedulerSeed(53),
+		Confirm(uint64(40*sys.N())),
+		InjectTransientAt(100, 8, 54),
+		Observe(8, func(s Snapshot) {
+			if !s.InSafeSet {
+				sawUnsafe = true
+			}
+		}),
+	)
+	if !res.Stabilized {
+		t.Fatal("no recovery from scheduled burst")
+	}
+	if res.Interactions <= 100 {
+		t.Fatalf("run ended at %d, before the scheduled fault", res.Interactions)
+	}
+	if !sawUnsafe {
+		t.Fatal("burst of 8/16 agents never left the safe set")
+	}
+	if sys.Leaders() != 1 {
+		t.Fatalf("leaders = %d after recovery", sys.Leaders())
+	}
+}
+
+// TestRunDeterministicWithScheduler: two identical systems driven by two
+// identically seeded schedulers produce identical results and final states.
+func TestRunDeterministicWithScheduler(t *testing.T) {
+	run := func(sched Scheduler) (Result, string) {
+		sys, err := New(Config{N: 16, R: 4, Seed: 55})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryRandomGarbage, 56); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(WithScheduler(sched)), sys.Events()
+	}
+	r1, e1 := run(NewUniform(57))
+	r2, e2 := run(NewUniform(57))
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("non-deterministic: %+v/%s vs %+v/%s", r1, e1, r2, e2)
+	}
+}

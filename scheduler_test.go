@@ -1,0 +1,141 @@
+package sspp
+
+import (
+	"testing"
+)
+
+// TestBatchDealsUniformSchedule: the batched scheduler is a drop-in for the
+// uniform one — identical seed, identical pair sequence.
+func TestBatchDealsUniformSchedule(t *testing.T) {
+	const n = 48
+	uni := NewUniform(9)
+	batch := NewBatch(9, 64)
+	for i := 0; i < 10_000; i++ {
+		ua, ub := uni.Pair(n)
+		ba, bb := batch.Pair(n)
+		if ua != ba || ub != bb {
+			t.Fatalf("pair %d diverges: uniform (%d,%d) vs batch (%d,%d)", i, ua, ub, ba, bb)
+		}
+	}
+}
+
+// TestBatchRunMatchesUniformRun: a full protocol run is identical under
+// both schedulers.
+func TestBatchRunMatchesUniformRun(t *testing.T) {
+	run := func(sched Scheduler) (Result, string) {
+		sys, err := New(Config{N: 16, R: 4, Seed: 61})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryTriggered, 62); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(WithScheduler(sched)), sys.Events()
+	}
+	ru, eu := run(NewUniform(63))
+	rb, eb := run(NewBatch(63, 0))
+	if ru != rb || eu != eb {
+		t.Fatalf("batch diverges from uniform: %+v/%s vs %+v/%s", ru, eu, rb, eb)
+	}
+}
+
+// TestSchedulersDealValidPairs: every scheduler produces ordered pairs of
+// distinct in-range agents.
+func TestSchedulersDealValidPairs(t *testing.T) {
+	const n = 12
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	scheds := map[string]Scheduler{
+		"uniform":  NewUniform(1),
+		"batch":    NewBatch(2, 16),
+		"zipf":     NewZipf(3, n, 0.8),
+		"weighted": NewWeighted(4, weights),
+	}
+	for name, s := range scheds {
+		for i := 0; i < 5000; i++ {
+			a, b := s.Pair(n)
+			if a < 0 || a >= n || b < 0 || b >= n || a == b {
+				t.Fatalf("%s: invalid pair (%d, %d)", name, a, b)
+			}
+		}
+	}
+}
+
+// TestRecordReplayReproducesRun: a schedule captured with a Recorder and
+// replayed on a fresh identical system reproduces the identical trajectory
+// — the reproducible-trace workflow.
+func TestRecordReplayReproducesRun(t *testing.T) {
+	build := func() *System {
+		sys, err := New(Config{N: 16, R: 4, Seed: 65})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryTwoLeaders, 66); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	rec := NewRecorder(NewZipf(67, 16, 0.5)) // non-uniform: replay must capture it
+	first := build()
+	res1 := first.Run(WithScheduler(rec))
+	if !res1.Stabilized {
+		t.Fatal("recorded run did not stabilize")
+	}
+	recording := rec.Recording()
+	if recording.Len() == 0 || uint64(recording.Len()) != res1.Interactions {
+		t.Fatalf("recording holds %d pairs, run executed %d", recording.Len(), res1.Interactions)
+	}
+	second := build()
+	res2 := second.Run(WithScheduler(recording.Replay()))
+	if res1 != res2 {
+		t.Fatalf("replayed result %+v differs from recorded %+v", res2, res1)
+	}
+	r1, r2 := first.Ranks(), second.Ranks()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replayed ranks diverge at agent %d", i)
+		}
+	}
+	if first.Events() != second.Events() {
+		t.Fatalf("replayed events diverge:\n%s\n%s", first.Events(), second.Events())
+	}
+}
+
+// TestReplayWrapsAround: a consumer that outruns the recording cycles back
+// to its start instead of failing.
+func TestReplayWrapsAround(t *testing.T) {
+	rec := NewRecorder(NewUniform(68))
+	const n = 8
+	for i := 0; i < 5; i++ {
+		rec.Pair(n)
+	}
+	replay := rec.Recording().Replay()
+	var first [5][2]int
+	for i := 0; i < 5; i++ {
+		first[i][0], first[i][1] = replay.Pair(n)
+	}
+	for i := 0; i < 5; i++ {
+		a, b := replay.Pair(n)
+		if a != first[i][0] || b != first[i][1] {
+			t.Fatalf("wrap-around pair %d = (%d,%d), want (%d,%d)", i, a, b, first[i][0], first[i][1])
+		}
+	}
+}
+
+// TestZipfSkewsContactRates: larger s concentrates interactions on
+// low-index agents (sanity of the non-uniform model behind T16).
+func TestZipfSkewsContactRates(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	z := NewZipf(69, n, 1.2)
+	for i := 0; i < 40_000; i++ {
+		a, b := z.Pair(n)
+		counts[a]++
+		counts[b]++
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("no skew: agent 0 saw %d, agent %d saw %d", counts[0], n-1, counts[n-1])
+	}
+}

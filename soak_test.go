@@ -18,7 +18,7 @@ func TestSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := sys.RunToSafeSet(78, 0); !res.Stabilized {
+	if res := sys.Run(Until(SafeSet), SchedulerSeed(78)); !res.Stabilized {
 		t.Fatal("initial stabilization failed")
 	}
 	classes := AdversaryClasses()
@@ -34,7 +34,7 @@ func TestSoak(t *testing.T) {
 		} else {
 			sys.InjectTransient(1+round%n, seed)
 		}
-		res := sys.RunToSafeSet(seed+1, 0)
+		res := sys.Run(Until(SafeSet), SchedulerSeed(seed+1))
 		if !res.Stabilized {
 			t.Fatalf("round %d: no recovery (events %s)", round, sys.Events())
 		}

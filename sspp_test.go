@@ -25,7 +25,7 @@ func TestEndToEnd(t *testing.T) {
 	if sys.N() != 16 || sys.R() != 4 {
 		t.Fatal("accessors broken")
 	}
-	res := sys.RunToSafeSet(2, 0)
+	res := sys.Run(Until(SafeSet), SchedulerSeed(2))
 	if !res.Stabilized {
 		t.Fatalf("no stabilization within default budget %d", sys.DefaultBudget())
 	}
@@ -65,7 +65,7 @@ func TestInjectAndRecover(t *testing.T) {
 	if sys.Leaders() != 2 {
 		t.Fatalf("injection produced %d leaders, want 2", sys.Leaders())
 	}
-	res := sys.RunToSafeSet(6, 0)
+	res := sys.Run(Until(SafeSet), SchedulerSeed(6))
 	if !res.Stabilized {
 		t.Fatal("no recovery from two leaders")
 	}
@@ -87,18 +87,6 @@ func TestInjectUnknownClass(t *testing.T) {
 	}
 	if err := sys.Inject(Adversary("bogus"), 1); err == nil {
 		t.Fatal("unknown class must error")
-	}
-}
-
-func TestAdversaryCatalog(t *testing.T) {
-	classes := AdversaryClasses()
-	if len(classes) != 12 {
-		t.Fatalf("classes = %d, want 12", len(classes))
-	}
-	for _, c := range classes {
-		if DescribeAdversary(c) == "unknown class" {
-			t.Errorf("class %q undescribed", c)
-		}
 	}
 }
 
@@ -140,7 +128,7 @@ func TestSyntheticCoinsConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.RunToSafeSet(8, 0)
+	res := sys.Run(Until(SafeSet), SchedulerSeed(8))
 	if !res.Stabilized {
 		t.Fatal("derandomized mode did not stabilize")
 	}

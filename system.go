@@ -1,0 +1,195 @@
+// Package sspp is the public interface to this repository's reproduction of
+// "A Space-Time Trade-off for Fast Self-Stabilizing Leader Election in
+// Population Protocols" (Austin, Berenbrink, Friedetzky, Götte, Hintze;
+// PODC 2025, arXiv:2505.01210).
+//
+// The package wraps the full ElectLeader_r implementation (internal/core and
+// its substrates) behind three composable concepts:
+//
+//   - System — one population built from a Config. Runs are declared with
+//     composable RunOption values: stop conditions are first-class
+//     predicates (SafeSet, CorrectOutput, or user-supplied ConditionFunc),
+//     and budgets, confirmation windows, observation hooks, mid-run
+//     transient faults, and cancellation all compose freely.
+//   - Scheduler — the source of interaction pairs. NewUniform is the
+//     paper's model (§1.1: every ordered pair equally likely); NewBatch is
+//     a high-throughput drop-in with the identical schedule, NewZipf and
+//     NewWeighted model non-uniform contact rates, and NewRecorder /
+//     Recording.Replay capture and re-run exact schedules.
+//   - Ensemble — a declarative grid of (n, r) Points × adversary classes ×
+//     seed counts, executed across GOMAXPROCS workers with deterministic
+//     aggregation: results (and their JSON export) are byte-identical for
+//     every worker count.
+//
+// A minimal session:
+//
+//	sys, err := sspp.New(sspp.Config{N: 64, R: 8, Seed: 1})
+//	if err != nil { ... }
+//	_ = sys.Inject(sspp.AdversaryTwoLeaders, 7)
+//	res := sys.Run(
+//		sspp.Until(sspp.SafeSet), // the Lemma 6.1 stop condition
+//		sspp.SchedulerSeed(2),
+//	)
+//	if res.Stabilized {
+//		leader, _ := sys.Leader()
+//		fmt.Println("leader:", leader, "after", res.Interactions, "interactions")
+//	}
+//
+// And a family of runs — the shape the paper's tunable (n²/r)·log n result
+// actually calls for:
+//
+//	ens, err := sspp.NewEnsemble(sspp.Grid{
+//		Points:      []sspp.Point{{N: 32, R: 4}, {N: 64, R: 8}},
+//		Adversaries: []sspp.Adversary{sspp.AdversaryTriggered},
+//		Seeds:       10,
+//	})
+//	if err != nil { ... }
+//	out := ens.Run() // parallel; byte-identical at any worker count
+//	_ = out.WriteJSON(os.Stdout)
+//
+// Everything is deterministic given the seeds. See DESIGN.md §"Public API"
+// for the mapping from these types to the paper's concepts, and
+// EXPERIMENTS.md for the reproduction results; cmd/benchtab regenerates
+// every table.
+package sspp
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/core"
+	"sspp/internal/sim"
+)
+
+// Config configures a System.
+type Config struct {
+	// N is the population size (n ≥ 2).
+	N int
+	// R is the space-time trade-off parameter (1 ≤ r ≤ n/2): larger r is
+	// faster and uses more states (Theorem 1.1).
+	R int
+	// Seed seeds the protocol-internal randomness. Scheduler randomness is
+	// separate: see SchedulerSeed and WithScheduler.
+	Seed uint64
+	// SyntheticCoins runs the protocol fully derandomized (Appendix B).
+	SyntheticCoins bool
+}
+
+// System is a running ElectLeader_r population.
+type System struct {
+	proto  *core.Protocol
+	events *sim.Events
+	cfg    Config
+}
+
+// New builds a System. The initial configuration is the clean
+// post-awakening one (all agents fresh rankers); use Inject for adversarial
+// starts.
+func New(cfg Config) (*System, error) {
+	ev := sim.NewEvents()
+	opts := []core.Option{core.WithSeed(cfg.Seed), core.WithEvents(ev)}
+	if cfg.SyntheticCoins {
+		opts = append(opts, core.WithSyntheticCoins())
+	}
+	p, err := core.New(cfg.N, cfg.R, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sspp: %w", err)
+	}
+	return &System{proto: p, events: ev, cfg: cfg}, nil
+}
+
+// N returns the population size.
+func (s *System) N() int { return s.proto.N() }
+
+// R returns the trade-off parameter.
+func (s *System) R() int { return s.proto.R() }
+
+// Interactions returns the number of interactions executed so far.
+func (s *System) Interactions() uint64 { return s.proto.Clock() }
+
+// DefaultBudget returns the default interaction budget for the system's
+// (n, r): a generous multiple of the Theorem 1.1 bound (n²/r)·log n.
+func (s *System) DefaultBudget() uint64 {
+	n, r := float64(s.N()), float64(s.R())
+	return uint64(1000 * n * n / r * math.Log(n+1))
+}
+
+// Leader returns the index of the unique leader, or ok = false when the
+// configuration does not currently have exactly one leader. O(1): the core
+// tracks the leader incrementally, so no scan is performed.
+func (s *System) Leader() (int, bool) { return s.proto.LeaderIndex() }
+
+// Leaders returns the number of agents currently outputting "leader". O(1).
+func (s *System) Leaders() int { return s.proto.Leaders() }
+
+// Ranks returns every agent's current rank output.
+func (s *System) Ranks() []int {
+	out := make([]int, s.N())
+	for i := range out {
+		out[i] = int(s.proto.RankOutput(i))
+	}
+	return out
+}
+
+// Correct reports whether exactly one agent outputs "leader".
+func (s *System) Correct() bool { return s.proto.Correct() }
+
+// CorrectRanking reports whether the rank outputs form a permutation.
+func (s *System) CorrectRanking() bool { return s.proto.CorrectRanking() }
+
+// InSafeSet reports whether the configuration is in (the checkable core of)
+// the safe set of Lemma 6.1.
+func (s *System) InSafeSet() bool { return s.proto.InSafeSet() }
+
+// Roles returns the number of agents that are resetting, ranking, and
+// verifying.
+func (s *System) Roles() (resetting, ranking, verifying int) {
+	return s.proto.Roles()
+}
+
+// EventCount returns how often the named event occurred; see Events for the
+// available names.
+func (s *System) EventCount(name string) uint64 { return s.events.Count(name) }
+
+// Events returns all recorded event names with counts, rendered compactly.
+func (s *System) Events() string { return s.events.String() }
+
+// HardResets returns the number of full resets triggered so far.
+func (s *System) HardResets() uint64 { return s.events.Count(core.EventHardReset) }
+
+// StateBits returns log₂ of the per-agent state-space size of ElectLeader_r
+// for the given parameters (the Figure 1 formula) — 2^O(r²·log n).
+func StateBits(n, r int) float64 {
+	return core.ElectLeaderBits(float64(n), float64(r))
+}
+
+// Snapshot is a point-in-time view of the population used by the Observe
+// run option and the tracing tools built on it.
+type Snapshot struct {
+	// Interactions is the total interactions executed so far.
+	Interactions uint64
+	// Resetting, Ranking, Verifying are the role counts.
+	Resetting, Ranking, Verifying int
+	// Leaders is the number of agents outputting "leader".
+	Leaders int
+	// HardResets, SoftResets, Tops are cumulative event counts.
+	HardResets, SoftResets, Tops uint64
+	// InSafeSet reports whether the configuration is in the safe set.
+	InSafeSet bool
+}
+
+// Snapshot returns the current population composition.
+func (s *System) Snapshot() Snapshot {
+	resetting, rankingCount, verifying := s.proto.Roles()
+	return Snapshot{
+		Interactions: s.proto.Clock(),
+		Resetting:    resetting,
+		Ranking:      rankingCount,
+		Verifying:    verifying,
+		Leaders:      s.proto.Leaders(),
+		HardResets:   s.events.Count(core.EventHardReset),
+		SoftResets:   s.events.Count("verify.soft_reset"),
+		Tops:         s.events.Count("verify.top"),
+		InSafeSet:    s.proto.InSafeSet(),
+	}
+}
