@@ -5,8 +5,11 @@
 package sspp
 
 import (
+	"fmt"
+
 	"sspp/internal/adversary"
 	"sspp/internal/rng"
+	"sspp/internal/sim"
 )
 
 // Adversary identifies an adversarial starting-configuration class; see
@@ -53,9 +56,22 @@ func RankingPreserved(a Adversary) bool {
 }
 
 // Inject rewrites the current configuration according to the adversary
-// class, using seed for any random choices the class needs.
+// class, using seed for any random choices the class needs. It dispatches
+// on the protocol's injectable capability: protocols without it (namerank,
+// fastle, most custom protocols) report an error, and protocols with it
+// reject classes that are not realizable in their state space.
 func (s *System) Inject(a Adversary, seed uint64) error {
-	return adversary.Apply(s.proto, adversary.Class(a), rng.New(seed))
+	return s.injectWith(a, rng.New(seed))
+}
+
+// injectWith is Inject against a caller-owned randomness stream, used by
+// the Ensemble layer so trial randomness stays pre-derived.
+func (s *System) injectWith(a Adversary, src *rng.PRNG) error {
+	inj, ok := s.proto.(sim.Injectable)
+	if !ok {
+		return fmt.Errorf("sspp: protocol %q does not support adversarial injection", s.ProtocolName())
+	}
+	return inj.Inject(string(a), src)
 }
 
 // InjectTransient corrupts k uniformly chosen agents in place with random
@@ -64,6 +80,18 @@ func (s *System) Inject(a Adversary, seed uint64) error {
 // transient-fault model that motivates self-stabilization. It returns the
 // victim indices. The population recovers on its own (experiment T14); see
 // also the InjectTransientAt run option for faults scheduled inside a Run.
+// Protocols without the injectable capability return nil and are left
+// untouched.
 func (s *System) InjectTransient(k int, seed uint64) []int {
-	return adversary.Transient(s.proto, k, rng.New(seed))
+	return s.injectTransientWith(k, rng.New(seed))
+}
+
+// injectTransientWith is InjectTransient against a caller-owned randomness
+// stream.
+func (s *System) injectTransientWith(k int, src *rng.PRNG) []int {
+	inj, ok := s.proto.(sim.Injectable)
+	if !ok {
+		return nil
+	}
+	return inj.InjectTransient(k, src)
 }

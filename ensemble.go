@@ -1,10 +1,11 @@
 // ensemble.go implements the first-class parallel experiment layer: an
-// Ensemble declares a grid of (n, r) parameter points × adversary classes ×
-// seed counts and runs every trial across GOMAXPROCS workers through the
-// deterministic trial engine (internal/trials). Aggregation is byte-exact
-// for every worker count: trial randomness is pre-derived per (cell, seed)
-// and results land in declaration order, so the summary statistics — and
-// their JSON export — are a pure function of the Grid.
+// Ensemble declares a grid of protocols × (n, r) parameter points ×
+// adversary classes × seed counts and runs every trial across GOMAXPROCS
+// workers through the deterministic trial engine (internal/trials).
+// Aggregation is byte-exact for every worker count: trial randomness is
+// pre-derived per (cell, seed) and results land in declaration order, so
+// the summary statistics — and their JSON export, plus the pivoted
+// CompareResult — are a pure function of the Grid.
 //
 // The per-seed randomness derivation matches the historical
 // internal/experiments harness (stream s is the s-th sequential Fork of
@@ -19,40 +20,67 @@ import (
 	"fmt"
 	"io"
 
-	"sspp/internal/adversary"
-	"sspp/internal/core"
 	"sspp/internal/rng"
+	"sspp/internal/sim"
 	"sspp/internal/stats"
 	"sspp/internal/trials"
 )
 
-// EnsembleSchemaVersion identifies the EnsembleResult JSON layout.
+// EnsembleSchemaVersion identifies the EnsembleResult JSON layout. Fields
+// added for the protocol registry ("protocols", per-cell "protocol") are
+// omitted when a grid does not cross protocols, so single-protocol exports
+// are byte-identical to the pre-registry layout.
 const EnsembleSchemaVersion = 1
 
-// Point is one (n, r) parameter point of an Ensemble grid.
+// CompareSchemaVersion identifies the CompareResult JSON layout.
+const CompareSchemaVersion = 1
+
+// Point is one (n, r) parameter point of an Ensemble grid. R parameterizes
+// ElectLeader_r and is ignored by the baseline protocols.
 type Point struct {
 	N int `json:"n"`
 	R int `json:"r"`
 }
 
-// Grid declares a family of runs: the cross product of parameter Points ×
-// Adversaries × Seeds independent seeds per cell. Every run starts from the
-// adversarial configuration, runs to the safe set of Lemma 6.1 under the
-// uniform scheduler, and reports its arrival time.
+// Grid declares a family of runs: the cross product of Protocols ×
+// parameter Points × Adversaries × Seeds independent seeds per cell. Every
+// run starts from the (optionally adversarial) configuration, runs to its
+// protocol's stabilization condition — the safe set where the protocol has
+// one, confirmed correct output otherwise — under the uniform scheduler,
+// and reports its arrival time.
 type Grid struct {
+	// Protocols are registry protocol names (see Protocols()); empty means
+	// the paper's ElectLeader_r alone, keeping the pre-registry JSON layout.
+	Protocols []string
 	// Points are the (n, r) parameter points (at least one).
 	Points []Point
 	// Adversaries are the starting-configuration classes; empty means a
-	// single clean (un-corrupted) start per point.
+	// single clean (un-corrupted) start per point, and an explicit ""
+	// entry adds a clean-start column next to adversarial ones. Trials
+	// whose protocol cannot realize a class (no injectable capability, or
+	// an ElectLeader-specific class on a baseline) count as failures.
 	Adversaries []Adversary
 	// Seeds is the number of independent runs per cell (default 5).
 	Seeds int
 	// BaseSeed offsets all trial randomness for reproducibility studies.
 	BaseSeed uint64
-	// MaxInteractions is the per-run budget (0: each point's DefaultBudget,
-	// the generous Theorem 1.1 multiple).
+	// MaxInteractions is the per-run budget (0: each system's
+	// DefaultBudget, the generous multiple of its expected shape).
 	MaxInteractions uint64
-	// SyntheticCoins runs every trial fully derandomized (Appendix B).
+	// Confirm overrides the confirmation window of protocols measured at
+	// the output level (0: the per-run default of 20·n). It also applies to
+	// safe-set protocols, where it demands the safe set hold that long.
+	Confirm uint64
+	// TransientK, when positive, switches every trial to the recovery
+	// shape of experiment T14: stabilize first, corrupt TransientK agents
+	// in place, and measure the re-stabilization time (cell statistics then
+	// summarize recovery, and HardResets counts only post-fault resets).
+	// Requires protocols with the injectable capability.
+	TransientK int
+	// Tau is the timeout parameter for "loosele" points (0: 4·ln n).
+	Tau int32
+	// SyntheticCoins runs every trial fully derandomized (Appendix B;
+	// "electleader" only).
 	SyntheticCoins bool
 }
 
@@ -76,9 +104,27 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 	if len(g.Points) == 0 {
 		return nil, fmt.Errorf("sspp: ensemble grid has no points")
 	}
-	for _, pt := range g.Points {
-		if err := core.ValidateParams(pt.N, pt.R); err != nil {
-			return nil, fmt.Errorf("sspp: ensemble point (n=%d, r=%d): %w", pt.N, pt.R, err)
+	protos := g.Protocols
+	if len(protos) == 0 {
+		protos = []string{""}
+	}
+	for _, name := range protos {
+		spec, err := specFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range g.Points {
+			cfg := Config{Protocol: name, N: pt.N, R: pt.R, Tau: g.Tau,
+				SyntheticCoins: g.SyntheticCoins}
+			if err := spec.validate(cfg); err != nil {
+				return nil, fmt.Errorf("sspp: ensemble point (n=%d, r=%d) for protocol %q: %w",
+					pt.N, pt.R, spec.name, err)
+			}
+		}
+		if g.TransientK > 0 {
+			if _, ok := spec.zero.(sim.Injectable); !ok {
+				return nil, fmt.Errorf("sspp: TransientK requires the injectable capability, which protocol %q lacks", spec.name)
+			}
 		}
 	}
 	known := make(map[Adversary]bool)
@@ -86,7 +132,7 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 		known[c] = true
 	}
 	for _, a := range g.Adversaries {
-		if !known[a] {
+		if a != "" && !known[a] {
 			return nil, fmt.Errorf("sspp: ensemble grid names unknown adversary class %q", a)
 		}
 	}
@@ -95,6 +141,9 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 	}
 	if g.Seeds == 0 {
 		g.Seeds = 5
+	}
+	if g.TransientK < 0 {
+		return nil, fmt.Errorf("sspp: ensemble grid has negative transient burst size %d", g.TransientK)
 	}
 	e := &Ensemble{grid: g}
 	for _, o := range opts {
@@ -129,45 +178,66 @@ func summarize(xs []float64) Distribution {
 	}
 }
 
-// Cell is the aggregated outcome of one grid cell (a Point × Adversary
-// pair): safe-set arrival statistics over the cell's seeds.
+// Cell is the aggregated outcome of one grid cell (a Protocol × Point ×
+// Adversary triple): stabilization-arrival statistics over the cell's
+// seeds.
 type Cell struct {
+	// Protocol is the registry protocol name ("" when the grid did not
+	// cross protocols, i.e. the default ElectLeader_r).
+	Protocol string `json:"protocol,omitempty"`
 	// Point is the (n, r) parameter point.
 	Point Point `json:"point"`
 	// Adversary is the starting-configuration class ("" for a clean start).
 	Adversary Adversary `json:"adversary,omitempty"`
 	// Seeds is the number of trials run for the cell.
 	Seeds int `json:"seeds"`
-	// Recovered counts trials that reached the safe set within budget.
+	// Recovered counts trials that stabilized within budget (and, with
+	// TransientK, re-stabilized after the fault burst).
 	Recovered int `json:"recovered"`
 	// Failures counts trials that did not (including unrealizable
 	// injections at this point).
 	Failures int `json:"failures"`
-	// Interactions summarizes safe-set arrival times over recovered trials,
-	// in interactions.
+	// Interactions summarizes stabilization arrival times over recovered
+	// trials, in interactions (with TransientK: post-fault recovery times).
 	Interactions Distribution `json:"interactions"`
 	// ParallelTime is Interactions scaled by 1/n (the paper's time unit).
 	ParallelTime Distribution `json:"parallel_time"`
-	// HardResets summarizes full resets per recovered trial.
+	// HardResets summarizes full resets per recovered trial (with
+	// TransientK: resets after the fault burst only).
 	HardResets Distribution `json:"hard_resets"`
-	// Samples holds the raw safe-set arrival times (interactions) of the
-	// recovered trials, in seed order.
+	// Samples holds the raw stabilization arrival times (interactions) of
+	// the recovered trials, in seed order.
 	Samples []float64 `json:"samples"`
 }
 
 // EnsembleResult is the aggregated outcome of an Ensemble run. Its JSON
 // encoding is byte-identical for every worker count.
 type EnsembleResult struct {
-	SchemaVersion int    `json:"schema_version"`
-	Seeds         int    `json:"seeds"`
-	BaseSeed      uint64 `json:"base_seed"`
-	Cells         []Cell `json:"cells"`
+	SchemaVersion int `json:"schema_version"`
+	// Protocols echoes the grid's protocol list (omitted when the grid did
+	// not cross protocols).
+	Protocols []string `json:"protocols,omitempty"`
+	Seeds     int      `json:"seeds"`
+	BaseSeed  uint64   `json:"base_seed"`
+	Cells     []Cell   `json:"cells"`
 }
 
-// Cell returns the cell for the given point and adversary class.
+// Cell returns the first cell for the given point and adversary class
+// (across all protocols when the grid crossed several; see ProtocolCell).
 func (r *EnsembleResult) Cell(p Point, a Adversary) (Cell, bool) {
 	for _, c := range r.Cells {
 		if c.Point == p && c.Adversary == a {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// ProtocolCell returns the cell for the given protocol, point and adversary
+// class ("" matches the default single-protocol grid).
+func (r *EnsembleResult) ProtocolCell(protocol string, p Point, a Adversary) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Protocol == protocol && c.Point == p && c.Adversary == a {
 			return c, true
 		}
 	}
@@ -181,6 +251,81 @@ func (r *EnsembleResult) JSON() ([]byte, error) {
 
 // WriteJSON writes the indented JSON rendering to w.
 func (r *EnsembleResult) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// CompareRow is one (point, adversary) row of a CompareResult, holding the
+// per-protocol cells side by side.
+type CompareRow struct {
+	// Point is the (n, r) parameter point.
+	Point Point `json:"point"`
+	// Adversary is the starting-configuration class ("" for clean starts).
+	Adversary Adversary `json:"adversary,omitempty"`
+	// Cells holds one cell per protocol, in CompareResult.Protocols order.
+	Cells []Cell `json:"cells"`
+}
+
+// CompareResult pivots an EnsembleResult for cross-protocol comparison: one
+// row per (point, adversary) with the protocols side by side. Like the
+// EnsembleResult it derives from, its JSON encoding is byte-identical for
+// every worker count.
+type CompareResult struct {
+	SchemaVersion int          `json:"schema_version"`
+	Protocols     []string     `json:"protocols"`
+	Seeds         int          `json:"seeds"`
+	BaseSeed      uint64       `json:"base_seed"`
+	Rows          []CompareRow `json:"rows"`
+}
+
+// Compare pivots the result by protocol: every (point, adversary) pair
+// becomes one row holding each protocol's cell. Grids that did not cross
+// protocols pivot to single-cell rows labelled "electleader".
+func (r *EnsembleResult) Compare() *CompareResult {
+	protos := r.Protocols
+	if len(protos) == 0 {
+		protos = []string{ProtocolElectLeader}
+	}
+	out := &CompareResult{
+		SchemaVersion: CompareSchemaVersion,
+		Protocols:     protos,
+		Seeds:         r.Seeds,
+		BaseSeed:      r.BaseSeed,
+	}
+	if len(r.Cells)%len(protos) != 0 {
+		return out
+	}
+	perProto := len(r.Cells) / len(protos)
+	for j := 0; j < perProto; j++ {
+		row := CompareRow{
+			Point:     r.Cells[j].Point,
+			Adversary: r.Cells[j].Adversary,
+			Cells:     make([]Cell, 0, len(protos)),
+		}
+		for pi := range protos {
+			cell := r.Cells[pi*perProto+j]
+			if cell.Protocol == "" {
+				cell.Protocol = protos[pi]
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// JSON renders the comparison as indented JSON.
+func (r *CompareResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteJSON writes the indented JSON rendering to w.
+func (r *CompareResult) WriteJSON(w io.Writer) error {
 	b, err := r.JSON()
 	if err != nil {
 		return err
@@ -222,46 +367,81 @@ func deriveSeedStreams(baseSeed uint64, seeds int) []seedStreams {
 	return out
 }
 
+// runTrial executes one (protocol, point, adversary, seed) trial: build,
+// optionally inject, run to the stabilization condition — and, in
+// TransientK mode, corrupt and run again, reporting the recovery.
+func (e *Ensemble) runTrial(proto string, pt Point, class Adversary, st seedStreams) trialOutcome {
+	g := e.grid
+	advSrc, schedSrc := st.adv, st.sched
+	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
+		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau})
+	if err != nil {
+		return trialOutcome{}
+	}
+	if class != "" {
+		if err := sys.injectWith(class, &advSrc); err != nil {
+			return trialOutcome{}
+		}
+	}
+	opts := []RunOption{Until(SafeSet), WithScheduler(&schedSrc),
+		MaxInteractions(g.MaxInteractions)}
+	if g.Confirm > 0 {
+		opts = append(opts, Confirm(g.Confirm))
+	}
+	res := sys.Run(opts...)
+	if !res.Stabilized {
+		return trialOutcome{}
+	}
+	if g.TransientK > 0 {
+		hardBefore := sys.HardResets()
+		sys.injectTransientWith(g.TransientK, &advSrc)
+		res = sys.Run(opts...)
+		if !res.Stabilized {
+			return trialOutcome{}
+		}
+		return trialOutcome{ok: true, took: res.StabilizedAt,
+			hard: sys.HardResets() - hardBefore}
+	}
+	return trialOutcome{ok: true, took: res.StabilizedAt, hard: sys.HardResets()}
+}
+
 // Run executes every trial of the grid across the worker pool and
-// aggregates per cell, in grid declaration order.
+// aggregates per cell, in grid declaration order (protocols outermost,
+// then points, then adversaries).
 func (e *Ensemble) Run() *EnsembleResult {
 	g := e.grid
+	protos := g.Protocols
+	if len(protos) == 0 {
+		protos = []string{""}
+	}
 	advs := g.Adversaries
 	if len(advs) == 0 {
 		advs = []Adversary{""}
 	}
-	cells := len(g.Points) * len(advs)
+	perProto := len(g.Points) * len(advs)
+	cells := len(protos) * perProto
 	jobs := cells * g.Seeds
 	streams := deriveSeedStreams(g.BaseSeed, g.Seeds)
 
 	outs := trials.Run(e.workers, jobs, g.BaseSeed, func(j int, _ *rng.PRNG) trialOutcome {
 		ci, s := j/g.Seeds, j%g.Seeds
-		pt := g.Points[ci/len(advs)]
+		proto := protos[ci/perProto]
+		pt := g.Points[ci%perProto/len(advs)]
 		class := advs[ci%len(advs)]
-		advSrc, schedSrc := streams[s].adv, streams[s].sched
-		sys, err := New(Config{N: pt.N, R: pt.R, Seed: streams[s].protoSeed, SyntheticCoins: g.SyntheticCoins})
-		if err != nil {
-			return trialOutcome{}
-		}
-		if class != "" {
-			if err := adversary.Apply(sys.proto, adversary.Class(class), &advSrc); err != nil {
-				return trialOutcome{}
-			}
-		}
-		res := sys.Run(Until(SafeSet), WithScheduler(&schedSrc),
-			MaxInteractions(g.MaxInteractions))
-		return trialOutcome{ok: res.Stabilized, took: res.Interactions, hard: sys.HardResets()}
+		return e.runTrial(proto, pt, class, streams[s])
 	})
 
 	out := &EnsembleResult{
 		SchemaVersion: EnsembleSchemaVersion,
+		Protocols:     g.Protocols,
 		Seeds:         g.Seeds,
 		BaseSeed:      g.BaseSeed,
 		Cells:         make([]Cell, 0, cells),
 	}
 	for ci := 0; ci < cells; ci++ {
 		cell := Cell{
-			Point:     g.Points[ci/len(advs)],
+			Protocol:  protos[ci/perProto],
+			Point:     g.Points[ci%perProto/len(advs)],
 			Adversary: advs[ci%len(advs)],
 			Seeds:     g.Seeds,
 			Samples:   []float64{},

@@ -1,6 +1,10 @@
 // Substrates: demonstrate the two probabilistic primitives the paper's
-// analysis leans on — one-way epidemics (Lemma A.2) and token load balancing
-// (Lemma E.6 / Berenbrink et al. 2019) — and measure their constants.
+// analysis leans on — one-way epidemics (Lemma A.2) and token load
+// balancing (Lemma E.6 / Berenbrink et al. 2019) — and measure their
+// constants. Each substrate is written here as a tiny custom protocol and
+// driven by the same public engine as everything else (sspp.NewCustom +
+// Run with a first-class stop condition): the engine is not specific to
+// leader election.
 //
 //	go run ./examples/substrates [-n 512]
 package main
@@ -8,13 +12,122 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math"
 
-	"sspp/internal/epidemic"
-	"sspp/internal/loadbalance"
-	"sspp/internal/rng"
-	"sspp/internal/stats"
+	"sspp"
 )
+
+// epidemicProto is a one- or two-way infection epidemic: agent 0 starts
+// informed, Interact spreads the information along the interaction edge,
+// and the output is correct once everyone is informed.
+type epidemicProto struct {
+	infected []bool
+	count    int
+	twoWay   bool
+}
+
+func newEpidemic(n int, twoWay bool) *epidemicProto {
+	e := &epidemicProto{infected: make([]bool, n), twoWay: twoWay}
+	e.infected[0] = true
+	e.count = 1
+	return e
+}
+
+func (e *epidemicProto) N() int { return len(e.infected) }
+
+func (e *epidemicProto) Interact(a, b int) {
+	if e.infected[a] && !e.infected[b] {
+		e.infected[b] = true
+		e.count++
+	} else if e.twoWay && e.infected[b] && !e.infected[a] {
+		e.infected[a] = true
+		e.count++
+	}
+}
+
+func (e *epidemicProto) Correct() bool { return e.count == len(e.infected) }
+
+// balanceProto is the token load-balancing substrate of Berenbrink et al.
+// (IPDPS 2019): 2n tokens start as a point mass on agent 0, and an
+// interacting pair rebalances to ⌈(x+y)/2⌉ and ⌊(x+y)/2⌋ tokens. Correct
+// once the discrepancy (max − min load) is at most 3.
+type balanceProto struct {
+	tokens []int64
+}
+
+func newPointMass(n int, tokens int64) *balanceProto {
+	p := &balanceProto{tokens: make([]int64, n)}
+	p.tokens[0] = tokens
+	return p
+}
+
+func (p *balanceProto) N() int { return len(p.tokens) }
+
+func (p *balanceProto) Interact(a, b int) {
+	sum := p.tokens[a] + p.tokens[b]
+	half := sum / 2
+	p.tokens[a] = sum - half
+	p.tokens[b] = half
+}
+
+func (p *balanceProto) discrepancy() int64 {
+	min, max := p.tokens[0], p.tokens[0]
+	for _, t := range p.tokens[1:] {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return max - min
+}
+
+func (p *balanceProto) Correct() bool { return p.discrepancy() <= 3 }
+
+// measure runs one substrate to its stop condition and returns the arrival
+// time in interactions (-1 when the budget ran out).
+func measure(proto sspp.Protocol, seed, budget uint64) float64 {
+	sys, err := sspp.NewCustom(proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sys.Run(
+		sspp.Until(sspp.CorrectOutput),
+		sspp.SchedulerSeed(seed),
+		sspp.MaxInteractions(budget),
+		sspp.PollEvery(8),
+	)
+	if !res.Stabilized {
+		return -1
+	}
+	return float64(res.StabilizedAt)
+}
+
+// acc is a tiny mean/max accumulator.
+type acc struct {
+	sum, max float64
+	n        int
+}
+
+func (a *acc) add(x float64) {
+	if x < 0 {
+		return
+	}
+	a.sum += x
+	a.n++
+	if x > a.max {
+		a.max = x
+	}
+}
+
+func (a *acc) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
 
 func main() {
 	n := flag.Int("n", 512, "population size")
@@ -22,32 +135,28 @@ func main() {
 	flag.Parse()
 
 	nln := float64(*n) * math.Log(float64(*n))
+	budget := uint64(200 * nln)
 
 	// Lemma A.2: epidemics complete within c_epi·n·log n, c_epi < 7.
-	var one, two stats.Acc
+	var one, two acc
 	for s := 0; s < *runs; s++ {
-		one.Add(float64(epidemic.CompletionTime(*n, rng.New(uint64(s)), false)))
-		two.Add(float64(epidemic.CompletionTime(*n, rng.New(uint64(s)+500), true)))
+		one.add(measure(newEpidemic(*n, false), uint64(s), budget))
+		two.add(measure(newEpidemic(*n, true), uint64(s)+500, budget))
 	}
 	fmt.Printf("epidemics at n = %d (%d runs):\n", *n, *runs)
 	fmt.Printf("  one-way:  mean %-9.0f interactions  = %.2f · n·ln n (max %.2f)\n",
-		one.Mean(), one.Mean()/nln, one.Max()/nln)
+		one.mean(), one.mean()/nln, one.max/nln)
 	fmt.Printf("  two-way:  mean %-9.0f interactions  = %.2f · n·ln n (max %.2f)\n",
-		two.Mean(), two.Mean()/nln, two.Max()/nln)
+		two.mean(), two.mean()/nln, two.max/nln)
 	fmt.Printf("  Lemma A.2 claims completion within c_epi·n·log n for c_epi < 7\n\n")
 
 	// Lemma E.6 substrate: load balancing from a point mass of 2n tokens.
-	var lb stats.Acc
+	var lb acc
 	for s := 0; s < *runs; s++ {
-		p := loadbalance.NewPointMass(*n, int64(2**n))
-		took, ok := loadbalance.RunUntilDiscrepancy(p, rng.New(uint64(s)+900), 3,
-			uint64(200*nln))
-		if ok {
-			lb.Add(float64(took))
-		}
+		lb.add(measure(newPointMass(*n, int64(2**n)), uint64(s)+900, budget))
 	}
 	fmt.Printf("load balancing at n = %d, 2n tokens on one agent (%d runs):\n", *n, *runs)
 	fmt.Printf("  discrepancy ≤ 3 after mean %-9.0f interactions = %.2f · n·ln n\n",
-		lb.Mean(), lb.Mean()/nln)
+		lb.mean(), lb.mean()/nln)
 	fmt.Printf("  ([9] Thm 1, which Lemma E.6 couples to message dispersal)\n")
 }

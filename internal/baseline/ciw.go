@@ -27,7 +27,16 @@ type CIW struct {
 	ranks []int32
 }
 
-var _ sim.Protocol = (*CIW)(nil)
+// CIW exposes the ranking and safe-set capabilities of the run engine; its
+// safe set is exactly the permutation configurations, where the protocol is
+// silent (no interaction changes any state), so "correct ranking" is
+// "correct forever".
+var (
+	_ sim.Protocol   = (*CIW)(nil)
+	_ sim.Ranker     = (*CIW)(nil)
+	_ sim.SafeSetter = (*CIW)(nil)
+	_ sim.Injectable = (*CIW)(nil)
+)
 
 // NewCIW returns a CIW instance over n agents starting from the all-rank-1
 // configuration (the canonical worst-ish case).
@@ -90,3 +99,36 @@ func (c *CIW) CorrectRanking() bool {
 
 // Rank returns agent i's rank belief.
 func (c *CIW) Rank(i int) int32 { return c.ranks[i] }
+
+// RankOutput returns agent i's rank output (the whole state is the rank).
+func (c *CIW) RankOutput(i int) int32 { return c.ranks[i] }
+
+// Leaders returns the number of agents currently outputting "leader"
+// (holding rank 1).
+func (c *CIW) Leaders() int {
+	leaders := 0
+	for _, r := range c.ranks {
+		if r == 1 {
+			leaders++
+		}
+	}
+	return leaders
+}
+
+// LeaderIndex returns the unique rank-1 agent, or ok = false when the
+// configuration does not currently have exactly one.
+func (c *CIW) LeaderIndex() (int, bool) {
+	idx, leaders := -1, 0
+	for i, r := range c.ranks {
+		if r == 1 {
+			idx = i
+			leaders++
+		}
+	}
+	return idx, leaders == 1
+}
+
+// InSafeSet reports whether the configuration is a permutation: CIW is
+// silent there (the (k, k) rule never fires again), so the output is
+// correct forever — the protocol's safe set.
+func (c *CIW) InSafeSet() bool { return c.CorrectRanking() }

@@ -1,0 +1,146 @@
+// inject.go implements the Injectable capability for the self- and
+// loosely-stabilizing baselines. The class vocabulary is shared with
+// internal/adversary (the canonical names of DESIGN.md §5); each baseline
+// realizes the subset of classes that is meaningful for its state space and
+// rejects the rest, which the Ensemble layer counts as unrealizable
+// injections.
+
+package baseline
+
+import (
+	"fmt"
+
+	"sspp/internal/adversary"
+	"sspp/internal/rng"
+)
+
+// victims draws k distinct agent indices from [0, n) (all of them when
+// k ≥ n), matching the transient-fault model of internal/adversary.
+func victims(n, k int, src *rng.PRNG) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + src.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// shuffledPermutation fills ranks with a uniformly random permutation of
+// [1, n].
+func shuffledPermutation(ranks []int32, src *rng.PRNG) {
+	for i := range ranks {
+		ranks[i] = int32(i + 1)
+	}
+	for i := range ranks {
+		j := i + src.Intn(len(ranks)-i)
+		ranks[i], ranks[j] = ranks[j], ranks[i]
+	}
+}
+
+// Inject rewrites the CIW configuration according to the adversary class.
+// Realizable classes: clean-rankers (the all-rank-1 worst-ish start),
+// two-leaders, no-leader, duplicate-ranks, random-garbage. The remaining
+// classes describe ElectLeader_r-specific structure (roles, generations,
+// messages) with no CIW counterpart and return an error.
+func (c *CIW) Inject(class string, src *rng.PRNG) error {
+	n := len(c.ranks)
+	switch adversary.Class(class) {
+	case adversary.ClassCleanRankers:
+		for i := range c.ranks {
+			c.ranks[i] = 1
+		}
+	case adversary.ClassTwoLeaders:
+		shuffledPermutation(c.ranks, src)
+		for i, r := range c.ranks {
+			if r == 2 {
+				c.ranks[i] = 1 // second leader; rank 2 now missing
+				break
+			}
+		}
+	case adversary.ClassNoLeader:
+		shuffledPermutation(c.ranks, src)
+		for i, r := range c.ranks {
+			if r == 1 {
+				c.ranks[i] = 2 // rank 2 duplicated; no leader left
+				break
+			}
+		}
+	case adversary.ClassDuplicateRanks:
+		shuffledPermutation(c.ranks, src)
+		k := n / 8
+		if k < 2 {
+			k = 2
+		}
+		for _, i := range victims(n, k, src) {
+			c.ranks[i] = c.ranks[src.Intn(n)]
+		}
+	case adversary.ClassRandomGarbage:
+		for i := range c.ranks {
+			c.ranks[i] = int32(src.Intn(n)) + 1
+		}
+	default:
+		return fmt.Errorf("baseline: class %q not realizable for CIW", class)
+	}
+	return nil
+}
+
+// InjectTransient corrupts k uniformly chosen agents with random ranks in
+// [1, n] and returns the victim indices.
+func (c *CIW) InjectTransient(k int, src *rng.PRNG) []int {
+	hit := victims(len(c.ranks), k, src)
+	for _, i := range hit {
+		c.ranks[i] = int32(src.Intn(len(c.ranks))) + 1
+	}
+	return hit
+}
+
+// Inject rewrites the LooseLE configuration according to the adversary
+// class. Realizable classes: no-leader (the canonical all-timers-zero
+// adversarial start), two-leaders, random-garbage; the others describe
+// rank/role structure LooseLE does not have.
+func (l *LooseLE) Inject(class string, src *rng.PRNG) error {
+	n := len(l.timer)
+	switch adversary.Class(class) {
+	case adversary.ClassNoLeader:
+		for i := range l.timer {
+			l.leader[i] = false
+			l.timer[i] = 0
+		}
+	case adversary.ClassTwoLeaders:
+		for i := range l.timer {
+			l.leader[i] = false
+			l.timer[i] = l.tau
+		}
+		for _, i := range victims(n, 2, src) {
+			l.leader[i] = true
+		}
+	case adversary.ClassRandomGarbage:
+		for i := range l.timer {
+			l.leader[i] = src.Bool()
+			l.timer[i] = src.Int31n(l.tau + 1)
+		}
+	default:
+		return fmt.Errorf("baseline: class %q not realizable for LooseLE", class)
+	}
+	return nil
+}
+
+// InjectTransient corrupts k uniformly chosen agents with random leader
+// bits and timers and returns the victim indices.
+func (l *LooseLE) InjectTransient(k int, src *rng.PRNG) []int {
+	hit := victims(len(l.timer), k, src)
+	for _, i := range hit {
+		l.leader[i] = src.Bool()
+		l.timer[i] = src.Int31n(l.tau + 1)
+	}
+	return hit
+}

@@ -23,7 +23,14 @@ type LooseLE struct {
 	timer  []int32
 }
 
-var _ sim.Protocol = (*LooseLE)(nil)
+// LooseLE is deliberately NOT a SafeSetter: loose stabilization holds the
+// leader only for a finite time, so there is no configuration set that is
+// correct forever — the engine measures it at the output level instead
+// (correct output through a confirmation window).
+var (
+	_ sim.Protocol   = (*LooseLE)(nil)
+	_ sim.Injectable = (*LooseLE)(nil)
+)
 
 // NewLooseLE returns a LooseLE over n agents with timeout τ and no initial
 // leader (all timers at zero forces an immediate self-promotion burst — the
@@ -85,6 +92,19 @@ func (l *LooseLE) Leaders() int {
 		}
 	}
 	return c
+}
+
+// LeaderIndex returns the unique leader, or ok = false when the
+// configuration does not currently have exactly one.
+func (l *LooseLE) LeaderIndex() (int, bool) {
+	idx, leaders := -1, 0
+	for i, b := range l.leader {
+		if b {
+			idx = i
+			leaders++
+		}
+	}
+	return idx, leaders == 1
 }
 
 // Tau returns the timeout parameter.

@@ -24,7 +24,15 @@ type NameRank struct {
 	rank  []int32   // 0 until decided
 }
 
-var _ sim.Protocol = (*NameRank)(nil)
+// NameRank ranks but is not Injectable: it is not self-stabilizing, so an
+// adversarial rewrite has no recovery guarantee to measure. Its safe set is
+// the committed permutations: committed agents never change rank, so a
+// correct configuration is correct forever.
+var (
+	_ sim.Protocol   = (*NameRank)(nil)
+	_ sim.Ranker     = (*NameRank)(nil)
+	_ sim.SafeSetter = (*NameRank)(nil)
+)
 
 // NewNameRank returns a NameRank over n agents, drawing names from [n³]
 // using sample. Name collisions (probability O(1/n)) leave some agents
@@ -104,6 +112,42 @@ func (nr *NameRank) Correct() bool {
 
 // Rank returns agent i's committed rank (0 if undecided).
 func (nr *NameRank) Rank(i int) int32 { return nr.rank[i] }
+
+// RankOutput returns agent i's committed rank (0 if undecided).
+func (nr *NameRank) RankOutput(i int) int32 { return nr.rank[i] }
+
+// CorrectRanking reports whether the committed ranks form a permutation;
+// for NameRank this coincides with Correct.
+func (nr *NameRank) CorrectRanking() bool { return nr.Correct() }
+
+// Leaders returns the number of agents committed to rank 1.
+func (nr *NameRank) Leaders() int {
+	leaders := 0
+	for _, r := range nr.rank {
+		if r == 1 {
+			leaders++
+		}
+	}
+	return leaders
+}
+
+// LeaderIndex returns the unique rank-1 agent, or ok = false when there is
+// not exactly one.
+func (nr *NameRank) LeaderIndex() (int, bool) {
+	idx, leaders := -1, 0
+	for i, r := range nr.rank {
+		if r == 1 {
+			idx = i
+			leaders++
+		}
+	}
+	return idx, leaders == 1
+}
+
+// InSafeSet reports whether every agent has committed and the ranks form a
+// permutation: committed agents never change rank and a fully committed
+// pair interacts silently, so such a configuration is correct forever.
+func (nr *NameRank) InSafeSet() bool { return nr.Correct() }
 
 // Bits returns the current memory footprint of agent i in bits: 3·log₂(n)
 // per stored name. This measures the O(n·log n)-bit cost the paper's deputy

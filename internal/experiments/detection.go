@@ -82,9 +82,9 @@ func T8Soundness(cfg Config) *Table {
 	}
 	perSeed := uint64(60_000)
 	type outcome struct {
-		ran                        bool
-		tops                       int
-		conservation, restriction  string
+		ran                       bool
+		tops                      int
+		conservation, restriction string
 	}
 	for _, c := range cases {
 		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {

@@ -3,16 +3,15 @@
 // self-stabilization in the first place (§1: "memory and states can be
 // corrupted through all kinds of outside influences"). A stabilized
 // population has k agents corrupted in place; we measure the time to return
-// to the safe set as a function of the fault burst size.
+// to the safe set as a function of the fault burst size. The whole shape
+// runs through the generalized Ensemble's TransientK recovery mode, which
+// stabilizes, strikes through the Injectable capability, and reports
+// post-fault recovery statistics.
 
 package experiments
 
 import (
-	"sspp/internal/adversary"
-	"sspp/internal/core"
-	"sspp/internal/rng"
-	"sspp/internal/sim"
-	"sspp/internal/stats"
+	"sspp"
 )
 
 // T14TransientFaults measures re-stabilization after mid-run corruption of
@@ -27,53 +26,31 @@ func T14TransientFaults(cfg Config) *Table {
 			"O((n²/r)·log n) envelope (n=32, r=8)",
 		Header: []string{"k victims", "recovered", "mean re-stabilization", "±95%", "hard resets (mean)"},
 	}
-	type outcome struct {
-		ok         bool
-		took, hard float64
-	}
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
-		results := seedTrials(cfg, cfg.seeds(), func(s int) outcome {
-			seed := cfg.BaseSeed + uint64(s)*31
-			ev := sim.NewEvents()
-			p, err := core.New(n, r, core.WithSeed(seed), core.WithEvents(ev))
-			if err != nil {
-				return outcome{}
-			}
-			// Stabilize first.
-			if _, ok := p.RunToSafeSet(rng.New(seed+1), safeSetBudget(n, r)); !ok {
-				return outcome{}
-			}
-			hardBefore := ev.Count(core.EventHardReset)
-			// Strike.
-			adversary.Transient(p, k, rng.New(seed+2))
-			// Recover.
-			took, ok := p.RunToSafeSet(rng.New(seed+3), safeSetBudget(n, r))
-			if !ok {
-				return outcome{}
-			}
-			return outcome{ok: true, took: float64(took),
-				hard: float64(ev.Count(core.EventHardReset) - hardBefore)}
-		})
-		var times, hard stats.Acc
-		recovered := 0
-		for _, o := range results {
-			if !o.ok {
-				continue
-			}
-			recovered++
-			times.Add(o.took)
-			hard.Add(o.hard)
+		ens, err := sspp.NewEnsemble(sspp.Grid{
+			Points:     []sspp.Point{{N: n, R: r}},
+			Seeds:      cfg.seeds(),
+			BaseSeed:   cfg.BaseSeed,
+			TransientK: k,
+		}, sspp.Workers(cfg.Workers))
+		if err != nil {
+			t.Note("k=%d grid rejected: %v", k, err)
+			continue
 		}
-		if times.N() == 0 {
+		cell := ens.Run().Cells[0]
+		if cell.Recovered == 0 {
 			t.Append(itoa(k), "0/"+itoa(cfg.seeds()), "-", "-", "-")
 			continue
 		}
-		t.Append(itoa(k), itoa(recovered)+"/"+itoa(cfg.seeds()),
-			fmtU(uint64(times.Mean())), fmtU(uint64(times.CI95())), fmtF(hard.Mean(), 1))
+		t.Append(itoa(k), itoa(cell.Recovered)+"/"+itoa(cfg.seeds()),
+			fmtU(uint64(cell.Interactions.Mean)), fmtU(uint64(cell.Interactions.CI95)),
+			fmtF(cell.HardResets.Mean, 1))
 	}
 	t.Note("victims get random type-valid states (rank claims, resets, scrambled timers, " +
 		"corrupted messages); the untouched majority detects the inconsistency and resets")
 	t.Note("k=1 with a lucky non-conflicting corruption can be absorbed without any reset; " +
 		"larger bursts almost always force one full re-ranking")
+	t.Note("runs through the Ensemble TransientK recovery mode: stabilize, corrupt k agents " +
+		"via the injectable capability, re-run the same engine to the safe set")
 	return t
 }

@@ -76,7 +76,14 @@ type FastLE struct {
 	sample  coin.Sampler
 }
 
-var _ sim.Protocol = (*FastLE)(nil)
+// FastLE has a safe set in the engine's sense: once every agent has
+// concluded (Done), the leader bits never change again, so a correct
+// configuration is correct forever. It is not Injectable — Lemma D.10 only
+// covers awakening starts, so there is no recovery guarantee to measure.
+var (
+	_ sim.Protocol   = (*FastLE)(nil)
+	_ sim.SafeSetter = (*FastLE)(nil)
+)
 
 // NewFastLE returns a FastLeaderElect instance over n agents. sample
 // provides the identifier randomness (PRNG-backed or synthetic-coin).
@@ -124,6 +131,24 @@ func (f *FastLE) Leaders() int {
 	}
 	return c
 }
+
+// LeaderIndex returns the unique concluded leader, or ok = false when the
+// election has not concluded with exactly one.
+func (f *FastLE) LeaderIndex() (int, bool) {
+	idx, leaders := -1, 0
+	for i := range f.agents {
+		if f.agents[i].Done && f.agents[i].Leader {
+			idx = i
+			leaders++
+		}
+	}
+	return idx, leaders == 1
+}
+
+// InSafeSet reports whether the election has concluded everywhere with
+// exactly one leader: Done agents never flip their leader bit, so this
+// holds forever once reached.
+func (f *FastLE) InSafeSet() bool { return f.Correct() }
 
 // AllDone reports whether the protocol has concluded at every agent.
 func (f *FastLE) AllDone() bool {

@@ -1,0 +1,80 @@
+// capability.go defines the optional capability interfaces a Protocol may
+// implement on top of the minimal N/Interact/Correct contract. The run
+// engine and the public facade never require them: they type-assert at the
+// call site and degrade gracefully (e.g. the safe-set stop condition falls
+// back to confirmed correct output for protocols without a safe set). This
+// is what lets one engine drive every protocol — the paper's ElectLeader_r,
+// the comparison baselines, and user-supplied protocols alike.
+
+package sim
+
+import "sspp/internal/rng"
+
+// Ranker is implemented by protocols whose output is a full ranking of the
+// population (leader election by rank 1), not just a leader bit.
+type Ranker interface {
+	// RankOutput returns agent i's current rank output (1-based; 0 or an
+	// out-of-range value when the agent has not committed to a rank).
+	RankOutput(i int) int32
+	// CorrectRanking reports whether the rank outputs form a permutation of
+	// [1, n].
+	CorrectRanking() bool
+}
+
+// SafeSetter is implemented by protocols with a checkable safe set: a set of
+// configurations that is closed under every interaction and in which the
+// output is correct — correct forever, the paper's notion of stabilization
+// (Lemma 6.1). Protocols without this capability are measured at the output
+// level instead (correct output held through a confirmation window).
+type SafeSetter interface {
+	InSafeSet() bool
+}
+
+// Injectable is implemented by protocols that support adversarial state
+// rewrites: whole-population starting configurations drawn from a named
+// class, and mid-run transient corruption of k agents. Self-stabilizing
+// protocols recover from both; the engine uses the capability for
+// adversarial Ensemble grids and scheduled in-run fault bursts.
+type Injectable interface {
+	// Inject rewrites the current configuration according to the named
+	// adversary class (internal/adversary class names), drawing any needed
+	// randomness from src. It returns an error when the class is unknown or
+	// not realizable for this protocol.
+	Inject(class string, src *rng.PRNG) error
+	// InjectTransient corrupts k uniformly chosen agents in place with
+	// random type-valid states, returning the victim indices.
+	InjectTransient(k int, src *rng.PRNG) []int
+}
+
+// Snapshot is a generic point-in-time view of a population: the fields a
+// protocol cannot fill (e.g. role counts for protocols without roles) stay
+// zero. Interactions is filled by the engine, the rest by the protocol's
+// Snapshotter implementation (or by generic fallbacks).
+type Snapshot struct {
+	// Interactions is the total interactions executed so far.
+	Interactions uint64
+	// Resetting, Ranking, Verifying are role counts (ElectLeader_r only).
+	Resetting, Ranking, Verifying int
+	// Leaders is the number of agents currently outputting "leader".
+	Leaders int
+	// HardResets, SoftResets, Tops are cumulative event counts.
+	HardResets, SoftResets, Tops uint64
+	// InSafeSet reports whether the configuration is in the safe set (always
+	// false for protocols without one).
+	InSafeSet bool
+}
+
+// Snapshotter is implemented by protocols that can export a richer state
+// summary than the generic Correct/Leaders fallback.
+type Snapshotter interface {
+	// SnapshotInto fills every field of s the protocol knows about; the
+	// engine pre-fills Interactions.
+	SnapshotInto(s *Snapshot)
+}
+
+// Clocked is implemented by protocols that count their own interactions;
+// the engine then reports the protocol's clock instead of its own tally, so
+// direct protocol-level steps stay visible.
+type Clocked interface {
+	Clock() uint64
+}

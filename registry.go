@@ -1,0 +1,301 @@
+// registry.go implements the public protocol registry: every protocol the
+// repository carries — the paper's ElectLeader_r and the related-work
+// baselines that anchor its trade-off curve — runs through the same engine
+// (System.Run, schedulers, Ensemble grids). A protocol is selected by name
+// via Config.Protocol; what the engine can do with it is governed by the
+// optional capability interfaces of internal/sim (Ranker, SafeSetter,
+// Injectable, Snapshotter), which the engine probes at the call sites.
+// User-defined protocols plug into the identical machinery via NewCustom.
+
+package sspp
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/adversary"
+	"sspp/internal/baseline"
+	"sspp/internal/coin"
+	"sspp/internal/core"
+	"sspp/internal/ranking"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// The registry protocol names accepted by Config.Protocol.
+const (
+	// ProtocolElectLeader is the paper's ElectLeader_r (Theorem 1.1):
+	// self-stabilizing ranking in O((n²/r)·log n) interactions with
+	// 2^O(r²·log n) states. The default.
+	ProtocolElectLeader = "electleader"
+	// ProtocolCIW is the n-state silent self-stabilizing ranking in the
+	// style of Cai, Izumi, and Wada (§2): the state-optimal anchor with
+	// Θ(n²) expected time.
+	ProtocolCIW = "ciw"
+	// ProtocolNameRank is the names-broadcast ranking of Appendix D / [16]
+	// (cf. Burman et al.): time-optimal O(n·log n) interactions, O(n·log n)
+	// bits per agent, not self-stabilizing.
+	ProtocolNameRank = "namerank"
+	// ProtocolLooseLE is a loosely-stabilizing leader election in the style
+	// of Sudo et al.: fast convergence from any configuration, but the
+	// leader is held only for a finite τ-controlled time.
+	ProtocolLooseLE = "loosele"
+	// ProtocolFastLE is FastLeaderElect (Appendix D.2, Lemma D.10): fast
+	// non-self-stabilizing election from awakening starts.
+	ProtocolFastLE = "fastle"
+)
+
+// Capability names reported by ProtocolInfo.Capabilities.
+const (
+	// CapabilityRanker: the protocol outputs a full ranking (Ranks works).
+	CapabilityRanker = "ranker"
+	// CapabilitySafeSet: the protocol has a checkable safe set, so
+	// Until(SafeSet) measures the paper's stabilization notion directly.
+	// Without it, SafeSet falls back to CorrectOutput + Confirm.
+	CapabilitySafeSet = "safe-set"
+	// CapabilityInjectable: adversarial starts (Inject) and transient
+	// faults (InjectTransient, InjectTransientAt) are supported.
+	CapabilityInjectable = "injectable"
+	// CapabilitySnapshotter: Snapshot exports role and event detail beyond
+	// the generic leader count.
+	CapabilitySnapshotter = "snapshotter"
+)
+
+// ProtocolInfo describes one registry protocol.
+type ProtocolInfo struct {
+	// Name is the Config.Protocol value selecting the protocol.
+	Name string
+	// Description is a one-line summary with the paper/related-work anchor.
+	Description string
+	// SelfStabilizing reports whether the protocol recovers from arbitrary
+	// configurations (Theorem 1.1's notion; loose stabilization is false).
+	SelfStabilizing bool
+	// Capabilities lists the optional engine capabilities the protocol
+	// implements (Capability* constants).
+	Capabilities []string
+}
+
+// protocolSpec is one registry entry: constructor, validation and the
+// default interaction budget for the protocol's expected running time.
+type protocolSpec struct {
+	name            string
+	description     string
+	selfStabilizing bool
+	validate        func(cfg Config) error
+	build           func(cfg Config, ev *sim.Events) (sim.Protocol, error)
+	budget          func(cfg Config) uint64
+	// zero is a typed nil of the protocol's concrete type: capabilities are
+	// a property of the type, so they are probed with type assertions on
+	// this value without constructing an instance.
+	zero sim.Protocol
+}
+
+// electProtocol adapts *core.Protocol to the Injectable capability: the
+// adversarial generators live in internal/adversary (which depends on core,
+// so core cannot carry them itself). Every other capability is promoted
+// from the embedded protocol.
+type electProtocol struct {
+	*core.Protocol
+}
+
+// Inject rewrites the configuration according to the named adversary class.
+func (e electProtocol) Inject(class string, src *rng.PRNG) error {
+	return adversary.Apply(e.Protocol, adversary.Class(class), src)
+}
+
+// InjectTransient corrupts k uniformly chosen agents in place.
+func (e electProtocol) InjectTransient(k int, src *rng.PRNG) []int {
+	return adversary.Transient(e.Protocol, k, src)
+}
+
+// validateBaseline is the shared validation of the non-core protocols: a
+// real population and no synthetic-coin mode (the Appendix B construction
+// is wired into ElectLeader_r's agents only).
+func validateBaseline(cfg Config) error {
+	if cfg.N < 2 {
+		return fmt.Errorf("population size %d < 2", cfg.N)
+	}
+	if cfg.SyntheticCoins {
+		return fmt.Errorf("synthetic coins are only supported by %q", ProtocolElectLeader)
+	}
+	return nil
+}
+
+// looseTau resolves the LooseLE timeout: Config.Tau, defaulting to 4·ln n —
+// safely above the heartbeat-epidemic scale (T13).
+func looseTau(cfg Config) int32 {
+	if cfg.Tau > 0 {
+		return cfg.Tau
+	}
+	tau := int32(4 * math.Log(float64(cfg.N)))
+	if tau < 1 {
+		tau = 1
+	}
+	return tau
+}
+
+// nLogBudget is the generic budget c·n·ln(n+1) for protocols with
+// O(n·log n)-shaped running times.
+func nLogBudget(c float64, n int) uint64 {
+	nf := float64(n)
+	return uint64(c * nf * math.Log(nf+1))
+}
+
+// protocolOrder lists the registry in presentation order.
+var protocolOrder = []string{
+	ProtocolElectLeader, ProtocolCIW, ProtocolNameRank, ProtocolLooseLE, ProtocolFastLE,
+}
+
+// protocolSpecs is the registry. Budgets are generous multiples of each
+// protocol's expected stabilization shape, mirroring DefaultBudget's role
+// for ElectLeader_r.
+var protocolSpecs = map[string]*protocolSpec{
+	ProtocolElectLeader: {
+		name:            ProtocolElectLeader,
+		description:     "ElectLeader_r (Thm 1.1): self-stabilizing ranking, O((n²/r)·log n) time, 2^O(r²·log n) states",
+		selfStabilizing: true,
+		validate:        func(cfg Config) error { return core.ValidateParams(cfg.N, cfg.R) },
+		build: func(cfg Config, ev *sim.Events) (sim.Protocol, error) {
+			opts := []core.Option{core.WithSeed(cfg.Seed), core.WithEvents(ev)}
+			if cfg.SyntheticCoins {
+				opts = append(opts, core.WithSyntheticCoins())
+			}
+			p, err := core.New(cfg.N, cfg.R, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return electProtocol{p}, nil
+		},
+		budget: func(cfg Config) uint64 {
+			n, r := float64(cfg.N), float64(cfg.R)
+			return uint64(1000 * n * n / r * math.Log(n+1))
+		},
+		zero: electProtocol{},
+	},
+	ProtocolCIW: {
+		name:            ProtocolCIW,
+		description:     "Cai-Izumi-Wada-style silent ranking (§2): n states, Θ(n²) expected time, self-stabilizing",
+		selfStabilizing: true,
+		validate:        validateBaseline,
+		build: func(cfg Config, _ *sim.Events) (sim.Protocol, error) {
+			return baseline.NewCIW(cfg.N), nil
+		},
+		budget: func(cfg Config) uint64 { return uint64(2000 * cfg.N * cfg.N) },
+		zero:   (*baseline.CIW)(nil),
+	},
+	ProtocolNameRank: {
+		name:            ProtocolNameRank,
+		description:     "names-broadcast ranking (App. D / [16]): O(n·log n) time whp, O(n·log n) bits, not self-stabilizing",
+		selfStabilizing: false,
+		validate:        validateBaseline,
+		build: func(cfg Config, _ *sim.Events) (sim.Protocol, error) {
+			return baseline.NewNameRank(cfg.N, coin.FromPRNG(rng.New(cfg.Seed))), nil
+		},
+		budget: func(cfg Config) uint64 { return nLogBudget(2000, cfg.N) },
+		zero:   (*baseline.NameRank)(nil),
+	},
+	ProtocolLooseLE: {
+		name:            ProtocolLooseLE,
+		description:     "loosely-stabilizing election (Sudo et al.): fast convergence, leader held for a finite τ-controlled time",
+		selfStabilizing: false,
+		validate:        validateBaseline,
+		build: func(cfg Config, _ *sim.Events) (sim.Protocol, error) {
+			return baseline.NewLooseLE(cfg.N, looseTau(cfg)), nil
+		},
+		budget: func(cfg Config) uint64 { return nLogBudget(500, cfg.N) },
+		zero:   (*baseline.LooseLE)(nil),
+	},
+	ProtocolFastLE: {
+		name:            ProtocolFastLE,
+		description:     "FastLeaderElect (App. D.2, Lemma D.10): O(n·log n) election from awakening starts, not self-stabilizing",
+		selfStabilizing: false,
+		validate:        validateBaseline,
+		build: func(cfg Config, _ *sim.Events) (sim.Protocol, error) {
+			return ranking.NewFastLE(cfg.N, coin.FromPRNG(rng.New(cfg.Seed))), nil
+		},
+		budget: func(cfg Config) uint64 { return nLogBudget(1000, cfg.N) },
+		zero:   (*ranking.FastLE)(nil),
+	},
+}
+
+// specFor resolves a Config.Protocol value ("" selects ElectLeader_r).
+func specFor(name string) (*protocolSpec, error) {
+	if name == "" {
+		name = ProtocolElectLeader
+	}
+	spec, ok := protocolSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("sspp: unknown protocol %q (see Protocols())", name)
+	}
+	return spec, nil
+}
+
+// capabilitiesOf probes which optional engine capabilities p implements.
+func capabilitiesOf(p sim.Protocol) []string {
+	var caps []string
+	if _, ok := p.(sim.Ranker); ok {
+		caps = append(caps, CapabilityRanker)
+	}
+	if _, ok := p.(sim.SafeSetter); ok {
+		caps = append(caps, CapabilitySafeSet)
+	}
+	if _, ok := p.(sim.Injectable); ok {
+		caps = append(caps, CapabilityInjectable)
+	}
+	if _, ok := p.(sim.Snapshotter); ok {
+		caps = append(caps, CapabilitySnapshotter)
+	}
+	return caps
+}
+
+// Protocols returns the registry in presentation order: every protocol
+// Config.Protocol accepts, with its capability set. All of them run through
+// the same System.Run and Ensemble machinery.
+func Protocols() []ProtocolInfo {
+	out := make([]ProtocolInfo, 0, len(protocolOrder))
+	for _, name := range protocolOrder {
+		spec := protocolSpecs[name]
+		out = append(out, ProtocolInfo{
+			Name:            spec.name,
+			Description:     spec.description,
+			SelfStabilizing: spec.selfStabilizing,
+			Capabilities:    capabilitiesOf(spec.zero),
+		})
+	}
+	return out
+}
+
+// Protocol is the minimal contract a population protocol needs to run on
+// the engine: a fixed population, a transition function over ordered pairs,
+// and an output-correctness predicate. Implementations may additionally
+// provide the optional capabilities (see the Capability* constants) as
+// methods — the engine detects them structurally.
+//
+// Implementations are single-threaded state machines: the engine calls
+// Interact sequentially, never concurrently.
+type Protocol interface {
+	// N returns the population size.
+	N() int
+	// Interact applies the transition function to the ordered pair of
+	// distinct agents (a, b): a initiates, b responds.
+	Interact(a, b int)
+	// Correct reports whether the current configuration has correct output
+	// (for leader election: exactly one agent outputs "leader").
+	Correct() bool
+}
+
+// NewCustom wraps a user-supplied protocol in a System, so it runs through
+// the same engine as the registry protocols: composable Run options,
+// pluggable schedulers, stop predicates (SafeSet falls back to confirmed
+// correct output unless the protocol implements an InSafeSet method), and
+// custom conditions. The default interaction budget is 1000·n·ln(n+1);
+// protocols expected to be slower should pass MaxInteractions explicitly.
+func NewCustom(p Protocol) (*System, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sspp: nil protocol")
+	}
+	if p.N() < 2 {
+		return nil, fmt.Errorf("sspp: population size %d < 2", p.N())
+	}
+	return &System{proto: p, events: sim.NewEvents(), cfg: Config{N: p.N()}}, nil
+}

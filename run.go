@@ -9,9 +9,9 @@ package sspp
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
-	"sspp/internal/adversary"
 	"sspp/internal/rng"
 	"sspp/internal/sim"
 )
@@ -26,19 +26,27 @@ type Condition struct {
 	// population of n agents (matching the historical per-condition poll
 	// rates, which the deprecated wrappers rely on for bit-identity).
 	cadence func(n int) uint64
+	// safeSet marks the built-in SafeSet condition, which Run replaces with
+	// CorrectOutput + Confirm for protocols without a safe set.
+	safeSet bool
 }
 
 // String returns the condition's name (also reported in Result.Condition).
 func (c Condition) String() string { return c.name }
 
 // SafeSet holds when the configuration is in (the checkable core of) the
-// safe set of Lemma 6.1: correct ranking, all verifiers, coherent
-// generations — correct forever. This is the paper's stabilization notion
-// and the default stop condition of Run.
+// protocol's safe set — for ElectLeader_r the safe set of Lemma 6.1:
+// correct ranking, all verifiers, coherent generations — correct forever.
+// This is the paper's stabilization notion and the default stop condition
+// of Run. For protocols without a checkable safe set (no safe-set
+// capability, e.g. the loosely-stabilizing baseline), Run substitutes
+// CorrectOutput with a confirmation window of 20·n interactions (unless
+// Confirm was given), and Result.Condition reports "correct-output".
 var SafeSet = Condition{
 	name:    "safe-set",
 	holds:   (*System).InSafeSet,
 	cadence: func(n int) uint64 { return uint64(n/2 + 1) },
+	safeSet: true,
 }
 
 // CorrectOutput holds when exactly one agent outputs "leader". Unlike
@@ -146,7 +154,9 @@ func Observe(cadence uint64, fn func(Snapshot)) RunOption {
 // mid-run transient-fault model, see System.InjectTransient) once the run
 // reaches interaction t, counted from the start of this Run call. Faults
 // scheduled past the point at which the run stops do not fire. The option
-// may be repeated to schedule several bursts.
+// may be repeated to schedule several bursts. Scheduling faults on a
+// protocol without the injectable capability fails the run up front
+// (Result.Err, zero interactions) rather than silently skipping the burst.
 func InjectTransientAt(t uint64, k int, seed uint64) RunOption {
 	return func(r *runSpec) {
 		r.faults = append(r.faults, transientFault{at: t, k: k, seed: seed})
@@ -200,6 +210,29 @@ func (s *System) Run(opts ...RunOption) Result {
 		o(&spec)
 	}
 	n := s.N()
+	// Safe-set fallback: protocols without a checkable safe set are measured
+	// at the output level instead — correct output held through a
+	// confirmation window (20·n interactions unless Confirm was given).
+	if spec.cond.safeSet {
+		if _, ok := s.proto.(sim.SafeSetter); !ok {
+			spec.cond = CorrectOutput
+			if spec.confirm == 0 {
+				spec.confirm = uint64(20 * n)
+			}
+		}
+	}
+	// Scheduled fault bursts need the injectable capability; fail the run up
+	// front instead of reporting a clean result for a fault that never fired.
+	if len(spec.faults) > 0 {
+		if _, ok := s.proto.(sim.Injectable); !ok {
+			return Result{
+				Condition:    spec.cond.name,
+				ParallelTime: -1,
+				Err: fmt.Errorf("sspp: protocol %q does not support transient faults",
+					s.ProtocolName()),
+			}
+		}
+	}
 	max := spec.max
 	if max == 0 {
 		max = s.DefaultBudget()
@@ -229,7 +262,7 @@ func (s *System) Run(opts ...RunOption) Result {
 	// Faults scheduled at t = 0 strike the starting configuration, before
 	// the initial condition poll.
 	for fi < len(spec.faults) && spec.faults[fi].at == 0 {
-		adversary.Transient(s.proto, spec.faults[fi].k, rng.New(spec.faults[fi].seed))
+		s.injectTransientWith(spec.faults[fi].k, rng.New(spec.faults[fi].seed))
 		fi++
 	}
 	held := spec.cond.holds(s)
@@ -272,13 +305,14 @@ func (s *System) Run(opts ...RunOption) Result {
 		if fi < len(spec.faults) && spec.faults[fi].at < next {
 			next = spec.faults[fi].at
 		}
+		s.clock += next - t
 		for t < next {
 			a, b := sched.Pair(n)
 			s.proto.Interact(a, b)
 			t++
 		}
 		for fi < len(spec.faults) && spec.faults[fi].at == t {
-			adversary.Transient(s.proto, spec.faults[fi].k, rng.New(spec.faults[fi].seed))
+			s.injectTransientWith(spec.faults[fi].k, rng.New(spec.faults[fi].seed))
 			fi++
 		}
 		if t == nextObs {
@@ -315,12 +349,14 @@ func (s *System) Run(opts ...RunOption) Result {
 // schedules.
 func (s *System) Step(schedulerSeed uint64, k uint64) {
 	sim.Steps(s.proto, rng.New(schedulerSeed), k)
+	s.clock += k
 }
 
 // StepSched executes exactly k interactions under an arbitrary Scheduler,
 // with no condition polling.
 func (s *System) StepSched(sched Scheduler, k uint64) {
 	sim.StepsSched(s.proto, sched, k)
+	s.clock += k
 }
 
 // RunToSafeSet runs until the configuration enters the safe set of Lemma 6.1

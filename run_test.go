@@ -105,6 +105,41 @@ func TestRunToStableOutputGolden(t *testing.T) {
 	}
 }
 
+// TestTraceGolden pins the deprecated Trace wrapper to the Run option list
+// its doc comment names: identical Result, identical observation stream.
+func TestTraceGolden(t *testing.T) {
+	build := func() *System {
+		sys, err := New(Config{N: 16, R: 4, Seed: 61})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Inject(AdversaryTriggered, 62); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	const cadence = 64
+	var traceObs, runObs []uint64
+	resTrace := build().Trace(63, 0, cadence, func(s Snapshot) {
+		traceObs = append(traceObs, s.Interactions)
+	})
+	resRun := build().Run(Until(SafeSet), SchedulerSeed(63), MaxInteractions(0),
+		PollEvery(cadence), Observe(cadence, func(s Snapshot) {
+			runObs = append(runObs, s.Interactions)
+		}))
+	if resTrace != resRun {
+		t.Fatalf("Trace %+v != documented replacement %+v", resTrace, resRun)
+	}
+	if len(traceObs) == 0 || len(traceObs) != len(runObs) {
+		t.Fatalf("observation streams diverge: %v vs %v", traceObs, runObs)
+	}
+	for i := range traceObs {
+		if traceObs[i] != runObs[i] {
+			t.Fatalf("observation %d diverges: %d vs %d", i, traceObs[i], runObs[i])
+		}
+	}
+}
+
 // TestRunDefaultsMatchExplicit: a bare Run() equals the fully spelled-out
 // option list it documents.
 func TestRunDefaultsMatchExplicit(t *testing.T) {

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Public-API guard: examples/ and cmd/ must reach the internals only via
+# the root sspp package. examples/ has zero tolerance — every example is a
+# demo of the public API. cmd/ carries an explicit allowlist for the
+# reproduction-harness commands whose whole job is driving an internal
+# subsystem (the experiment tables, the phase-timeline renderer, the
+# state-space formulas, the model checker); extend it deliberately, never
+# casually.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+
+if grep -Rn '"sspp/internal/' examples/ 2>/dev/null; then
+    echo "FAIL: examples/ import sspp/internal/... — use only the public sspp API" >&2
+    status=1
+fi
+
+allow='cmd/benchtab/main.go:sspp/internal/experiments
+cmd/benchtab/main.go:sspp/internal/trials
+cmd/electsim/main.go:sspp/internal/trace
+cmd/statespace/main.go:sspp/internal/core
+cmd/verifyspace/main.go:sspp/internal/modelcheck'
+
+bad=$(grep -Rn '"sspp/internal/' cmd/ 2>/dev/null | while IFS=: read -r file line imp; do
+    pkg=$(printf '%s' "$imp" | sed 's/.*"\(sspp\/internal\/[^"]*\)".*/\1/')
+    if ! printf '%s\n' "$allow" | grep -qx "$file:$pkg"; then
+        printf '  %s:%s imports %s\n' "$file" "$line" "$pkg"
+    fi
+done)
+
+if [ -n "$bad" ]; then
+    echo "FAIL: cmd/ internal imports outside the allowlist:" >&2
+    printf '%s\n' "$bad" >&2
+    status=1
+fi
+
+[ "$status" -eq 0 ] && echo "public-API import guard: OK"
+exit $status

@@ -4,22 +4,31 @@
 // PODC 2025, arXiv:2505.01210).
 //
 // The package wraps the full ElectLeader_r implementation (internal/core and
-// its substrates) behind three composable concepts:
+// its substrates) — and the related-work baselines that anchor the paper's
+// trade-off curve — behind four composable concepts:
 //
 //   - System — one population built from a Config. Runs are declared with
 //     composable RunOption values: stop conditions are first-class
 //     predicates (SafeSet, CorrectOutput, or user-supplied ConditionFunc),
 //     and budgets, confirmation windows, observation hooks, mid-run
 //     transient faults, and cancellation all compose freely.
+//   - Protocol registry — Config.Protocol selects which protocol the System
+//     runs: the paper's ElectLeader_r (the default) or one of the Section 2
+//     baselines (ciw, namerank, loosele, fastle — see Protocols()). Every
+//     protocol runs through the same engine; optional capabilities (rank
+//     outputs, safe sets, adversarial injection, state snapshots) are
+//     detected per protocol, and SafeSet degrades to confirmed correct
+//     output for protocols without a safe set. NewCustom runs user-supplied
+//     protocols on the identical machinery.
 //   - Scheduler — the source of interaction pairs. NewUniform is the
 //     paper's model (§1.1: every ordered pair equally likely); NewBatch is
 //     a high-throughput drop-in with the identical schedule, NewZipf and
 //     NewWeighted model non-uniform contact rates, and NewRecorder /
 //     Recording.Replay capture and re-run exact schedules.
-//   - Ensemble — a declarative grid of (n, r) Points × adversary classes ×
-//     seed counts, executed across GOMAXPROCS workers with deterministic
-//     aggregation: results (and their JSON export) are byte-identical for
-//     every worker count.
+//   - Ensemble — a declarative grid of protocols × (n, r) Points ×
+//     adversary classes × seed counts, executed across GOMAXPROCS workers
+//     with deterministic aggregation: results (and their JSON export, plus
+//     the pivoted CompareResult) are byte-identical for every worker count.
 //
 // A minimal session:
 //
@@ -35,22 +44,23 @@
 //		fmt.Println("leader:", leader, "after", res.Interactions, "interactions")
 //	}
 //
-// And a family of runs — the shape the paper's tunable (n²/r)·log n result
-// actually calls for:
+// And a cross-protocol family of runs — the comparison shape the paper's
+// trade-off (and its related work) actually calls for:
 //
 //	ens, err := sspp.NewEnsemble(sspp.Grid{
-//		Points:      []sspp.Point{{N: 32, R: 4}, {N: 64, R: 8}},
-//		Adversaries: []sspp.Adversary{sspp.AdversaryTriggered},
+//		Protocols:   []string{sspp.ProtocolElectLeader, sspp.ProtocolCIW},
+//		Points:      []sspp.Point{{N: 32, R: 8}, {N: 64, R: 16}},
+//		Adversaries: []sspp.Adversary{sspp.AdversaryTwoLeaders},
 //		Seeds:       10,
 //	})
 //	if err != nil { ... }
 //	out := ens.Run() // parallel; byte-identical at any worker count
-//	_ = out.WriteJSON(os.Stdout)
+//	_ = out.Compare().WriteJSON(os.Stdout)
 //
 // Everything is deterministic given the seeds. See DESIGN.md §"Public API"
-// for the mapping from these types to the paper's concepts, and
-// EXPERIMENTS.md for the reproduction results; cmd/benchtab regenerates
-// every table.
+// and §"Protocol registry" for the mapping from these types to the paper's
+// concepts, and EXPERIMENTS.md for the reproduction results; cmd/benchtab
+// regenerates every table.
 package sspp
 
 import (
@@ -63,92 +73,183 @@ import (
 
 // Config configures a System.
 type Config struct {
+	// Protocol selects the protocol from the registry ("" means
+	// "electleader", the paper's ElectLeader_r; see Protocols() for the
+	// catalogue).
+	Protocol string
 	// N is the population size (n ≥ 2).
 	N int
-	// R is the space-time trade-off parameter (1 ≤ r ≤ n/2): larger r is
-	// faster and uses more states (Theorem 1.1).
+	// R is the space-time trade-off parameter of ElectLeader_r
+	// (1 ≤ r ≤ n/2): larger r is faster and uses more states (Theorem 1.1).
+	// Ignored by the baseline protocols.
 	R int
 	// Seed seeds the protocol-internal randomness. Scheduler randomness is
 	// separate: see SchedulerSeed and WithScheduler.
 	Seed uint64
-	// SyntheticCoins runs the protocol fully derandomized (Appendix B).
+	// SyntheticCoins runs ElectLeader_r fully derandomized (Appendix B).
+	// Only supported by the "electleader" protocol.
 	SyntheticCoins bool
+	// Tau is the timeout parameter of the "loosele" protocol (0 selects
+	// 4·ln n). Ignored by every other protocol.
+	Tau int32
 }
 
-// System is a running ElectLeader_r population.
+// System is a running population: one protocol instance plus the engine
+// state needed to run it. All predicates and mutators dispatch on the
+// protocol's optional capabilities and degrade gracefully — e.g. Ranks
+// returns nil for protocols without rank outputs, and Inject reports an
+// error for protocols without adversarial-injection support.
 type System struct {
-	proto  *core.Protocol
+	proto  sim.Protocol
 	events *sim.Events
 	cfg    Config
+	spec   *protocolSpec // nil for NewCustom systems
+	clock  uint64        // engine-counted interactions (Clocked protocols report their own)
 }
 
-// New builds a System. The initial configuration is the clean
-// post-awakening one (all agents fresh rankers); use Inject for adversarial
-// starts.
+// New builds a System running the protocol named by cfg.Protocol (default:
+// the paper's ElectLeader_r). The initial configuration is the protocol's
+// canonical start — for ElectLeader_r the clean post-awakening one (all
+// agents fresh rankers); use Inject for adversarial starts.
 func New(cfg Config) (*System, error) {
-	ev := sim.NewEvents()
-	opts := []core.Option{core.WithSeed(cfg.Seed), core.WithEvents(ev)}
-	if cfg.SyntheticCoins {
-		opts = append(opts, core.WithSyntheticCoins())
+	spec, err := specFor(cfg.Protocol)
+	if err != nil {
+		return nil, err
 	}
-	p, err := core.New(cfg.N, cfg.R, opts...)
+	if err := spec.validate(cfg); err != nil {
+		return nil, fmt.Errorf("sspp: %w", err)
+	}
+	ev := sim.NewEvents()
+	p, err := spec.build(cfg, ev)
 	if err != nil {
 		return nil, fmt.Errorf("sspp: %w", err)
 	}
-	return &System{proto: p, events: ev, cfg: cfg}, nil
+	return &System{proto: p, events: ev, cfg: cfg, spec: spec}, nil
 }
+
+// ProtocolName returns the registry name of the system's protocol
+// ("custom" for NewCustom systems).
+func (s *System) ProtocolName() string {
+	if s.spec != nil {
+		return s.spec.name
+	}
+	return "custom"
+}
+
+// Capabilities returns the optional engine capabilities the system's
+// protocol implements (the Capability* constants).
+func (s *System) Capabilities() []string { return capabilitiesOf(s.proto) }
 
 // N returns the population size.
 func (s *System) N() int { return s.proto.N() }
 
-// R returns the trade-off parameter.
-func (s *System) R() int { return s.proto.R() }
+// R returns the trade-off parameter (0 for protocols without one).
+func (s *System) R() int {
+	if rr, ok := s.proto.(interface{ R() int }); ok {
+		return rr.R()
+	}
+	return 0
+}
 
 // Interactions returns the number of interactions executed so far.
-func (s *System) Interactions() uint64 { return s.proto.Clock() }
+func (s *System) Interactions() uint64 {
+	if c, ok := s.proto.(sim.Clocked); ok {
+		return c.Clock()
+	}
+	return s.clock
+}
 
-// DefaultBudget returns the default interaction budget for the system's
-// (n, r): a generous multiple of the Theorem 1.1 bound (n²/r)·log n.
+// DefaultBudget returns the default interaction budget: a generous
+// multiple of the protocol's expected stabilization shape — for
+// ElectLeader_r the Theorem 1.1 bound (n²/r)·log n, for CIW the Θ(n²)
+// silent-ranking time, for the O(n·log n) baselines and custom protocols a
+// c·n·ln(n+1) envelope.
 func (s *System) DefaultBudget() uint64 {
-	n, r := float64(s.N()), float64(s.R())
-	return uint64(1000 * n * n / r * math.Log(n+1))
+	if s.spec != nil {
+		return s.spec.budget(s.cfg)
+	}
+	n := float64(s.N())
+	return uint64(1000 * n * math.Log(n+1))
 }
 
 // Leader returns the index of the unique leader, or ok = false when the
-// configuration does not currently have exactly one leader. O(1): the core
-// tracks the leader incrementally, so no scan is performed.
-func (s *System) Leader() (int, bool) { return s.proto.LeaderIndex() }
+// configuration does not currently have exactly one leader. O(1) for
+// ElectLeader_r (the core tracks the leader incrementally); a scan for the
+// baselines.
+func (s *System) Leader() (int, bool) {
+	if li, ok := s.proto.(interface{ LeaderIndex() (int, bool) }); ok {
+		return li.LeaderIndex()
+	}
+	return -1, false
+}
 
-// Leaders returns the number of agents currently outputting "leader". O(1).
-func (s *System) Leaders() int { return s.proto.Leaders() }
+// Leaders returns the number of agents currently outputting "leader".
+func (s *System) Leaders() int {
+	if lc, ok := s.proto.(interface{ Leaders() int }); ok {
+		return lc.Leaders()
+	}
+	if rk, ok := s.proto.(sim.Ranker); ok {
+		leaders := 0
+		for i := 0; i < s.N(); i++ {
+			if rk.RankOutput(i) == 1 {
+				leaders++
+			}
+		}
+		return leaders
+	}
+	return 0
+}
 
-// Ranks returns every agent's current rank output.
+// Ranks returns every agent's current rank output, or nil for protocols
+// without the ranker capability.
 func (s *System) Ranks() []int {
+	rk, ok := s.proto.(sim.Ranker)
+	if !ok {
+		return nil
+	}
 	out := make([]int, s.N())
 	for i := range out {
-		out[i] = int(s.proto.RankOutput(i))
+		out[i] = int(rk.RankOutput(i))
 	}
 	return out
 }
 
-// Correct reports whether exactly one agent outputs "leader".
+// Correct reports whether the configuration currently has correct output
+// (exactly one leader).
 func (s *System) Correct() bool { return s.proto.Correct() }
 
-// CorrectRanking reports whether the rank outputs form a permutation.
-func (s *System) CorrectRanking() bool { return s.proto.CorrectRanking() }
+// CorrectRanking reports whether the rank outputs form a permutation
+// (false for protocols without the ranker capability).
+func (s *System) CorrectRanking() bool {
+	if rk, ok := s.proto.(sim.Ranker); ok {
+		return rk.CorrectRanking()
+	}
+	return false
+}
 
 // InSafeSet reports whether the configuration is in (the checkable core of)
-// the safe set of Lemma 6.1.
-func (s *System) InSafeSet() bool { return s.proto.InSafeSet() }
+// the protocol's safe set — for ElectLeader_r the safe set of Lemma 6.1.
+// Protocols without the safe-set capability always report false; runs
+// against Until(SafeSet) fall back to confirmed correct output for them.
+func (s *System) InSafeSet() bool {
+	if ss, ok := s.proto.(sim.SafeSetter); ok {
+		return ss.InSafeSet()
+	}
+	return false
+}
 
 // Roles returns the number of agents that are resetting, ranking, and
-// verifying.
+// verifying (all zero for protocols without ElectLeader_r's role
+// structure).
 func (s *System) Roles() (resetting, ranking, verifying int) {
-	return s.proto.Roles()
+	if r, ok := s.proto.(interface{ Roles() (int, int, int) }); ok {
+		return r.Roles()
+	}
+	return 0, 0, 0
 }
 
 // EventCount returns how often the named event occurred; see Events for the
-// available names.
+// available names. Baseline protocols do not emit events.
 func (s *System) EventCount(name string) uint64 { return s.events.Count(name) }
 
 // Events returns all recorded event names with counts, rendered compactly.
@@ -164,7 +265,8 @@ func StateBits(n, r int) float64 {
 }
 
 // Snapshot is a point-in-time view of the population used by the Observe
-// run option and the tracing tools built on it.
+// run option and the tracing tools built on it. Fields a protocol cannot
+// fill (e.g. role counts outside ElectLeader_r) stay zero.
 type Snapshot struct {
 	// Interactions is the total interactions executed so far.
 	Interactions uint64
@@ -178,18 +280,27 @@ type Snapshot struct {
 	InSafeSet bool
 }
 
-// Snapshot returns the current population composition.
+// Snapshot returns the current population composition. Protocols with the
+// snapshotter capability fill the full role/event detail; the generic
+// fallback reports the interaction count, leader count and safe-set flag.
 func (s *System) Snapshot() Snapshot {
-	resetting, rankingCount, verifying := s.proto.Roles()
+	var ss sim.Snapshot
+	ss.Interactions = s.Interactions()
+	if sn, ok := s.proto.(sim.Snapshotter); ok {
+		sn.SnapshotInto(&ss)
+	} else {
+		ss.Leaders = s.Leaders()
+		ss.InSafeSet = s.InSafeSet()
+	}
 	return Snapshot{
-		Interactions: s.proto.Clock(),
-		Resetting:    resetting,
-		Ranking:      rankingCount,
-		Verifying:    verifying,
-		Leaders:      s.proto.Leaders(),
-		HardResets:   s.events.Count(core.EventHardReset),
-		SoftResets:   s.events.Count("verify.soft_reset"),
-		Tops:         s.events.Count("verify.top"),
-		InSafeSet:    s.proto.InSafeSet(),
+		Interactions: ss.Interactions,
+		Resetting:    ss.Resetting,
+		Ranking:      ss.Ranking,
+		Verifying:    ss.Verifying,
+		Leaders:      ss.Leaders,
+		HardResets:   ss.HardResets,
+		SoftResets:   ss.SoftResets,
+		Tops:         ss.Tops,
+		InSafeSet:    ss.InSafeSet,
 	}
 }
