@@ -82,6 +82,13 @@ type Grid struct {
 	// SyntheticCoins runs every trial fully derandomized (Appendix B;
 	// "electleader" only).
 	SyntheticCoins bool
+	// Backend selects the simulation backend for every trial ("" or
+	// BackendAgent: one struct per agent; BackendSpecies: state counts,
+	// requiring every grid protocol's compactable capability and clean
+	// starts; BackendAuto: species per point once n crosses the threshold).
+	// Two grids differing only in Backend pair their trials at matched
+	// seeds — the exact-vs-species faceoff shape of the equivalence tests.
+	Backend string
 }
 
 // Ensemble executes a Grid across a worker pool. Build with NewEnsemble.
@@ -124,6 +131,33 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 		if g.TransientK > 0 {
 			if _, ok := spec.zero.(sim.Injectable); !ok {
 				return nil, fmt.Errorf("sspp: TransientK requires the injectable capability, which protocol %q lacks", spec.name)
+			}
+		}
+		// speciesTrials reports whether any of this protocol's trials will
+		// run on the species backend, where agent-identity surfaces
+		// (injection, transient faults) do not exist. Resolution is
+		// delegated per point to resolveBackend — the same function every
+		// trial uses — so grid validation can never diverge from what the
+		// trials actually do, and a grid never silently skips its fault
+		// model at large n.
+		speciesTrials := false
+		for _, pt := range g.Points {
+			backend, err := resolveBackend(Config{Backend: g.Backend, N: pt.N}, spec)
+			if err != nil {
+				return nil, err
+			}
+			if backend == BackendSpecies {
+				speciesTrials = true
+			}
+		}
+		if speciesTrials {
+			if g.TransientK > 0 {
+				return nil, fmt.Errorf("sspp: the species backend does not support transient faults (no agent identities; protocol %q would run on it)", spec.name)
+			}
+			for _, a := range g.Adversaries {
+				if a != "" {
+					return nil, fmt.Errorf("sspp: the species backend does not support adversarial starts (class %q; protocol %q would run on it)", a, spec.name)
+				}
 			}
 		}
 	}
@@ -217,9 +251,12 @@ type EnsembleResult struct {
 	// Protocols echoes the grid's protocol list (omitted when the grid did
 	// not cross protocols).
 	Protocols []string `json:"protocols,omitempty"`
-	Seeds     int      `json:"seeds"`
-	BaseSeed  uint64   `json:"base_seed"`
-	Cells     []Cell   `json:"cells"`
+	// Backend echoes the grid's backend (omitted for the default agent
+	// backend, keeping pre-backend exports byte-identical).
+	Backend  string `json:"backend,omitempty"`
+	Seeds    int    `json:"seeds"`
+	BaseSeed uint64 `json:"base_seed"`
+	Cells    []Cell `json:"cells"`
 }
 
 // Cell returns the first cell for the given point and adversary class
@@ -278,6 +315,7 @@ type CompareRow struct {
 type CompareResult struct {
 	SchemaVersion int          `json:"schema_version"`
 	Protocols     []string     `json:"protocols"`
+	Backend       string       `json:"backend,omitempty"`
 	Seeds         int          `json:"seeds"`
 	BaseSeed      uint64       `json:"base_seed"`
 	Rows          []CompareRow `json:"rows"`
@@ -294,6 +332,7 @@ func (r *EnsembleResult) Compare() *CompareResult {
 	out := &CompareResult{
 		SchemaVersion: CompareSchemaVersion,
 		Protocols:     protos,
+		Backend:       r.Backend,
 		Seeds:         r.Seeds,
 		BaseSeed:      r.BaseSeed,
 	}
@@ -374,7 +413,7 @@ func (e *Ensemble) runTrial(proto string, pt Point, class Adversary, st seedStre
 	g := e.grid
 	advSrc, schedSrc := st.adv, st.sched
 	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
-		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau})
+		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend})
 	if err != nil {
 		return trialOutcome{}
 	}
@@ -434,6 +473,7 @@ func (e *Ensemble) Run() *EnsembleResult {
 	out := &EnsembleResult{
 		SchemaVersion: EnsembleSchemaVersion,
 		Protocols:     g.Protocols,
+		Backend:       g.Backend,
 		Seeds:         g.Seeds,
 		BaseSeed:      g.BaseSeed,
 		Cells:         make([]Cell, 0, cells),

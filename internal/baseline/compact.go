@@ -1,0 +1,244 @@
+// compact.go implements the Compactable capability for the baselines: each
+// protocol describes itself as a sim.CompactModel — dynamics over state keys
+// with counts — which the species backend (internal/species) runs with
+// per-interaction cost depending on occupied states, not n. The models
+// capture the instance they are derived from, so a species run starts from
+// exactly the agent-level instance's configuration (including NameRank's
+// seeded name draw), which is what lets the backend-equivalence tests pair
+// trials at matched seeds.
+
+package baseline
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// The baselines all have species forms; the paper's ElectLeader_r does not
+// (its per-agent state couples to neighbors through message queues and
+// probation clocks far too rich to count by state).
+var (
+	_ sim.Compactable = (*CIW)(nil)
+	_ sim.Compactable = (*LooseLE)(nil)
+	_ sim.Compactable = (*NameRank)(nil)
+)
+
+// Compact describes CIW in species form: the state key is the rank itself,
+// only equal-rank pairs react ((k, k) → (k, k mod n + 1)), and the safe set
+// — the permutations — is exactly "every state is a singleton", an O(1)
+// check on the occupied-state tally.
+func (c *CIW) Compact() sim.CompactModel {
+	n := len(c.ranks)
+	return sim.CompactModel{
+		StateSpace: uint64(n) + 1,
+		Diagonal:   true,
+		Init: func() ([]uint64, []int64) {
+			counts := make([]int64, n+1)
+			for _, r := range c.ranks {
+				counts[r]++
+			}
+			var keys []uint64
+			var occ []int64
+			for r, cnt := range counts {
+				if cnt > 0 {
+					keys = append(keys, uint64(r))
+					occ = append(occ, cnt)
+				}
+			}
+			return keys, occ
+		},
+		React: func(a, b uint64, _ *rng.PRNG) (uint64, uint64) {
+			if a == b {
+				return a, a%uint64(n) + 1
+			}
+			return a, b
+		},
+		Leader: func(key uint64) bool { return key == 1 },
+		Rank:   func(key uint64) int32 { return int32(key) },
+		SafeSet: func(v sim.CountView) bool {
+			// A permutation is the only way n agents occupy n distinct
+			// states when every state is a rank in [1, n].
+			return v.Occupied() == v.N()
+		},
+	}
+}
+
+// looseKey packs a LooseLE agent state (leader bit, timer) into a key.
+func looseKey(leader bool, timer int32) uint64 {
+	k := uint64(timer) << 1
+	if leader {
+		k |= 1
+	}
+	return k
+}
+
+// StateKey returns agent i's state in the species-form key encoding of
+// Compact — the hook mirror tests and state-census tooling use to relate
+// agent-level and count-level representations.
+func (l *LooseLE) StateKey(i int) uint64 { return looseKey(l.leader[i], l.timer[i]) }
+
+// Compact describes LooseLE in species form: the key packs (leader, timer),
+// so the occupied-state count is at most 2(τ+1) no matter how large the
+// population. Like the agent-level protocol it has no safe set — loose
+// stabilization holds the leader only for a finite time.
+func (l *LooseLE) Compact() sim.CompactModel {
+	tau := l.tau
+	return sim.CompactModel{
+		StateSpace: uint64(tau+1) << 1,
+		Init: func() ([]uint64, []int64) {
+			counts := make(map[uint64]int64, 4)
+			for i := range l.timer {
+				counts[looseKey(l.leader[i], l.timer[i])]++
+			}
+			keys := make([]uint64, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			occ := make([]int64, len(keys))
+			for i, k := range keys {
+				occ[i] = counts[k]
+			}
+			return keys, occ
+		},
+		React: func(a, b uint64, _ *rng.PRNG) (uint64, uint64) {
+			la, ta := a&1 == 1, int32(a>>1)
+			lb, tb := b&1 == 1, int32(b>>1)
+			// Two leaders collapse (responder demotes), leaders re-arm.
+			if la && lb {
+				lb = false
+			}
+			if la {
+				ta = tau
+			}
+			if lb {
+				tb = tau
+			}
+			// Max-epidemic on timers, then both decrement.
+			m := ta
+			if tb > m {
+				m = tb
+			}
+			m--
+			if m < 0 {
+				m = 0
+			}
+			ta, tb = m, m
+			// Timeout: a non-leader whose timer died promotes itself.
+			if !la && ta == 0 {
+				la, ta = true, tau
+			}
+			if !lb && tb == 0 {
+				lb, tb = true, tau
+			}
+			return looseKey(la, ta), looseKey(lb, tb)
+		},
+		Leader: func(key uint64) bool { return key&1 == 1 },
+	}
+}
+
+// nameState is one interned NameRank agent state: the agent's own name, the
+// sorted set of names it has seen, and its committed rank (0 undecided).
+type nameState struct {
+	own  int64
+	seen []int64
+	rank int32
+}
+
+// encodeNameState renders the state canonically for interning.
+func encodeNameState(st nameState) string {
+	b := make([]byte, 12, 12+8*len(st.seen))
+	binary.LittleEndian.PutUint64(b, uint64(st.own))
+	binary.LittleEndian.PutUint32(b[8:], uint32(st.rank))
+	for _, v := range st.seen {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return string(b)
+}
+
+// Compact describes NameRank in species form. Its states (name sets) are
+// too rich for a packed key, so the model interns them: keys index a table
+// owned by the model, and identical states share one key so the multiset
+// semantics are preserved — including initial name collisions, which leave
+// the run uncommittable in both backends alike.
+func (nr *NameRank) Compact() sim.CompactModel {
+	n := nr.n
+	var tab []nameState
+	intern := make(map[string]uint64)
+	keyOf := func(st nameState) uint64 {
+		enc := encodeNameState(st)
+		if id, ok := intern[enc]; ok {
+			return id
+		}
+		id := uint64(len(tab))
+		tab = append(tab, st)
+		intern[enc] = id
+		return id
+	}
+	commit := func(st *nameState) {
+		if st.rank == 0 && len(st.seen) >= n {
+			st.rank = int32(sort.Search(len(st.seen), func(k int) bool {
+				return st.seen[k] >= st.own
+			})) + 1
+		}
+	}
+	permutation := func(v sim.CountView) bool {
+		if v.Occupied() != n {
+			return false
+		}
+		seen := make([]bool, n+1)
+		ok := true
+		v.Each(func(key uint64, c int64) bool {
+			r := tab[key].rank
+			if c != 1 || r < 1 || int(r) > n || seen[r] {
+				ok = false
+				return false
+			}
+			seen[r] = true
+			return true
+		})
+		return ok
+	}
+	return sim.CompactModel{
+		Init: func() ([]uint64, []int64) {
+			counts := make(map[uint64]int64, n)
+			order := make([]uint64, 0, n)
+			for i := 0; i < n; i++ {
+				st := nameState{
+					own:  nr.names[i],
+					seen: append([]int64(nil), nr.seen[i]...),
+					rank: nr.rank[i],
+				}
+				k := keyOf(st)
+				if counts[k] == 0 {
+					order = append(order, k)
+				}
+				counts[k]++
+			}
+			occ := make([]int64, len(order))
+			for i, k := range order {
+				occ[i] = counts[k]
+			}
+			return order, occ
+		},
+		React: func(a, b uint64, _ *rng.PRNG) (uint64, uint64) {
+			sa, sb := tab[a], tab[b]
+			if sa.rank != 0 && sb.rank != 0 {
+				return a, b // both committed: silent
+			}
+			merged := mergeSorted(sa.seen, sb.seen)
+			na := nameState{own: sa.own, seen: merged, rank: sa.rank}
+			nb := nameState{own: sb.own, seen: merged, rank: sb.rank}
+			commit(&na)
+			commit(&nb)
+			return keyOf(na), keyOf(nb)
+		},
+		Leader:  func(key uint64) bool { return tab[key].rank == 1 },
+		Rank:    func(key uint64) int32 { return tab[key].rank },
+		Correct: permutation,
+		SafeSet: permutation,
+	}
+}

@@ -175,6 +175,7 @@ func All() map[string]Generator {
 		"A2":  A2ProbationAblation,
 		"A3":  A3RefreshAblation,
 		"A4":  A4LoadBalanceAblation,
+		"S1":  S1SpeciesBackend,
 	}
 }
 
@@ -208,6 +209,8 @@ func idKey(id string) int {
 		return n // F1 -> 1, F2 -> 2 (right after T1)
 	case 'A':
 		return 500 + n
+	case 'S':
+		return 600 + n // scale experiments, after the ablations
 	}
 	return 1000
 }

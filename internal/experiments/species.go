@@ -1,0 +1,148 @@
+// species.go implements experiment S1: the large-n throughput table of the
+// species backend. The agent backend stores one struct per agent and pays
+// O(1)-per-interaction on tiny states but cannot shrink its per-interaction
+// constant below touching agent memory; the species backend
+// (internal/species) stores state counts, samples interactions from an
+// incrementally maintained alias table, and — for diagonal protocols like
+// CIW — skips entire silent runs in one geometric draw. S1 measures both
+// backends driving the same protocols at n ∈ {10⁵, 10⁶, 10⁷}, the regime
+// the ROADMAP's scale goal calls for. Statistical equivalence of the two
+// backends is enforced separately (internal/species/equiv_test.go and the
+// nightly soak job); this table records the cost side of the trade.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sspp/internal/baseline"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/species"
+)
+
+// s1Sizes are the S1 population sizes (the ISSUE-4 columns).
+var s1Sizes = []int{100_000, 1_000_000, 10_000_000}
+
+// s1Protocol describes one S1 protocol: an agent-level constructor and a
+// function counting its occupied (distinct) states, for the cost columns.
+type s1Protocol struct {
+	name  string
+	build func(n int) sim.Protocol
+	// occupied counts the distinct agent states of the agent-level instance
+	// (the species backend tracks this natively).
+	occupied func(p sim.Protocol) int
+}
+
+// ciwOccupied counts the distinct ranks of an agent-level CIW instance.
+func ciwOccupied(p sim.Protocol) int {
+	c := p.(*baseline.CIW)
+	seen := make(map[int32]struct{})
+	for i := 0; i < c.N(); i++ {
+		seen[c.Rank(i)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// s1Protocols are the compactable protocols S1 sweeps. CIW exercises the
+// diagonal silent-skip fast path; LooseLE exercises the every-interaction
+// ReactAll path with a state space bounded by 2(τ+1).
+func s1Protocols() []s1Protocol {
+	return []s1Protocol{
+		{
+			name:     "ciw",
+			build:    func(n int) sim.Protocol { return baseline.NewCIW(n) },
+			occupied: ciwOccupied,
+		},
+		{
+			// CIW a few faults away from its silent permutation: the regime
+			// every self-stabilizing run spends most wall-clock time in, and
+			// where the geometric silent-skip collapses whole runs of
+			// interactions into one draw.
+			name: "ciw-late",
+			build: func(n int) sim.Protocol {
+				ranks := make([]int32, n)
+				for i := range ranks {
+					ranks[i] = int32(i + 1)
+				}
+				for i := 0; i < 4 && i+1 < n; i++ {
+					ranks[i] = ranks[i+1] // a handful of duplicate ranks
+				}
+				return baseline.NewCIWFromRanks(ranks)
+			},
+			occupied: ciwOccupied,
+		},
+		{
+			name: "loosele",
+			build: func(n int) sim.Protocol {
+				return baseline.NewLooseLE(n, 48)
+			},
+			occupied: func(p sim.Protocol) int {
+				l := p.(*baseline.LooseLE)
+				seen := make(map[uint64]struct{})
+				for i := 0; i < l.N(); i++ {
+					seen[l.StateKey(i)] = struct{}{}
+				}
+				return len(seen)
+			},
+		},
+	}
+}
+
+// S1SpeciesBackend measures agent-vs-species throughput per protocol and
+// population size.
+func S1SpeciesBackend(cfg Config) *Table {
+	t := &Table{
+		ID:    "S1",
+		Title: "species backend throughput at n = 1e5..1e7 (agent vs state-count simulation)",
+		Claim: "per-interaction cost of the species backend depends on occupied states, not n; " +
+			"backend equivalence is gated statistically in internal/species (KS/Mann-Whitney, 200 paired trials)",
+		Header: []string{"protocol", "n", "backend", "interactions", "elapsed", "M int/s", "occupied", "speedup"},
+	}
+	perAgent := uint64(10)
+	if cfg.Quick {
+		perAgent = 2
+	}
+	for _, proto := range s1Protocols() {
+		for _, n := range s1Sizes {
+			budget := perAgent * uint64(n)
+			var agentElapsed time.Duration
+			for _, backend := range []string{"agent", "species"} {
+				src := rng.New(cfg.BaseSeed + 17)
+				var p sim.Protocol
+				agent := proto.build(n)
+				if backend == "species" {
+					sp, err := species.NewSystem(agent.(sim.Compactable).Compact(), 1)
+					if err != nil {
+						t.Note("%s n=%d: %v", proto.name, n, err)
+						continue
+					}
+					p = sp
+				} else {
+					p = agent
+				}
+				start := time.Now()
+				sim.Steps(p, src, budget)
+				elapsed := time.Since(start)
+				occ := 0
+				speedup := ""
+				if sp, ok := p.(*species.System); ok {
+					occ = sp.Occupied()
+					if elapsed > 0 && agentElapsed > 0 {
+						speedup = fmt.Sprintf("%.1fx", float64(agentElapsed)/float64(elapsed))
+					}
+				} else {
+					occ = proto.occupied(p)
+					agentElapsed = elapsed
+				}
+				rate := float64(budget) / elapsed.Seconds() / 1e6
+				t.Append(proto.name, fmtU(uint64(n)), backend, fmtU(budget),
+					elapsed.Round(time.Millisecond).String(), fmtF(rate, 1), fmtU(uint64(occ)), speedup)
+			}
+		}
+	}
+	t.Note("budget is %d interactions per agent per row (quick mode shrinks it); the speedup column is agent/species wall time", perAgent)
+	t.Note("CIW uses the diagonal silent-skip fast path (reactive interactions only); LooseLE samples every interaction from <= 2(tau+1) occupied states")
+	return t
+}

@@ -78,3 +78,82 @@ type Snapshotter interface {
 type Clocked interface {
 	Clock() uint64
 }
+
+// CountView is a read-only view of a population represented as a multiset of
+// states (the species form): state keys with their agent counts. Predicates
+// supplied through CompactModel receive one to inspect the configuration
+// without materializing per-agent state.
+type CountView interface {
+	// N returns the population size (the sum of all counts).
+	N() int
+	// Occupied returns the number of states with a positive count.
+	Occupied() int
+	// Count returns the number of agents currently in state key (0 when the
+	// state is unoccupied).
+	Count(key uint64) int64
+	// Each calls fn for every occupied state until fn returns false. The
+	// iteration order is unspecified and must not be relied on.
+	Each(fn func(key uint64, count int64) bool)
+}
+
+// CompactModel is a protocol described in species form: dynamics over opaque
+// uint64 state keys instead of indexed agents. Because the population model
+// is symmetric — the uniform scheduler picks agents, not identities, and the
+// transition depends only on the two states — the multiset of states is a
+// Markov chain of its own, and a count-based engine (internal/species) can
+// run it with per-interaction cost depending on the number of occupied
+// states, not on n. Protocols whose per-state structure is too rich for a
+// uint64 intern their states behind the keys (the model owns the table).
+type CompactModel struct {
+	// StateSpace, when positive, declares that every key the model ever
+	// produces lies in [0, StateSpace): the engine then uses dense arrays
+	// instead of a hash map for state lookup.
+	StateSpace uint64
+	// Diagonal declares that ordered pairs of distinct states never change
+	// state (the protocol reacts only on the diagonal, like CIW's (k, k)
+	// rule). The engine then skips runs of silent interactions in one
+	// geometric draw instead of sampling them individually.
+	Diagonal bool
+	// Init returns the initial configuration as parallel state/count slices
+	// (counts positive, keys distinct, counts summing to the population
+	// size). It captures the instance the model was derived from, so a
+	// species run starts exactly where the agent-level instance stood.
+	Init func() (keys []uint64, counts []int64)
+	// React applies the transition function to the ordered state pair
+	// (a initiates, b responds) and returns the successor states, drawing
+	// any randomness from src.
+	React func(a, b uint64, src *rng.PRNG) (uint64, uint64)
+	// Leader reports whether agents in state key output "leader". Required
+	// unless Correct is provided.
+	Leader func(key uint64) bool
+	// Rank returns the rank output of state key (0 when uncommitted); nil
+	// when the protocol has no ranking output.
+	Rank func(key uint64) int32
+	// Correct, when non-nil, overrides the default output predicate
+	// (exactly one agent in a leader state).
+	Correct func(v CountView) bool
+	// SafeSet, when non-nil, reports whether the configuration is in the
+	// protocol's safe set; the species system then exposes the safe-set
+	// capability.
+	SafeSet func(v CountView) bool
+}
+
+// Compactable is implemented by protocols that can describe themselves as a
+// CompactModel, unlocking the count-based species backend for population
+// sizes far beyond what one-struct-per-agent storage reaches.
+type Compactable interface {
+	Compact() CompactModel
+}
+
+// CountBased is implemented by count-based backends (internal/species) that
+// draw their own interaction pairs by sampling states from counts. Agent
+// identities do not exist for them: the engine must not feed them pairs from
+// a non-uniform scheduler, and instead binds the uniform stream and steps
+// them in bulk.
+type CountBased interface {
+	// BindSource sets the randomness stream used for state-pair sampling
+	// (the engine passes its uniform scheduler stream).
+	BindSource(src *rng.PRNG)
+	// StepMany executes k interactions of the uniform population model.
+	StepMany(k uint64)
+}

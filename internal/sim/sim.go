@@ -145,26 +145,61 @@ func runWith(p Protocol, sched Scheduler, opt Options) Result {
 		return true
 	}
 
+	// Count-based backends draw their own pairs: bind the uniform stream
+	// and step in bulk between polls. A non-uniform scheduler cannot be
+	// honored (agent identities do not exist), so it is an error here, not
+	// a silent substitution of uniform dynamics.
+	cb, countBased := p.(CountBased)
+	var cbSrc *rng.PRNG
+	if countBased {
+		src, uniform := sched.(*rng.PRNG)
+		if !uniform {
+			res.Err = fmt.Errorf("sim: count-based protocol %T supports only uniform *rng.PRNG schedulers, got %T", p, sched)
+			return res
+		}
+		cbSrc = src
+	}
+
 	// Poll the initial configuration so that a run that starts correct and
 	// stays correct reports StabilizedAt = 0.
 	if !poll() {
 		res.Interactions = 0
 		return res
 	}
-	for t = 1; t <= opt.MaxInteractions; t++ {
-		a, b := sched.Pair(n)
-		p.Interact(a, b)
-		if t%check == 0 {
-			if !poll() {
-				break
+	if countBased {
+		cb.BindSource(cbSrc)
+		for t < opt.MaxInteractions {
+			stepTo := t + check - t%check // next poll boundary
+			if stepTo > opt.MaxInteractions {
+				stepTo = opt.MaxInteractions
 			}
-			if wasCorrect && opt.StopAfterStableFor > 0 && t-stableSince >= opt.StopAfterStableFor {
-				break
+			cb.StepMany(stepTo - t)
+			t = stepTo
+			if t%check == 0 {
+				if !poll() {
+					break
+				}
+				if wasCorrect && opt.StopAfterStableFor > 0 && t-stableSince >= opt.StopAfterStableFor {
+					break
+				}
 			}
 		}
-	}
-	if t > opt.MaxInteractions {
-		t = opt.MaxInteractions
+	} else {
+		for t = 1; t <= opt.MaxInteractions; t++ {
+			a, b := sched.Pair(n)
+			p.Interact(a, b)
+			if t%check == 0 {
+				if !poll() {
+					break
+				}
+				if wasCorrect && opt.StopAfterStableFor > 0 && t-stableSince >= opt.StopAfterStableFor {
+					break
+				}
+			}
+		}
+		if t > opt.MaxInteractions {
+			t = opt.MaxInteractions
+		}
 	}
 	res.Interactions = t
 	if res.Err == nil && wasCorrect {
@@ -176,8 +211,14 @@ func runWith(p Protocol, sched Scheduler, opt Options) Result {
 
 // Steps performs exactly k scheduler-driven interactions on p without any
 // correctness polling. It is the low-level building block used by examples
-// and adversarial setups that need fine-grained control.
+// and adversarial setups that need fine-grained control. Count-based
+// backends consume rand as their sampling stream and step in bulk.
 func Steps(p Protocol, rand *rng.PRNG, k uint64) {
+	if cb, ok := p.(CountBased); ok {
+		cb.BindSource(rand)
+		cb.StepMany(k)
+		return
+	}
 	n := p.N()
 	for i := uint64(0); i < k; i++ {
 		a, b := rand.Pair(n)

@@ -1,0 +1,140 @@
+// equiv_test.go is the backend-equivalence harness: the species backend
+// simulates the same Markov chain as the agent backend, so over many
+// independent trials at matched seeds the two convergence-time
+// distributions must be statistically indistinguishable. The harness runs
+// ≥200 paired trials per protocol at n=512 through the public engine and
+// requires both the two-sample Kolmogorov–Smirnov and the Mann–Whitney
+// p-values above 0.01 (internal/stats/statcheck). The sample collection is
+// deterministic for every worker count (internal/trials), which the
+// worker-independence test pins byte-for-byte. The soak-tagged variant
+// (soak_test.go) repeats the check at large n and archives the report.
+
+package species_test
+
+import (
+	"testing"
+
+	"sspp"
+	"sspp/internal/rng"
+	"sspp/internal/stats/statcheck"
+	"sspp/internal/trials"
+)
+
+// equivConfig is the shared shape of one equivalence comparison.
+type equivConfig struct {
+	protocol string
+	n        int
+	trials   int
+	baseSeed uint64
+	// budget overrides the per-run interaction budget (0: the protocol's
+	// DefaultBudget). The soak's large-n LooseLE needs it: coalescing the
+	// all-timers-zero start's leader burst is Θ(n²), which outgrows the
+	// registry's O(n·log n) envelope by n=4096.
+	budget uint64
+}
+
+// collectSamples runs the protocol's trials on one backend and returns the
+// convergence times (correct output confirmed for 4n interactions) in trial
+// order, plus the trials that did not stabilize in budget. Trial randomness
+// is pre-derived per index from baseSeed, so two backends sample at matched
+// seeds and any worker count collects the identical slice.
+func collectSamples(t *testing.T, cfg equivConfig, backend string, workers int) (samples []float64, failures int) {
+	t.Helper()
+	type outcome struct {
+		took uint64
+		ok   bool
+	}
+	outs := trials.Run(workers, cfg.trials, cfg.baseSeed, func(_ int, src *rng.PRNG) outcome {
+		protoSeed := src.Uint64()
+		schedSeed := src.Uint64()
+		sys, err := sspp.New(sspp.Config{
+			Protocol: cfg.protocol, N: cfg.n, Seed: protoSeed, Backend: backend,
+		})
+		if err != nil {
+			return outcome{}
+		}
+		res := sys.Run(
+			sspp.Until(sspp.CorrectOutput),
+			sspp.Confirm(uint64(4*cfg.n)),
+			sspp.SchedulerSeed(schedSeed),
+			sspp.MaxInteractions(cfg.budget),
+		)
+		if res.Err != nil || !res.Stabilized {
+			return outcome{}
+		}
+		return outcome{took: res.StabilizedAt, ok: true}
+	})
+	for _, o := range outs {
+		if o.ok {
+			samples = append(samples, float64(o.took))
+		} else {
+			failures++
+		}
+	}
+	return samples, failures
+}
+
+// equivCases are the acceptance configurations: every compactable registry
+// protocol at n=512 with 200 paired trials.
+func equivCases(t *testing.T) []equivConfig {
+	trialsN := 200
+	if testing.Short() {
+		trialsN = 60
+	}
+	return []equivConfig{
+		{protocol: sspp.ProtocolCIW, n: 512, trials: trialsN, baseSeed: 1001},
+		{protocol: sspp.ProtocolLooseLE, n: 512, trials: trialsN, baseSeed: 1002},
+		{protocol: sspp.ProtocolNameRank, n: 512, trials: trialsN, baseSeed: 1003},
+	}
+}
+
+// TestBackendEquivalence is the tier-1 statistical-equivalence gate.
+func TestBackendEquivalence(t *testing.T) {
+	for _, cfg := range equivCases(t) {
+		cfg := cfg
+		t.Run(cfg.protocol, func(t *testing.T) {
+			t.Parallel()
+			agent, agentFail := collectSamples(t, cfg, sspp.BackendAgent, 0)
+			spec, specFail := collectSamples(t, cfg, sspp.BackendSpecies, 0)
+			// The backends share seeds, budgets and stop conditions, and the
+			// budgets sit far above the convergence means, so failures are
+			// deterministic artifacts of the start (NameRank's name
+			// collisions) that must strike both backends alike. The KS/MW
+			// gate below only sees survivors; a one-sided failure rate would
+			// censor exactly the pathological trials, so it is a failure in
+			// its own right, not a log line.
+			if diff := agentFail - specFail; diff < -2 || diff > 2 {
+				t.Fatalf("failure counts diverge: agent %d, species %d", agentFail, specFail)
+			}
+			if len(agent) < cfg.trials*9/10 || len(spec) < cfg.trials*9/10 {
+				t.Fatalf("too many failed trials: agent %d/%d, species %d/%d ok",
+					len(agent), cfg.trials, len(spec), cfg.trials)
+			}
+			eq := statcheck.CheckEquivalence(cfg.protocol, agent, spec, 0.01)
+			t.Log(eq)
+			if !eq.Passed {
+				t.Fatalf("backends statistically distinguishable: %v", eq)
+			}
+		})
+	}
+}
+
+// TestEquivalenceSamplesWorkerCountIndependent pins the determinism the
+// gate rests on: the species sample vector is byte-identical for one worker
+// and for a parallel pool.
+func TestEquivalenceSamplesWorkerCountIndependent(t *testing.T) {
+	cfg := equivConfig{protocol: sspp.ProtocolCIW, n: 256, trials: 24, baseSeed: 5}
+	if testing.Short() {
+		cfg.trials = 8
+	}
+	seq, seqFail := collectSamples(t, cfg, sspp.BackendSpecies, 1)
+	par, parFail := collectSamples(t, cfg, sspp.BackendSpecies, 4)
+	if seqFail != parFail || len(seq) != len(par) {
+		t.Fatalf("sample counts differ: %d/%d vs %d/%d", len(seq), seqFail, len(par), parFail)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d: %v sequential vs %v parallel", i, seq[i], par[i])
+		}
+	}
+}

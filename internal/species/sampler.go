@@ -1,0 +1,188 @@
+// sampler.go implements the dynamic weighted sampler at the heart of the
+// species engine: Walker/Vose alias-table sampling (O(1) expected per draw)
+// over a snapshot of the weights, kept current under incremental updates by
+// a side buffer plus rejection. Between rebuilds an update is O(1): weight
+// decreases are absorbed by rejecting stale alias draws, weight increases
+// accumulate in the side buffer, and the table is rebuilt (amortized) when
+// the stale mass or the side buffer would degrade the acceptance rate.
+//
+// Correctness sketch: one attempt draws a point x uniform in
+// [0, sideTotal + baseTotal). The side branch (x < sideTotal) returns slot i
+// with probability (live[i]-base[i])⁺ / (sideTotal+baseTotal); the alias
+// branch proposes slot i with probability base[i] / (sideTotal+baseTotal)
+// and accepts with min(live[i], base[i]) / base[i]. Summing, an attempt
+// returns slot i with probability live[i] / (sideTotal+baseTotal) and fails
+// with the remaining mass, so conditioned on success the draw is exactly
+// live-weighted. The rebuild policy keeps sideTotal+baseTotal ≤ 2·total, so
+// the success probability stays ≥ 1/2 and a draw is O(1) expected.
+
+package species
+
+import "sspp/internal/rng"
+
+// sampler draws slot indices with probability proportional to live integer
+// weights. The zero value is an empty sampler; grow it with ensure and set
+// weights with set. Not safe for concurrent use.
+type sampler struct {
+	live  []int64 // current weight per slot
+	total int64   // Σ live
+
+	// Snapshot taken at the last rebuild.
+	base      []int64 // weight per slot at build time (0 for slots added later)
+	baseTotal int64   // Σ base
+
+	// Side buffer: slots whose live weight exceeds their base snapshot.
+	side      []int32 // candidate slots (may contain stale entries)
+	inSide    []bool  // per-slot membership flag for side
+	sideTotal int64   // Σ max(0, live-base)
+
+	// Alias table over the slots with positive base weight.
+	aliasSlot []int32   // slot id per table entry
+	aliasAlt  []int32   // alias entry index per table entry
+	aliasProb []float64 // acceptance threshold per table entry
+}
+
+// ensure grows the per-slot arrays to hold slot ids < n.
+func (sa *sampler) ensure(n int) {
+	for len(sa.live) < n {
+		sa.live = append(sa.live, 0)
+		sa.base = append(sa.base, 0)
+		sa.inSide = append(sa.inSide, false)
+	}
+}
+
+// set updates slot's live weight to w ≥ 0 in O(1) amortized.
+func (sa *sampler) set(slot int32, w int64) {
+	old := sa.live[slot]
+	if w == old {
+		return
+	}
+	sa.total += w - old
+	b := sa.base[slot]
+	oldEx, newEx := old-b, w-b
+	if oldEx < 0 {
+		oldEx = 0
+	}
+	if newEx < 0 {
+		newEx = 0
+	}
+	if newEx != oldEx {
+		sa.sideTotal += newEx - oldEx
+		if newEx > 0 && !sa.inSide[slot] {
+			sa.side = append(sa.side, slot)
+			sa.inSide[slot] = true
+		}
+	}
+	sa.live[slot] = w
+	if sa.stale() {
+		sa.rebuild()
+	}
+}
+
+// stale reports whether the snapshot has drifted enough to hurt the
+// acceptance rate (attempt mass > 2·live mass) or the side buffer has grown
+// past the linear-scan budget.
+func (sa *sampler) stale() bool {
+	if sa.total > 0 && sa.baseTotal+sa.sideTotal > 2*sa.total {
+		return true
+	}
+	return len(sa.side) > 32+len(sa.aliasSlot)/4
+}
+
+// rebuild snapshots the live weights and rebuilds the alias table (Vose's
+// algorithm) over the slots with positive weight. O(occupied slots).
+func (sa *sampler) rebuild() {
+	for _, s := range sa.side {
+		sa.inSide[s] = false
+	}
+	sa.side = sa.side[:0]
+	sa.sideTotal = 0
+
+	m := 0
+	for i, w := range sa.live {
+		sa.base[i] = w
+		if w > 0 {
+			m++
+		}
+	}
+	sa.baseTotal = sa.total
+	sa.aliasSlot = sa.aliasSlot[:0]
+	sa.aliasAlt = sa.aliasAlt[:0]
+	sa.aliasProb = sa.aliasProb[:0]
+	if m == 0 {
+		return
+	}
+	// Vose's alias method over the occupied slots: scaled[i] = w_i·m/total;
+	// entries below 1 take an alias from entries above 1.
+	scaled := make([]float64, 0, m)
+	for i, w := range sa.live {
+		if w > 0 {
+			sa.aliasSlot = append(sa.aliasSlot, int32(i))
+			scaled = append(scaled, float64(w)*float64(m)/float64(sa.total))
+		}
+	}
+	sa.aliasAlt = make([]int32, m)
+	sa.aliasProb = make([]float64, m)
+	small := make([]int32, 0, m)
+	large := make([]int32, 0, m)
+	for i := range scaled {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		sa.aliasProb[s] = scaled[s]
+		sa.aliasAlt[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		sa.aliasProb[i] = 1
+		sa.aliasAlt[i] = i
+	}
+	for _, i := range small { // numeric leftovers; scaled[i] ≈ 1
+		sa.aliasProb[i] = 1
+		sa.aliasAlt[i] = i
+	}
+}
+
+// sample draws a slot with probability live[slot]/total. The caller must
+// ensure total > 0.
+func (sa *sampler) sample(src *rng.PRNG) int32 {
+	for {
+		x := int64(src.Uint64n(uint64(sa.sideTotal + sa.baseTotal)))
+		if x < sa.sideTotal {
+			// Side branch: linear scan of the (bounded) side buffer by excess.
+			for _, s := range sa.side {
+				ex := sa.live[s] - sa.base[s]
+				if ex <= 0 {
+					continue
+				}
+				if x < ex {
+					return s
+				}
+				x -= ex
+			}
+			continue // stale sideTotal slack; retry
+		}
+		// Alias branch over the base snapshot, rejection against live.
+		e := src.Intn(len(sa.aliasSlot))
+		if src.Float64() >= sa.aliasProb[e] {
+			e = int(sa.aliasAlt[e])
+		}
+		slot := sa.aliasSlot[e]
+		b, l := sa.base[slot], sa.live[slot]
+		if l >= b || int64(src.Uint64n(uint64(b))) < l {
+			return slot
+		}
+		// Rejected stale mass; retry (acceptance ≥ 1/2 by the rebuild policy).
+	}
+}

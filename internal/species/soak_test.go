@@ -1,0 +1,108 @@
+//go:build soak
+
+// soak_test.go is the nightly large-n variant of the backend-equivalence
+// harness (build tag "soak"): the same paired-trial KS / Mann–Whitney gate
+// as equiv_test.go, but at populations where the backends genuinely
+// diverge in cost, plus a long species-only run at n=10⁷ exercising the
+// regime the agent backend cannot reach. The equivalence verdicts are
+// written as a JSON report (ks-report.json, or $SSPP_SOAK_REPORT) that the
+// nightly CI job publishes as an artifact.
+//
+//	go test -tags soak -run TestSoak ./internal/species
+
+package species_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sspp"
+	"sspp/internal/stats/statcheck"
+)
+
+// soakReport is the archived artifact of one nightly soak run.
+type soakReport struct {
+	GeneratedBy string                  `json:"generated_by"`
+	GoMaxProcs  int                     `json:"gomaxprocs"`
+	Trials      int                     `json:"trials"`
+	Alpha       float64                 `json:"alpha"`
+	Checks      []statcheck.Equivalence `json:"checks"`
+	Passed      bool                    `json:"passed"`
+}
+
+// reportPath resolves the artifact destination.
+func reportPath() string {
+	if p := os.Getenv("SSPP_SOAK_REPORT"); p != "" {
+		return p
+	}
+	return "ks-report.json"
+}
+
+// TestSoakBackendEquivalenceLargeN runs the paired equivalence gate at
+// n=4096 with 200 trials per backend and archives the verdicts.
+func TestSoakBackendEquivalenceLargeN(t *testing.T) {
+	const alpha = 0.01
+	report := soakReport{
+		GeneratedBy: "go test -tags soak -run TestSoakBackendEquivalenceLargeN ./internal/species",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Trials:      200,
+		Alpha:       alpha,
+		Passed:      true,
+	}
+	for _, cfg := range []equivConfig{
+		{protocol: sspp.ProtocolCIW, n: 4096, trials: report.Trials, baseSeed: 9001},
+		{protocol: sspp.ProtocolLooseLE, n: 4096, trials: report.Trials, baseSeed: 9002,
+			budget: 8 * 4096 * 4096},
+	} {
+		start := time.Now()
+		agent, agentFail := collectSamples(t, cfg, sspp.BackendAgent, 0)
+		spec, specFail := collectSamples(t, cfg, sspp.BackendSpecies, 0)
+		if diff := agentFail - specFail; diff < -2 || diff > 2 {
+			t.Fatalf("%s: failure counts diverge: agent %d, species %d — a one-sided "+
+				"timeout rate censors the KS samples", cfg.protocol, agentFail, specFail)
+		}
+		if len(agent) < cfg.trials*9/10 || len(spec) < cfg.trials*9/10 {
+			t.Fatalf("%s: too many failed trials: agent %d, species %d", cfg.protocol, agentFail, specFail)
+		}
+		eq := statcheck.CheckEquivalence(cfg.protocol, agent, spec, alpha)
+		t.Logf("%v (n=%d, %s)", eq, cfg.n, time.Since(start).Round(time.Millisecond))
+		report.Checks = append(report.Checks, eq)
+		if !eq.Passed {
+			report.Passed = false
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(reportPath(), out, 0o644); err != nil {
+		t.Fatalf("writing soak report: %v", err)
+	}
+	t.Logf("soak report written to %s", reportPath())
+	if !report.Passed {
+		t.Fatal("backend equivalence failed at large n; see the report artifact")
+	}
+}
+
+// TestSoakSpeciesTenMillion drives CIW at n=10⁷ for 10⁹ interactions —
+// two orders of magnitude past the agent backend's comfortable range — and
+// audits the engine invariants afterwards.
+func TestSoakSpeciesTenMillion(t *testing.T) {
+	const n = 10_000_000
+	sys, err := sspp.New(sspp.Config{Protocol: sspp.ProtocolCIW, N: n, Seed: 3, Backend: sspp.BackendSpecies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sys.Step(4, 1_000_000_000)
+	t.Logf("CIW species n=1e7: 1e9 interactions in %s, %d leaders",
+		time.Since(start).Round(time.Millisecond), sys.Leaders())
+	if got := sys.Interactions(); got != 1_000_000_000 {
+		t.Fatalf("interaction clock %d", got)
+	}
+}

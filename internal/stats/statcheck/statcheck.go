@@ -1,0 +1,192 @@
+// Package statcheck provides two-sample statistical-equivalence tests for
+// simulation backends: the Kolmogorov–Smirnov test on the empirical CDFs
+// and the Mann–Whitney U rank test (with midranks and tie correction, since
+// convergence times are measured at the polling-cadence resolution and tie
+// heavily). The backend-equivalence harness (internal/species/equiv_test.go
+// and the soak job) uses both: two backends simulate the same Markov chain,
+// so their convergence-time distributions must be statistically
+// indistinguishable — the tests must NOT reject at any small alpha.
+//
+// The package is dependency-free like its parent; p-values use the
+// asymptotic Kolmogorov distribution and the normal approximation, which
+// are accurate at the ≥200-trial sample sizes the harness runs.
+package statcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result is the outcome of one two-sample test.
+type Result struct {
+	// Stat is the test statistic: the supremum CDF distance D for
+	// KolmogorovSmirnov, the absolute normal deviate |z| for MannWhitney.
+	Stat float64 `json:"stat"`
+	// P is the two-sided p-value for the null "both samples are drawn from
+	// the same distribution". Small values reject equality; an equivalence
+	// harness therefore requires P above its alpha.
+	P float64 `json:"p"`
+	// NX, NY are the sample sizes.
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("stat=%.4f p=%.4f (n=%d,%d)", r.Stat, r.P, r.NX, r.NY)
+}
+
+// KolmogorovSmirnov runs the two-sample Kolmogorov–Smirnov test: D is the
+// supremum distance between the empirical CDFs, and P the asymptotic
+// Kolmogorov p-value with the Stephens small-sample adjustment. It panics
+// when either sample is empty. The inputs are not modified.
+func KolmogorovSmirnov(x, y []float64) Result {
+	if len(x) == 0 || len(y) == 0 {
+		panic("statcheck: KolmogorovSmirnov with an empty sample")
+	}
+	xs := sortedCopy(x)
+	ys := sortedCopy(y)
+	nx, ny := len(xs), len(ys)
+	var d float64
+	i, j := 0, 0
+	for i < nx && j < ny {
+		v := xs[i]
+		if ys[j] < v {
+			v = ys[j]
+		}
+		for i < nx && xs[i] <= v {
+			i++
+		}
+		for j < ny && ys[j] <= v {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(nx) - float64(j)/float64(ny))
+		if gap > d {
+			d = gap
+		}
+	}
+	ne := float64(nx) * float64(ny) / float64(nx+ny)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return Result{Stat: d, P: kolmogorovQ(lambda), NX: nx, NY: ny}
+}
+
+// kolmogorovQ is the complementary Kolmogorov distribution
+// Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²), clamped to [0, 1].
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var q float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		q += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q *= 2
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// MannWhitney runs the two-sample Mann–Whitney U test with midranks, tie
+// correction, and continuity correction, reporting the two-sided normal
+// p-value. Samples where every pooled value is identical (zero variance)
+// report P = 1. It panics when either sample is empty. The inputs are not
+// modified.
+func MannWhitney(x, y []float64) Result {
+	if len(x) == 0 || len(y) == 0 {
+		panic("statcheck: MannWhitney with an empty sample")
+	}
+	nx, ny := len(x), len(y)
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	pool := make([]obs, 0, nx+ny)
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	n := float64(nx + ny)
+	var rankSumX, tieSum float64
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // midrank of the tie group (1-based)
+		for k := i; k < j; k++ {
+			if pool[k].fromX {
+				rankSumX += mid
+			}
+		}
+		t := float64(j - i)
+		tieSum += t*t*t - t
+		i = j
+	}
+	u := rankSumX - float64(nx)*float64(nx+1)/2
+	mu := float64(nx) * float64(ny) / 2
+	variance := float64(nx) * float64(ny) / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if variance <= 0 {
+		return Result{Stat: 0, P: 1, NX: nx, NY: ny}
+	}
+	dev := math.Abs(u-mu) - 0.5 // continuity correction toward the null
+	if dev < 0 {
+		dev = 0
+	}
+	z := dev / math.Sqrt(variance)
+	return Result{Stat: z, P: math.Erfc(z / math.Sqrt2), NX: nx, NY: ny}
+}
+
+// Equivalence is a labelled pair of two-sample tests over the same samples,
+// the unit the backend-equivalence harness reports on.
+type Equivalence struct {
+	Label  string  `json:"label"`
+	KS     Result  `json:"ks"`
+	MW     Result  `json:"mann_whitney"`
+	Alpha  float64 `json:"alpha"`
+	Passed bool    `json:"passed"`
+}
+
+// CheckEquivalence runs both tests over the samples and requires every
+// p-value above alpha: two backends simulating the same chain must not be
+// distinguishable at level alpha.
+func CheckEquivalence(label string, x, y []float64, alpha float64) Equivalence {
+	e := Equivalence{
+		Label: label,
+		KS:    KolmogorovSmirnov(x, y),
+		MW:    MannWhitney(x, y),
+		Alpha: alpha,
+	}
+	e.Passed = e.KS.P > alpha && e.MW.P > alpha
+	return e
+}
+
+// String renders the equivalence outcome on one line.
+func (e Equivalence) String() string {
+	verdict := "FAIL"
+	if e.Passed {
+		verdict = "ok"
+	}
+	return fmt.Sprintf("%s: KS %v, MW %v, alpha=%.3g -> %s", e.Label, e.KS, e.MW, e.Alpha, verdict)
+}
+
+// sortedCopy returns xs sorted without modifying the input.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

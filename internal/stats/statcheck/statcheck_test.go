@@ -1,0 +1,131 @@
+package statcheck
+
+import (
+	"math"
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+// near reports |a−b| ≤ tol.
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestKolmogorovSmirnovReference pins the statistic and p-value against an
+// independent reference implementation (same asymptotic formulas, computed
+// outside Go).
+func TestKolmogorovSmirnovReference(t *testing.T) {
+	x := []float64{1.1, 2.3, 3.1, 4.2, 5.5, 6.1, 7.7, 8.2}
+	y := []float64{1.9, 2.8, 3.3, 4.9, 5.1, 6.6, 7.1, 9.4}
+	r := KolmogorovSmirnov(x, y)
+	if !near(r.Stat, 0.125, 1e-12) || !near(r.P, 0.999999479887226, 1e-9) {
+		t.Fatalf("case 1: got %v", r)
+	}
+
+	a := []float64{1, 2, 2, 3, 3, 3, 4}
+	b := []float64{2, 3, 3, 4, 4, 5, 5}
+	r = KolmogorovSmirnov(a, b)
+	if !near(r.Stat, 3.0/7.0, 1e-12) || !near(r.P, 0.423218294533489, 1e-9) {
+		t.Fatalf("case 2 (ties): got %v", r)
+	}
+}
+
+// TestMannWhitneyReference pins the deviate and p-value against the same
+// reference (midranks, tie correction, continuity correction).
+func TestMannWhitneyReference(t *testing.T) {
+	x := []float64{1.1, 2.3, 3.1, 4.2, 5.5, 6.1, 7.7, 8.2}
+	y := []float64{1.9, 2.8, 3.3, 4.9, 5.1, 6.6, 7.1, 9.4}
+	r := MannWhitney(x, y)
+	if !near(r.Stat, 0.15753150945315111, 1e-9) || !near(r.P, 0.8748259769492439, 1e-9) {
+		t.Fatalf("case 1: got %v", r)
+	}
+
+	a := []float64{1, 2, 2, 3, 3, 3, 4}
+	b := []float64{2, 3, 3, 4, 4, 5, 5}
+	r = MannWhitney(a, b)
+	if !near(r.Stat, 1.716687340749231, 1e-9) || !near(r.P, 0.08603631439507349, 1e-9) {
+		t.Fatalf("case 2 (ties): got %v", r)
+	}
+}
+
+// TestSeparatedSamplesReject: clearly shifted samples must be rejected by
+// both tests at any reasonable level.
+func TestSeparatedSamplesReject(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 30; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+20)
+	}
+	ks := KolmogorovSmirnov(x, y)
+	if !near(ks.Stat, 2.0/3.0, 1e-12) || ks.P > 1.2e-6 {
+		t.Fatalf("KS on shifted samples: %v", ks)
+	}
+	mw := MannWhitney(x, y)
+	if mw.P > 1e-8 {
+		t.Fatalf("MW on shifted samples: %v", mw)
+	}
+	if CheckEquivalence("shifted", x, y, 0.01).Passed {
+		t.Fatal("CheckEquivalence passed clearly different samples")
+	}
+}
+
+// TestIdenticalSamples: a sample against itself is maximally equivalent.
+func TestIdenticalSamples(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	ks := KolmogorovSmirnov(x, x)
+	if ks.Stat != 0 || ks.P != 1 {
+		t.Fatalf("KS self-test: %v", ks)
+	}
+	mw := MannWhitney(x, x)
+	if mw.P != 1 {
+		t.Fatalf("MW self-test: %v", mw)
+	}
+	// Degenerate: zero pooled variance.
+	c := []float64{7, 7, 7}
+	if r := MannWhitney(c, c); r.P != 1 {
+		t.Fatalf("MW constant samples: %v", r)
+	}
+}
+
+// TestNullCalibration: two independent samples from the same distribution
+// must pass the equivalence check for the overwhelming majority of seeds —
+// this is the soundness property the backend harness depends on (a sound
+// test that rejected true nulls often would flag equivalent backends).
+func TestNullCalibration(t *testing.T) {
+	const rounds, size = 40, 200
+	rejectKS, rejectMW := 0, 0
+	src := rng.New(7)
+	for round := 0; round < rounds; round++ {
+		x := make([]float64, size)
+		y := make([]float64, size)
+		for i := range x {
+			// Heavy-tailed-ish discrete values, mimicking poll-quantized
+			// convergence times with ties.
+			x[i] = float64(src.Intn(50) * 128)
+			y[i] = float64(src.Intn(50) * 128)
+		}
+		if KolmogorovSmirnov(x, y).P <= 0.01 {
+			rejectKS++
+		}
+		if MannWhitney(x, y).P <= 0.01 {
+			rejectMW++
+		}
+	}
+	// At alpha = 0.01 the expected false-reject count is 0.4; three sigma
+	// above is still far below 4.
+	if rejectKS > 3 || rejectMW > 3 {
+		t.Fatalf("null calibration: %d/%d KS and %d/%d MW false rejections at alpha=0.01",
+			rejectKS, rounds, rejectMW, rounds)
+	}
+}
+
+// TestDoesNotModifyInputs: the tests must not reorder the callers' samples
+// (the equivalence harness reuses them across tests and reports).
+func TestDoesNotModifyInputs(t *testing.T) {
+	x := []float64{5, 3, 1}
+	y := []float64{4, 2, 6}
+	KolmogorovSmirnov(x, y)
+	MannWhitney(x, y)
+	if x[0] != 5 || x[1] != 3 || x[2] != 1 || y[0] != 4 || y[1] != 2 || y[2] != 6 {
+		t.Fatalf("inputs modified: x=%v y=%v", x, y)
+	}
+}

@@ -59,6 +59,10 @@ const (
 	// CapabilitySnapshotter: Snapshot exports role and event detail beyond
 	// the generic leader count.
 	CapabilitySnapshotter = "snapshotter"
+	// CapabilityCompactable: the protocol has a species form, so the
+	// count-based species backend (Config.Backend) can run it at populations
+	// far beyond one-struct-per-agent storage.
+	CapabilityCompactable = "compactable"
 )
 
 // ProtocolInfo describes one registry protocol.
@@ -244,6 +248,9 @@ func capabilitiesOf(p sim.Protocol) []string {
 	}
 	if _, ok := p.(sim.Snapshotter); ok {
 		caps = append(caps, CapabilitySnapshotter)
+	}
+	if _, ok := p.(sim.Compactable); ok {
+		caps = append(caps, CapabilityCompactable)
 	}
 	return caps
 }

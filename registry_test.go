@@ -11,9 +11,9 @@ import (
 func TestProtocolsCatalogue(t *testing.T) {
 	wantCaps := map[string][]string{
 		ProtocolElectLeader: {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilitySnapshotter},
-		ProtocolCIW:         {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable},
-		ProtocolNameRank:    {CapabilityRanker, CapabilitySafeSet},
-		ProtocolLooseLE:     {CapabilityInjectable},
+		ProtocolCIW:         {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilityCompactable},
+		ProtocolNameRank:    {CapabilityRanker, CapabilitySafeSet, CapabilityCompactable},
+		ProtocolLooseLE:     {CapabilityInjectable, CapabilityCompactable},
 		ProtocolFastLE:      {CapabilitySafeSet},
 	}
 	infos := Protocols()

@@ -249,6 +249,24 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 		sched = rng.New(seed)
 	}
+	// Count-based backends (the species backend) have no agent identities:
+	// they draw state pairs from a uniform stream themselves and step in
+	// bulk. Only uniform PRNG schedulers can seed that stream; anything else
+	// (batch, weighted, replayed, user types) fails the run up front rather
+	// than silently mis-modelling the schedule.
+	cb, countBased := s.proto.(sim.CountBased)
+	if countBased {
+		src, uniform := sched.(*rng.PRNG)
+		if !uniform {
+			return Result{
+				Condition:    spec.cond.name,
+				ParallelTime: -1,
+				Err: fmt.Errorf("sspp: the species backend draws its own interaction pairs and supports only uniform schedulers (SchedulerSeed / NewUniform); got %T",
+					sched),
+			}
+		}
+		cb.BindSource(src)
+	}
 	sort.SliceStable(spec.faults, func(i, j int) bool { return spec.faults[i].at < spec.faults[j].at })
 	obsEvery := spec.obsEvery
 	if spec.observe != nil && obsEvery == 0 {
@@ -306,10 +324,15 @@ func (s *System) Run(opts ...RunOption) Result {
 			next = spec.faults[fi].at
 		}
 		s.clock += next - t
-		for t < next {
-			a, b := sched.Pair(n)
-			s.proto.Interact(a, b)
-			t++
+		if countBased {
+			cb.StepMany(next - t)
+			t = next
+		} else {
+			for t < next {
+				a, b := sched.Pair(n)
+				s.proto.Interact(a, b)
+				t++
+			}
 		}
 		for fi < len(spec.faults) && spec.faults[fi].at == t {
 			s.injectTransientWith(spec.faults[fi].k, rng.New(spec.faults[fi].seed))
@@ -353,7 +376,10 @@ func (s *System) Step(schedulerSeed uint64, k uint64) {
 }
 
 // StepSched executes exactly k interactions under an arbitrary Scheduler,
-// with no condition polling.
+// with no condition polling. Species-backed systems accept only uniform
+// schedulers (NewUniform; agent identities do not exist in species form)
+// and panic on anything else rather than silently substituting uniform
+// dynamics.
 func (s *System) StepSched(sched Scheduler, k uint64) {
 	sim.StepsSched(s.proto, sched, k)
 	s.clock += k

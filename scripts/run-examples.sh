@@ -1,0 +1,31 @@
+#!/bin/sh
+# Example rot guard: build and run every example with a hard per-example
+# timeout. Examples are executable documentation of the public API; this
+# gate means an API change that breaks or stalls one can never land
+# silently. Each example must complete on default flags within the timeout
+# (they are demos, not benchmarks).
+set -eu
+cd "$(dirname "$0")/.."
+
+TIMEOUT="${EXAMPLE_TIMEOUT:-10}"
+
+# Compile everything first so the per-example timeout measures runtime, not
+# the build.
+go build ./examples/...
+
+status=0
+for dir in examples/*/; do
+    name=$(basename "$dir")
+    printf '==> go run ./examples/%s ... ' "$name"
+    if timeout "$TIMEOUT" go run "./examples/$name" > /dev/null 2> /tmp/example-"$name".err; then
+        echo "ok"
+    else
+        echo "FAIL"
+        echo "FAIL: example $name exited nonzero or exceeded ${TIMEOUT}s" >&2
+        sed 's/^/    /' /tmp/example-"$name".err >&2 || true
+        status=1
+    fi
+done
+
+[ "$status" -eq 0 ] && echo "examples: OK"
+exit $status

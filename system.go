@@ -92,6 +92,12 @@ type Config struct {
 	// Tau is the timeout parameter of the "loosele" protocol (0 selects
 	// 4·ln n). Ignored by every other protocol.
 	Tau int32
+	// Backend selects the simulation backend: BackendAgent ("" or "agent",
+	// one struct per agent — the default), BackendSpecies ("species", the
+	// population as state counts; requires the compactable capability), or
+	// BackendAuto ("auto", species for compactable protocols at populations
+	// of SpeciesAutoThreshold or more).
+	Backend string
 }
 
 // System is a running population: one protocol instance plus the engine
@@ -100,11 +106,12 @@ type Config struct {
 // returns nil for protocols without rank outputs, and Inject reports an
 // error for protocols without adversarial-injection support.
 type System struct {
-	proto  sim.Protocol
-	events *sim.Events
-	cfg    Config
-	spec   *protocolSpec // nil for NewCustom systems
-	clock  uint64        // engine-counted interactions (Clocked protocols report their own)
+	proto   sim.Protocol
+	events  *sim.Events
+	cfg     Config
+	spec    *protocolSpec // nil for NewCustom systems
+	backend string        // resolved backend (BackendAgent or BackendSpecies)
+	clock   uint64        // engine-counted interactions (Clocked protocols report their own)
 }
 
 // New builds a System running the protocol named by cfg.Protocol (default:
@@ -119,12 +126,21 @@ func New(cfg Config) (*System, error) {
 	if err := spec.validate(cfg); err != nil {
 		return nil, fmt.Errorf("sspp: %w", err)
 	}
+	backend, err := resolveBackend(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
 	ev := sim.NewEvents()
 	p, err := spec.build(cfg, ev)
 	if err != nil {
 		return nil, fmt.Errorf("sspp: %w", err)
 	}
-	return &System{proto: p, events: ev, cfg: cfg, spec: spec}, nil
+	if backend == BackendSpecies {
+		if p, err = compactProto(p, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	return &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: backend}, nil
 }
 
 // ProtocolName returns the registry name of the system's protocol
@@ -137,8 +153,19 @@ func (s *System) ProtocolName() string {
 }
 
 // Capabilities returns the optional engine capabilities the system's
-// protocol implements (the Capability* constants).
+// protocol implements (the Capability* constants). Under the species
+// backend this reflects the running count-based backend, not the agent
+// form the protocol was compacted from.
 func (s *System) Capabilities() []string { return capabilitiesOf(s.proto) }
+
+// Backend returns the resolved simulation backend the system runs on
+// (BackendAgent or BackendSpecies).
+func (s *System) Backend() string {
+	if s.backend == "" {
+		return BackendAgent
+	}
+	return s.backend
+}
 
 // N returns the population size.
 func (s *System) N() int { return s.proto.N() }
@@ -219,10 +246,14 @@ func (s *System) Ranks() []int {
 func (s *System) Correct() bool { return s.proto.Correct() }
 
 // CorrectRanking reports whether the rank outputs form a permutation
-// (false for protocols without the ranker capability).
+// (false for protocols without a ranking output). Count-based backends
+// check the permutation over state counts even though per-agent rank
+// outputs (Ranks) do not exist for them.
 func (s *System) CorrectRanking() bool {
-	if rk, ok := s.proto.(sim.Ranker); ok {
-		return rk.CorrectRanking()
+	// The structural probe covers every full sim.Ranker too (CorrectRanking
+	// is part of that method set), so one branch dispatches both.
+	if rc, ok := s.proto.(interface{ CorrectRanking() bool }); ok {
+		return rc.CorrectRanking()
 	}
 	return false
 }
