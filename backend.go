@@ -45,9 +45,22 @@ const SpeciesAutoThreshold = 1 << 16
 const speciesSeedSalt = 0xA5A5_5A5A_0F0F_F0F0
 
 // resolveBackend maps a Config.Backend value to the concrete backend for
-// the given protocol spec.
+// the given protocol spec. A resolution landing on the species backend is
+// rejected when the configuration asks for a non-complete topology: the
+// species backend samples state pairs from counts, so agent adjacency does
+// not exist there (capability table, DESIGN.md §9). The auto threshold
+// fails fast too rather than silently degrading a million-agent run to the
+// agent backend.
 func resolveBackend(cfg Config, spec *protocolSpec) (string, error) {
 	_, compactable := spec.zero.(sim.Compactable)
+	species := func() (string, error) {
+		if !cfg.Topology.IsComplete() {
+			return "", fmt.Errorf("sspp: the species backend supports only the complete topology "+
+				"(state-pair sampling has no agent adjacency; see the capability table, DESIGN.md §9) — "+
+				"protocol %q with topology %q needs Backend: %q", spec.name, cfg.Topology.Name(), BackendAgent)
+		}
+		return BackendSpecies, nil
+	}
 	switch cfg.Backend {
 	case "", BackendAgent:
 		return BackendAgent, nil
@@ -55,10 +68,10 @@ func resolveBackend(cfg Config, spec *protocolSpec) (string, error) {
 		if !compactable {
 			return "", fmt.Errorf("sspp: protocol %q has no species form (missing the compactable capability)", spec.name)
 		}
-		return BackendSpecies, nil
+		return species()
 	case BackendAuto:
 		if compactable && cfg.N >= SpeciesAutoThreshold {
-			return BackendSpecies, nil
+			return species()
 		}
 		return BackendAgent, nil
 	default:

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"sspp"
@@ -39,8 +41,11 @@ type jsonTable struct {
 
 // schemaVersion identifies the jsonReport layout, so archived BENCH_*.json
 // trajectories stay comparable across PRs. Bump on any breaking change to
-// jsonReport or jsonTable.
-const schemaVersion = 2
+// jsonReport or jsonTable. v3: the interaction-topology layer — the T-ring
+// table joined the registry (its rows carry a topology column), and the
+// -compare faceoff accepts -topology (its CompareResult JSON then stamps
+// the topology names).
+const schemaVersion = 3
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
@@ -76,11 +81,15 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
 		baseSeed = flag.Uint64("baseseed", 0, "offset all trial seeds (reproducibility studies)")
 		compare  = flag.Bool("compare", false, "run the cross-protocol comparison grid through the public Ensemble")
+		topology = flag.String("topology", "", "interaction topology for -compare: complete (default), ring, torus, random-regular=D, erdos-renyi=P")
 	)
 	flag.Parse()
 
 	if *compare {
-		return runCompare(*quick, *seeds, *baseSeed, *workers, *jsonOut)
+		return runCompare(*quick, *seeds, *baseSeed, *workers, *jsonOut, *topology)
+	}
+	if *topology != "" {
+		return fmt.Errorf("-topology applies to the -compare faceoff (the experiment tables fix their own topologies; see T-ring)")
 	}
 
 	registry := experiments.All()
@@ -135,16 +144,48 @@ func run() error {
 	return nil
 }
 
+// parseTopology maps a -topology flag value to a public Topology.
+func parseTopology(name string) (sspp.Topology, error) {
+	switch {
+	case name == "" || name == "complete":
+		return sspp.Complete(), nil
+	case name == "ring":
+		return sspp.Ring(), nil
+	case name == "torus":
+		return sspp.Torus2D(), nil
+	case strings.HasPrefix(name, "random-regular="):
+		d, err := strconv.Atoi(strings.TrimPrefix(name, "random-regular="))
+		if err != nil {
+			return sspp.Topology{}, fmt.Errorf("bad -topology degree in %q: %v", name, err)
+		}
+		return sspp.RandomRegular(d), nil
+	case strings.HasPrefix(name, "erdos-renyi="):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(name, "erdos-renyi="), 64)
+		if err != nil {
+			return sspp.Topology{}, fmt.Errorf("bad -topology density in %q: %v", name, err)
+		}
+		return sspp.ErdosRenyi(p), nil
+	default:
+		return sspp.Topology{}, fmt.Errorf("unknown -topology %q (want complete, ring, torus, random-regular=D or erdos-renyi=P)", name)
+	}
+}
+
 // runCompare crosses every registry protocol over shared parameter points
 // and starting classes through the public Ensemble — one engine, every
 // protocol — and renders the pivoted comparison (text or CompareResult
-// JSON, byte-identical at any worker count).
-func runCompare(quick bool, seeds int, baseSeed uint64, workers int, jsonOut bool) error {
+// JSON, byte-identical at any worker count). A non-complete -topology runs
+// the identical faceoff on that interaction graph (with a correspondingly
+// larger budget — sparse topologies mix slower).
+func runCompare(quick bool, seeds int, baseSeed uint64, workers int, jsonOut bool, topology string) error {
 	if seeds == 0 {
 		seeds = 5
 		if quick {
 			seeds = 3
 		}
+	}
+	top, err := parseTopology(topology)
+	if err != nil {
+		return err
 	}
 	points := []sspp.Point{{N: 32, R: 8}, {N: 64, R: 16}}
 	if quick {
@@ -154,13 +195,26 @@ func runCompare(quick bool, seeds int, baseSeed uint64, workers int, jsonOut boo
 	for _, info := range sspp.Protocols() {
 		protos = append(protos, info.Name)
 	}
-	ens, err := sspp.NewEnsemble(sspp.Grid{
+	grid := sspp.Grid{
 		Protocols:   protos,
 		Points:      points,
 		Adversaries: []sspp.Adversary{"", sspp.AdversaryTwoLeaders},
 		Seeds:       seeds,
 		BaseSeed:    baseSeed,
-	}, sspp.Workers(workers))
+	}
+	if !top.IsComplete() {
+		grid.Topologies = []sspp.Topology{top}
+		// Sparse topologies mix far slower than the complete graph the
+		// default budgets assume (see experiment T-ring).
+		maxN := 0
+		for _, pt := range points {
+			if pt.N > maxN {
+				maxN = pt.N
+			}
+		}
+		grid.MaxInteractions = uint64(1000 * maxN * maxN * maxN)
+	}
+	ens, err := sspp.NewEnsemble(grid, sspp.Workers(workers))
 	if err != nil {
 		return err
 	}
@@ -168,7 +222,8 @@ func runCompare(quick bool, seeds int, baseSeed uint64, workers int, jsonOut boo
 	if jsonOut {
 		return cmp.WriteJSON(os.Stdout)
 	}
-	fmt.Printf("cross-protocol faceoff (%d seeds per cell; ElectLeader_r uses r; baselines ignore it)\n\n", seeds)
+	fmt.Printf("cross-protocol faceoff (%d seeds per cell; topology %s; ElectLeader_r uses r; baselines ignore it)\n\n",
+		seeds, top.Name())
 	fmt.Printf("  %-12s %-4s %-3s %-12s %-10s %-18s %-14s\n",
 		"protocol", "n", "r", "start", "recovered", "mean interactions", "parallel time")
 	for _, row := range cmp.Rows {

@@ -52,6 +52,12 @@ type Grid struct {
 	// Protocols are registry protocol names (see Protocols()); empty means
 	// the paper's ElectLeader_r alone, keeping the pre-registry JSON layout.
 	Protocols []string
+	// Topologies are the interaction topologies to cross (Complete(),
+	// Ring(), RandomRegular(d), ...); empty means the complete graph alone,
+	// keeping the pre-topology JSON layout. Cells are stamped with the
+	// topology name; random families draw their graph per trial from the
+	// trial's protocol seed. Non-complete entries require the agent backend.
+	Topologies []Topology
 	// Points are the (n, r) parameter points (at least one).
 	Points []Point
 	// Adversaries are the starting-configuration classes; empty means a
@@ -91,6 +97,15 @@ type Grid struct {
 	Backend string
 }
 
+// gridSeeds resolves the effective per-cell seed count of a grid (0 means
+// the default of 5; negative values are rejected by NewEnsemble).
+func gridSeeds(s int) int {
+	if s == 0 {
+		return 5
+	}
+	return s
+}
+
 // Ensemble executes a Grid across a worker pool. Build with NewEnsemble.
 type Ensemble struct {
 	grid    Grid
@@ -115,6 +130,41 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 	if len(protos) == 0 {
 		protos = []string{""}
 	}
+	topos := g.Topologies
+	if len(topos) == 0 {
+		topos = []Topology{Complete()}
+	}
+	// Probe-materialize every non-complete topology at every point, at the
+	// exact protocol seed each trial will use — the random families draw
+	// their graph from that seed, so an unbuildable combination (odd-degree
+	// random-regular on an odd population, an Erdős–Rényi draw with no
+	// edges at one trial's seed) fails the grid up front instead of being
+	// silently aggregated as a failure to stabilize.
+	if seeds := gridSeeds(g.Seeds); seeds > 0 {
+		streams := deriveSeedStreams(g.BaseSeed, seeds)
+		for _, top := range topos {
+			if top.IsComplete() {
+				continue
+			}
+			for _, pt := range g.Points {
+				for s, st := range streams {
+					gr, err := top.materialize(pt.N, st.protoSeed)
+					if err != nil {
+						return nil, fmt.Errorf("sspp: ensemble point (n=%d), seed %d: %w", pt.N, s, err)
+					}
+					// Stabilization is global: on a disconnected graph every
+					// trial would burn its full budget and be aggregated as
+					// a failure to stabilize, so reject the draw instead.
+					if !gr.Connected() {
+						return nil, fmt.Errorf("sspp: ensemble point (n=%d), seed %d: topology %q draws a "+
+							"disconnected graph — no protocol can stabilize across components (raise the "+
+							"density, or probe single systems via System.TopologyConnected)",
+							pt.N, s, top.Name())
+					}
+				}
+			}
+		}
+	}
 	for _, name := range protos {
 		spec, err := specFor(name)
 		if err != nil {
@@ -136,18 +186,22 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 		// speciesTrials reports whether any of this protocol's trials will
 		// run on the species backend, where agent-identity surfaces
 		// (injection, transient faults) do not exist. Resolution is
-		// delegated per point to resolveBackend — the same function every
-		// trial uses — so grid validation can never diverge from what the
-		// trials actually do, and a grid never silently skips its fault
-		// model at large n.
+		// delegated per (topology, point) to resolveBackend — the same
+		// function every trial uses — so grid validation can never diverge
+		// from what the trials actually do: a grid never silently skips its
+		// fault model at large n, and a species resolution under a
+		// non-complete topology is rejected here with the capability-table
+		// error.
 		speciesTrials := false
-		for _, pt := range g.Points {
-			backend, err := resolveBackend(Config{Backend: g.Backend, N: pt.N}, spec)
-			if err != nil {
-				return nil, err
-			}
-			if backend == BackendSpecies {
-				speciesTrials = true
+		for _, top := range topos {
+			for _, pt := range g.Points {
+				backend, err := resolveBackend(Config{Backend: g.Backend, N: pt.N, Topology: top}, spec)
+				if err != nil {
+					return nil, err
+				}
+				if backend == BackendSpecies {
+					speciesTrials = true
+				}
 			}
 		}
 		if speciesTrials {
@@ -173,9 +227,7 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 	if g.Seeds < 0 {
 		return nil, fmt.Errorf("sspp: ensemble grid has negative seed count %d", g.Seeds)
 	}
-	if g.Seeds == 0 {
-		g.Seeds = 5
-	}
+	g.Seeds = gridSeeds(g.Seeds)
 	if g.TransientK < 0 {
 		return nil, fmt.Errorf("sspp: ensemble grid has negative transient burst size %d", g.TransientK)
 	}
@@ -219,6 +271,9 @@ type Cell struct {
 	// Protocol is the registry protocol name ("" when the grid did not
 	// cross protocols, i.e. the default ElectLeader_r).
 	Protocol string `json:"protocol,omitempty"`
+	// Topology is the interaction-topology name ("" when the grid did not
+	// cross topologies, i.e. the complete graph of the paper's model).
+	Topology string `json:"topology,omitempty"`
 	// Point is the (n, r) parameter point.
 	Point Point `json:"point"`
 	// Adversary is the starting-configuration class ("" for a clean start).
@@ -251,6 +306,9 @@ type EnsembleResult struct {
 	// Protocols echoes the grid's protocol list (omitted when the grid did
 	// not cross protocols).
 	Protocols []string `json:"protocols,omitempty"`
+	// Topologies echoes the grid's topology names (omitted when the grid
+	// did not cross topologies, keeping pre-topology exports byte-identical).
+	Topologies []string `json:"topologies,omitempty"`
 	// Backend echoes the grid's backend (omitted for the default agent
 	// backend, keeping pre-backend exports byte-identical).
 	Backend  string `json:"backend,omitempty"`
@@ -281,6 +339,17 @@ func (r *EnsembleResult) ProtocolCell(protocol string, p Point, a Adversary) (Ce
 	return Cell{}, false
 }
 
+// TopologyCell returns the cell for the given protocol, topology name,
+// point and adversary class ("" matches the respective un-crossed axis).
+func (r *EnsembleResult) TopologyCell(protocol, topology string, p Point, a Adversary) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Protocol == protocol && c.Topology == topology && c.Point == p && c.Adversary == a {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
 // JSON renders the result as indented JSON.
 func (r *EnsembleResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -300,6 +369,9 @@ func (r *EnsembleResult) WriteJSON(w io.Writer) error {
 // CompareRow is one (point, adversary) row of a CompareResult, holding the
 // per-protocol cells side by side.
 type CompareRow struct {
+	// Topology is the interaction-topology name ("" when the grid did not
+	// cross topologies).
+	Topology string `json:"topology,omitempty"`
 	// Point is the (n, r) parameter point.
 	Point Point `json:"point"`
 	// Adversary is the starting-configuration class ("" for clean starts).
@@ -315,15 +387,16 @@ type CompareRow struct {
 type CompareResult struct {
 	SchemaVersion int          `json:"schema_version"`
 	Protocols     []string     `json:"protocols"`
+	Topologies    []string     `json:"topologies,omitempty"`
 	Backend       string       `json:"backend,omitempty"`
 	Seeds         int          `json:"seeds"`
 	BaseSeed      uint64       `json:"base_seed"`
 	Rows          []CompareRow `json:"rows"`
 }
 
-// Compare pivots the result by protocol: every (point, adversary) pair
-// becomes one row holding each protocol's cell. Grids that did not cross
-// protocols pivot to single-cell rows labelled "electleader".
+// Compare pivots the result by protocol: every (topology, point, adversary)
+// triple becomes one row holding each protocol's cell. Grids that did not
+// cross protocols pivot to single-cell rows labelled "electleader".
 func (r *EnsembleResult) Compare() *CompareResult {
 	protos := r.Protocols
 	if len(protos) == 0 {
@@ -332,6 +405,7 @@ func (r *EnsembleResult) Compare() *CompareResult {
 	out := &CompareResult{
 		SchemaVersion: CompareSchemaVersion,
 		Protocols:     protos,
+		Topologies:    r.Topologies,
 		Backend:       r.Backend,
 		Seeds:         r.Seeds,
 		BaseSeed:      r.BaseSeed,
@@ -342,6 +416,7 @@ func (r *EnsembleResult) Compare() *CompareResult {
 	perProto := len(r.Cells) / len(protos)
 	for j := 0; j < perProto; j++ {
 		row := CompareRow{
+			Topology:  r.Cells[j].Topology,
 			Point:     r.Cells[j].Point,
 			Adversary: r.Cells[j].Adversary,
 			Cells:     make([]Cell, 0, len(protos)),
@@ -406,14 +481,14 @@ func deriveSeedStreams(baseSeed uint64, seeds int) []seedStreams {
 	return out
 }
 
-// runTrial executes one (protocol, point, adversary, seed) trial: build,
-// optionally inject, run to the stabilization condition — and, in
+// runTrial executes one (protocol, topology, point, adversary, seed) trial:
+// build, optionally inject, run to the stabilization condition — and, in
 // TransientK mode, corrupt and run again, reporting the recovery.
-func (e *Ensemble) runTrial(proto string, pt Point, class Adversary, st seedStreams) trialOutcome {
+func (e *Ensemble) runTrial(proto string, top Topology, pt Point, class Adversary, st seedStreams) trialOutcome {
 	g := e.grid
 	advSrc, schedSrc := st.adv, st.sched
 	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
-		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend})
+		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend, Topology: top})
 	if err != nil {
 		return trialOutcome{}
 	}
@@ -446,18 +521,29 @@ func (e *Ensemble) runTrial(proto string, pt Point, class Adversary, st seedStre
 
 // Run executes every trial of the grid across the worker pool and
 // aggregates per cell, in grid declaration order (protocols outermost,
-// then points, then adversaries).
+// then topologies, then points, then adversaries).
 func (e *Ensemble) Run() *EnsembleResult {
 	g := e.grid
 	protos := g.Protocols
 	if len(protos) == 0 {
 		protos = []string{""}
 	}
+	topos := g.Topologies
+	topoNames := []string{""}
+	if len(g.Topologies) > 0 {
+		topoNames = make([]string, len(topos))
+		for i, top := range topos {
+			topoNames[i] = top.Name()
+		}
+	} else {
+		topos = []Topology{Complete()}
+	}
 	advs := g.Adversaries
 	if len(advs) == 0 {
 		advs = []Adversary{""}
 	}
-	perProto := len(g.Points) * len(advs)
+	perTopo := len(g.Points) * len(advs)
+	perProto := len(topos) * perTopo
 	cells := len(protos) * perProto
 	jobs := cells * g.Seeds
 	streams := deriveSeedStreams(g.BaseSeed, g.Seeds)
@@ -465,9 +551,10 @@ func (e *Ensemble) Run() *EnsembleResult {
 	outs := trials.Run(e.workers, jobs, g.BaseSeed, func(j int, _ *rng.PRNG) trialOutcome {
 		ci, s := j/g.Seeds, j%g.Seeds
 		proto := protos[ci/perProto]
-		pt := g.Points[ci%perProto/len(advs)]
+		top := topos[ci%perProto/perTopo]
+		pt := g.Points[ci%perTopo/len(advs)]
 		class := advs[ci%len(advs)]
-		return e.runTrial(proto, pt, class, streams[s])
+		return e.runTrial(proto, top, pt, class, streams[s])
 	})
 
 	out := &EnsembleResult{
@@ -478,10 +565,14 @@ func (e *Ensemble) Run() *EnsembleResult {
 		BaseSeed:      g.BaseSeed,
 		Cells:         make([]Cell, 0, cells),
 	}
+	if len(g.Topologies) > 0 {
+		out.Topologies = topoNames
+	}
 	for ci := 0; ci < cells; ci++ {
 		cell := Cell{
 			Protocol:  protos[ci/perProto],
-			Point:     g.Points[ci%perProto/len(advs)],
+			Topology:  topoNames[ci%perProto/perTopo],
+			Point:     g.Points[ci%perTopo/len(advs)],
 			Adversary: advs[ci%len(advs)],
 			Seeds:     g.Seeds,
 			Samples:   []float64{},

@@ -1,0 +1,90 @@
+// Topology: run the same protocols on different interaction graphs. The
+// paper's model is the complete graph — every ordered pair of agents may
+// interact — but real deployments (and the ring leader-election literature,
+// arXiv:2009.10926) are not complete. Config.Topology restricts the
+// scheduler to an interaction graph's edge set; everything else (run
+// options, predicates, recordings, ensembles) composes unchanged.
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sspp"
+)
+
+func main() {
+	const n, r = 16, 4
+
+	// The paper's ElectLeader_r on three topologies. On the complete graph
+	// it stabilizes in Theorem 1.1 time; on a random 8-regular expander it
+	// still stabilizes, paying a mixing-time blowup; the ring defeats it
+	// within any practical budget — complete-graph protocols do not port to
+	// sparse topologies (experiment T-ring quantifies this).
+	for _, top := range []sspp.Topology{
+		sspp.Complete(),
+		sspp.RandomRegular(8),
+		sspp.Ring(),
+	} {
+		sys, err := sspp.New(sspp.Config{N: n, R: r, Seed: 1, Topology: top})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name, edges := sys.Topology()
+		res := sys.Run(sspp.SchedulerSeed(2), sspp.MaxInteractions(2_000_000))
+		verdict := fmt.Sprintf("safe set after %d interactions", res.StabilizedAt)
+		if !res.Stabilized {
+			verdict = fmt.Sprintf("NO stabilization within %d interactions", res.Interactions)
+		}
+		fmt.Printf("electleader on %-17s (%3d edges): %s\n", name, edges, verdict)
+	}
+
+	// Broadcast-style protocols port to any connected graph: the namerank
+	// baseline elects by names spreading hop by hop, so the ring only slows
+	// it down.
+	ring, err := sspp.New(sspp.Config{Protocol: sspp.ProtocolNameRank, N: n, Seed: 3,
+		Topology: sspp.Ring()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := ring.Run(sspp.SchedulerSeed(4))
+	fmt.Printf("namerank    on ring: stabilized=%v after %d interactions\n",
+		res.Stabilized, res.StabilizedAt)
+
+	// Topology schedules record as edge indices and replay exactly: capture
+	// a ring schedule once, re-run it on a fresh identical system.
+	build := func() *sspp.System {
+		sys, err := sspp.New(sspp.Config{Protocol: sspp.ProtocolNameRank, N: n, Seed: 3,
+			Topology: sspp.Ring()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	rec := sspp.NewRecorder(build().Sampler(4))
+	first := build().Run(sspp.WithScheduler(rec))
+	replayed := build().Run(sspp.WithScheduler(rec.Recording().Replay()))
+	fmt.Printf("recorded %d ring edges; replay reproduces the run exactly: %v\n",
+		rec.Recording().Len(), first == replayed)
+
+	// NewTopology runs user graphs: a star forces every interaction through
+	// a hub.
+	star := sspp.NewTopology("star", func(n int, _ uint64) [][2]int {
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{0, i}, [2]int{i, 0})
+		}
+		return edges
+	})
+	hub, err := sspp.New(sspp.Config{Protocol: sspp.ProtocolNameRank, N: n, Seed: 5,
+		Topology: star})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = hub.Run(sspp.SchedulerSeed(6))
+	name, edges := hub.Topology()
+	fmt.Printf("namerank    on %s (%d edges): stabilized=%v after %d interactions\n",
+		name, edges, res.Stabilized, res.StabilizedAt)
+}

@@ -32,7 +32,7 @@ func TestTablesWorkerCountIndependent(t *testing.T) {
 		parallel = 4
 	}
 	registry := All()
-	for _, id := range []string{"T1", "T7", "T9", "T14", "A2"} {
+	for _, id := range []string{"T1", "T7", "T9", "T14", "A2", "T-ring"} {
 		gen := registry[id]
 		if gen == nil {
 			t.Fatalf("experiment %s missing from registry", id)

@@ -1,0 +1,121 @@
+// topology.go implements the interaction-topology experiment (T-ring): the
+// paper's protocol and its related-work baselines are complete-graph
+// protocols — the uniform scheduler over [n]² is baked into their
+// correctness arguments — and the self-stabilizing literature is explicitly
+// topology-sensitive (dedicated ring protocols exist because the complete-
+// graph ones do not port, cf. arXiv:2009.10926). T-ring measures exactly
+// that: stabilization of electleader/ciw/loosele on the complete graph, the
+// ring, and a random 8-regular graph, across n, through the public
+// Ensemble (one grid per topology × size so each gets a budget matching its
+// expected scale).
+
+package experiments
+
+import (
+	"fmt"
+
+	"sspp"
+)
+
+// tringTopo pairs one experiment topology with its per-run interaction
+// budget: a generous Θ(n²·parallel-time) envelope on the complete graph
+// and the ring (where failure inside it is the measurement), and a Θ(n³)
+// envelope on the random regular graph, where ElectLeader_r still
+// stabilizes but pays a mixing-time blowup (observed up to ~5.6·10⁷
+// interactions at n = 48). Budget rides with the topology so the two can
+// never drift apart.
+type tringTopo struct {
+	top    sspp.Topology
+	budget func(n int) uint64
+}
+
+// tringTopos returns the experiment's topology column in presentation
+// order.
+func tringTopos() []tringTopo {
+	quadratic := func(n int) uint64 { return uint64(5000 * n * n) }
+	cubic := func(n int) uint64 { return uint64(1000 * n * n * n) }
+	return []tringTopo{
+		{sspp.Complete(), quadratic},
+		{sspp.Ring(), quadratic},
+		{sspp.RandomRegular(8), cubic},
+	}
+}
+
+// TRingTopology reproduces the topology sensitivity of complete-graph
+// leader election: every protocol runs unchanged on each interaction graph,
+// only the scheduler's edge set differs.
+func TRingTopology(cfg Config) *Table {
+	t := &Table{
+		ID:    "T-ring",
+		Title: "interaction topology: stabilization on complete vs ring vs random 8-regular graphs",
+		Claim: "complete-graph protocols do not port to sparse topologies (cf. arXiv:2009.10926): " +
+			"ElectLeader_r survives on an 8-regular expander with a mixing-time blowup, while the " +
+			"ring defeats all three within a 5000·n parallel-time budget",
+		Header: []string{"protocol", "topology", "n", "recovered", "mean interactions", "±95%", "blowup vs complete"},
+	}
+	ns := []int{16, 32, 48}
+	if cfg.Quick {
+		ns = []int{16, 24}
+	}
+	protos := []string{sspp.ProtocolElectLeader, sspp.ProtocolCIW, sspp.ProtocolLooseLE}
+	topos := tringTopos()
+
+	// cells[protocol][topology name][n] — filled one Ensemble per
+	// (topology, n) so every combination gets its own budget.
+	cells := make(map[string]map[string]map[int]sspp.Cell)
+	for _, p := range protos {
+		cells[p] = make(map[string]map[int]sspp.Cell)
+		for _, tt := range topos {
+			cells[p][tt.top.Name()] = make(map[int]sspp.Cell)
+		}
+	}
+	for _, tt := range topos {
+		for _, n := range ns {
+			ens, err := sspp.NewEnsemble(sspp.Grid{
+				Protocols:       protos,
+				Topologies:      []sspp.Topology{tt.top},
+				Points:          []sspp.Point{{N: n, R: maxInt(1, n/4)}},
+				Seeds:           cfg.seeds(),
+				BaseSeed:        cfg.BaseSeed,
+				MaxInteractions: tt.budget(n),
+			}, sspp.Workers(cfg.Workers))
+			if err != nil {
+				t.Note("grid (topology=%s, n=%d) rejected: %v", tt.top.Name(), n, err)
+				continue
+			}
+			for _, cell := range ens.Run().Cells {
+				cells[cell.Protocol][cell.Topology][cell.Point.N] = cell
+			}
+		}
+	}
+
+	completeName := sspp.Complete().Name()
+	for _, p := range protos {
+		for _, tt := range topos {
+			for _, n := range ns {
+				cell, ok := cells[p][tt.top.Name()][n]
+				if !ok {
+					continue
+				}
+				mean, ci, blowup := "-", "-", "-"
+				if cell.Recovered > 0 {
+					mean = fmtU(uint64(cell.Interactions.Mean))
+					ci = fmtU(uint64(cell.Interactions.CI95))
+					if base, ok := cells[p][completeName][n]; ok && base.Recovered > 0 {
+						blowup = fmt.Sprintf("%.1f×", cell.Interactions.Mean/base.Interactions.Mean)
+					}
+				} else {
+					blowup = fmt.Sprintf("∞ (>%s budget)", fmtU(tt.budget(n)))
+				}
+				t.Append(p, tt.top.Name(), itoa(n),
+					itoa(cell.Recovered)+"/"+itoa(cell.Seeds), mean, ci, blowup)
+			}
+		}
+	}
+	t.Note("every run uses the protocol's stabilization notion (safe set, or confirmed output for " +
+		"loosele); a 0/k row means no trial stabilized within the budget — CIW's equal-rank collisions " +
+		"and LooseLE's leader-meets-leader demotion structurally require adjacency the sparse graphs " +
+		"do not provide")
+	t.Note("budgets: 5000·n² interactions on complete and ring, 1000·n³ on random-regular(8)")
+	return t
+}

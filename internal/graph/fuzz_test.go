@@ -1,0 +1,98 @@
+package graph
+
+import "testing"
+
+// FuzzGenerators drives every topology generator over arbitrary (n, d, p,
+// seed) tuples and checks the structural contract the scheduler layer
+// relies on: edge lists are deterministic per seed, every edge is an
+// in-range non-self-loop pair, the families that promise connectivity
+// (ring, torus, random-regular) deliver it, and degree bounds hold. The
+// Erdős–Rényi family promises no connectivity (documented), so only its
+// determinism and edge validity are enforced.
+func FuzzGenerators(f *testing.F) {
+	f.Add(8, 2, 0.3, uint64(1))
+	f.Add(16, 8, 0.5, uint64(2))
+	f.Add(13, 3, 0.9, uint64(3))
+	f.Add(2, 4, 0.01, uint64(4))
+	f.Add(101, 5, 1.0, uint64(5))
+	f.Fuzz(func(t *testing.T, n, d int, p float64, seed uint64) {
+		if n < 2 || n > 512 {
+			n = 2 + (abs(n) % 511)
+		}
+		if d < 2 || d > 16 {
+			d = 2 + (abs(d) % 15)
+		}
+		if !(p > 0 && p <= 1) {
+			p = 0.5
+		}
+
+		check := func(name string, g *Graph, err error, wantConnected bool, maxDeg int) {
+			if err != nil {
+				return // rejected parameters are fine; accepted graphs must be sound
+			}
+			if err := g.validate(); err != nil {
+				t.Fatalf("%s(n=%d): %v", name, n, err)
+			}
+			if wantConnected && !g.Connected() {
+				t.Fatalf("%s(n=%d) disconnected", name, n)
+			}
+			if maxDeg > 0 {
+				for a := 0; a < g.N(); a++ {
+					if deg := g.OutDegree(a); deg > maxDeg {
+						t.Fatalf("%s(n=%d): out-degree of %d = %d > %d", name, n, a, deg, maxDeg)
+					}
+				}
+			}
+		}
+		identical := func(name string, a, b *Graph, errA, errB error) {
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s: same seed, different acceptance (%v vs %v)", name, errA, errB)
+			}
+			if errA != nil {
+				return
+			}
+			if a.M() != b.M() {
+				t.Fatalf("%s: same seed, different edge count %d vs %d", name, a.M(), b.M())
+			}
+			for i := 0; i < a.M(); i++ {
+				aa, ab := a.Edge(i)
+				ba, bb := b.Edge(i)
+				if aa != ba || ab != bb {
+					t.Fatalf("%s: same seed, edge %d differs", name, i)
+				}
+			}
+		}
+
+		ring, err := Ring(n)
+		check("ring", ring, err, true, 2)
+		torus, err := Torus2D(n)
+		check("torus", torus, err, true, 4)
+
+		rr1, err1 := RandomRegular(n, d, seed)
+		rr2, err2 := RandomRegular(n, d, seed)
+		check("random-regular", rr1, err1, true, d)
+		identical("random-regular", rr1, rr2, err1, err2)
+		if err1 == nil {
+			for a := 0; a < n; a++ {
+				if deg := rr1.OutDegree(a); deg != d {
+					t.Fatalf("random-regular(n=%d, d=%d): out-degree of %d = %d", n, d, a, deg)
+				}
+			}
+		}
+
+		er1, err1 := ErdosRenyi(n, p, seed)
+		er2, err2 := ErdosRenyi(n, p, seed)
+		check("erdos-renyi", er1, err1, false, n-1)
+		identical("erdos-renyi", er1, er2, err1, err2)
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 1
+		}
+		return -x
+	}
+	return x
+}

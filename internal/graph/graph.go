@@ -1,0 +1,292 @@
+// Package graph implements the interaction topologies of the topology
+// layer: finite directed interaction graphs over n agents, materialized as
+// edge lists that a scheduler samples uniformly. The population model of the
+// paper (§1.1) is the complete graph — every ordered pair of distinct
+// agents — which the engine never materializes (the uniform scheduler IS
+// that graph); this package provides the non-complete families the
+// topology-sensitive related work calls for (rings as in arXiv:2009.10926,
+// tori, random regular graphs, Erdős–Rényi graphs) plus user-supplied edge
+// lists.
+//
+// Interactions are ordered (initiator, responder), so every generator emits
+// directed edges; the built-in families are symmetric (both orientations of
+// every adjacency are present). All generators are deterministic functions
+// of (n, seed): the same parameters always produce the identical edge list,
+// which is what makes topology runs reproducible and lets recordings store
+// edge indices instead of pairs.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"sspp/internal/rng"
+)
+
+// Graph is a directed interaction graph over n agents, stored as a flat
+// edge list. Parallel edges are permitted (a pair listed k times is sampled
+// k times as often — the configuration-model view of a multigraph);
+// self-loops are not (an agent cannot interact with itself).
+type Graph struct {
+	name     string
+	n        int
+	src, dst []int32
+}
+
+// Name returns the generator name the graph was built from (e.g. "ring").
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of agents.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges (counting multiplicity).
+func (g *Graph) M() int { return len(g.src) }
+
+// Edge returns the i-th directed edge as an ordered (initiator, responder)
+// pair.
+func (g *Graph) Edge(i int) (a, b int) { return int(g.src[i]), int(g.dst[i]) }
+
+// Same reports whether g and other are the identical interaction graph:
+// same population and the same directed edge list in the same order. Two
+// materializations of one topology at the same (n, seed) are Same; the
+// engine uses this to validate that a topology-aware schedule really
+// belongs to the system it is driving.
+func (g *Graph) Same(other *Graph) bool {
+	if other == nil || g.n != other.n || len(g.src) != len(other.src) {
+		return false
+	}
+	for i := range g.src {
+		if g.src[i] != other.src[i] || g.dst[i] != other.dst[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OutDegree returns the number of outgoing edges of agent a (counting
+// multiplicity).
+func (g *Graph) OutDegree(a int) int {
+	deg := 0
+	for _, s := range g.src {
+		if int(s) == a {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Connected reports whether the graph is connected when edge directions are
+// ignored (the built-in families are symmetric, so this coincides with
+// strong connectivity for them). A population protocol cannot stabilize
+// globally on a disconnected interaction graph: information never crosses
+// between components.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	parent := make([]int32, g.n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	components := g.n
+	for i := range g.src {
+		ra, rb := find(g.src[i]), find(g.dst[i])
+		if ra != rb {
+			parent[ra] = rb
+			components--
+		}
+	}
+	return components == 1
+}
+
+// addBoth appends both orientations of the undirected adjacency {a, b}.
+func (g *Graph) addBoth(a, b int32) {
+	g.src = append(g.src, a, b)
+	g.dst = append(g.dst, b, a)
+}
+
+// validate checks the invariants every Graph must satisfy: a real
+// population, at least one edge, all endpoints in range, no self-loops.
+func (g *Graph) validate() error {
+	if g.n < 2 {
+		return fmt.Errorf("graph: population size %d < 2", g.n)
+	}
+	if len(g.src) == 0 {
+		return fmt.Errorf("graph: %q over %d agents has no edges", g.name, g.n)
+	}
+	for i := range g.src {
+		a, b := g.src[i], g.dst[i]
+		if a < 0 || int(a) >= g.n || b < 0 || int(b) >= g.n {
+			return fmt.Errorf("graph: %q edge %d = (%d, %d) out of range [0, %d)", g.name, i, a, b, g.n)
+		}
+		if a == b {
+			return fmt.Errorf("graph: %q edge %d is a self-loop at agent %d", g.name, i, a)
+		}
+	}
+	return nil
+}
+
+// Ring returns the bidirectional cycle over n agents: agent i is adjacent
+// to i±1 mod n, 2n directed edges. This is the topology of the ring
+// leader-election lower bounds (arXiv:2009.10926).
+func Ring(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ring needs n ≥ 2, got %d", n)
+	}
+	g := &Graph{name: "ring", n: n, src: make([]int32, 0, 2*n), dst: make([]int32, 0, 2*n)}
+	if n == 2 {
+		g.addBoth(0, 1) // a 2-cycle would duplicate the single adjacency
+		return g, nil
+	}
+	for i := 0; i < n; i++ {
+		g.addBoth(int32(i), int32((i+1)%n))
+	}
+	return g, nil
+}
+
+// torusDims factors n into the most nearly square w×h grid (w ≤ h). A prime
+// n factors as 1×n, degenerating the torus to a ring.
+func torusDims(n int) (w, h int) {
+	for w = int(isqrt(uint64(n))); w > 1; w-- {
+		if n%w == 0 {
+			return w, n / w
+		}
+	}
+	return 1, n
+}
+
+// isqrt returns ⌊√x⌋ via math.Sqrt with an exactness correction.
+func isqrt(x uint64) uint64 {
+	r := uint64(math.Sqrt(float64(x)))
+	for r > 0 && r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+// Torus2D returns the two-dimensional w×h torus over n agents, with w×h the
+// most nearly square factorization of n (w ≤ h): agent (x, y) is adjacent
+// to its four grid neighbours with wraparound. Degenerate dimensions fold
+// gracefully — a prime n yields the 1×n torus, which is exactly the ring —
+// and duplicate adjacencies from 2-wide dimensions are emitted once.
+func Torus2D(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: torus needs n ≥ 2, got %d", n)
+	}
+	w, h := torusDims(n)
+	g := &Graph{name: "torus", n: n, src: make([]int32, 0, 4*n), dst: make([]int32, 0, 4*n)}
+	seen := make(map[int64]bool, 2*n)
+	add := func(a, b int32) {
+		if a == b {
+			return
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := int64(lo)<<32 | int64(hi)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.addBoth(a, b)
+	}
+	at := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			add(at(x, y), at((x+1)%w, y))
+			add(at(x, y), at(x, (y+1)%h))
+		}
+	}
+	return g, g.validate()
+}
+
+// RandomRegular returns a connected d-regular multigraph over n agents,
+// built as the union of ⌊d/2⌋ uniformly random Hamiltonian cycles (plus one
+// uniformly random perfect matching when d is odd, requiring even n). Every
+// agent has exactly d incident adjacencies counting multiplicity, and the
+// graph is always connected (each Hamiltonian cycle alone is). The edge
+// list is a deterministic function of (n, d, seed).
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	switch {
+	case d < 2:
+		return nil, fmt.Errorf("graph: random-regular degree %d < 2", d)
+	case n <= d:
+		return nil, fmt.Errorf("graph: random-regular needs n > d, got n=%d d=%d", n, d)
+	case d%2 == 1 && n%2 == 1:
+		return nil, fmt.Errorf("graph: odd degree %d needs an even population, got n=%d", d, n)
+	}
+	r := rng.New(seed)
+	g := &Graph{name: "random-regular", n: n,
+		src: make([]int32, 0, 2*d*n), dst: make([]int32, 0, 2*d*n)}
+	for c := 0; c < d/2; c++ {
+		perm := r.Perm(n) // a uniform Hamiltonian cycle: visit agents in permutation order
+		for i := 0; i < n; i++ {
+			g.addBoth(int32(perm[i]), int32(perm[(i+1)%n]))
+		}
+	}
+	if d%2 == 1 {
+		perm := r.Perm(n) // pair consecutive entries: a uniform perfect matching
+		for i := 0; i < n; i += 2 {
+			g.addBoth(int32(perm[i]), int32(perm[i+1]))
+		}
+	}
+	return g, g.validate()
+}
+
+// ErdosRenyi returns a G(n, p) graph: every unordered pair {i, j} is an
+// adjacency independently with probability p (both orientations emitted).
+// Unlike the other families the result is NOT guaranteed connected — below
+// the p = ln(n)/n threshold it usually is not, and a protocol cannot
+// stabilize across components; callers who need connectivity should check
+// Connected. A draw with no edges at all is rejected as an error. The edge
+// list is a deterministic function of (n, p, seed).
+func ErdosRenyi(n int, p float64, seed uint64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: erdos-renyi needs n ≥ 2, got %d", n)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: erdos-renyi probability %v outside (0, 1]", p)
+	}
+	r := rng.New(seed)
+	g := &Graph{name: "erdos-renyi", n: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.addBoth(int32(i), int32(j))
+			}
+		}
+	}
+	if g.M() == 0 {
+		return nil, fmt.Errorf("graph: erdos-renyi(n=%d, p=%v, seed=%d) drew no edges", n, p, seed)
+	}
+	return g, nil
+}
+
+// FromEdges builds a graph from an explicit directed edge list (the
+// user-topology escape hatch). The list is copied; it must contain at least
+// one edge, all endpoints in [0, n), and no self-loops. Symmetry is NOT
+// imposed: a directed edge (a, b) only lets a initiate with b responding.
+func FromEdges(name string, n int, edges [][2]int) (*Graph, error) {
+	if name == "" {
+		name = "custom"
+	}
+	g := &Graph{name: name, n: n,
+		src: make([]int32, 0, len(edges)), dst: make([]int32, 0, len(edges))}
+	for _, e := range edges {
+		g.src = append(g.src, int32(e[0]))
+		g.dst = append(g.dst, int32(e[1]))
+	}
+	return g, g.validate()
+}

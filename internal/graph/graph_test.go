@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestRingShape: the ring over n agents has 2n directed edges (2 for n=2),
+// is connected, and every agent has out-degree 2 (1 for n=2).
+func TestRingShape(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16, 101} {
+		g, err := Ring(n)
+		if err != nil {
+			t.Fatalf("Ring(%d): %v", n, err)
+		}
+		wantM, wantDeg := 2*n, 2
+		if n == 2 {
+			wantM, wantDeg = 2, 1
+		}
+		if g.M() != wantM {
+			t.Errorf("Ring(%d): M = %d, want %d", n, g.M(), wantM)
+		}
+		if !g.Connected() {
+			t.Errorf("Ring(%d) disconnected", n)
+		}
+		for a := 0; a < n; a++ {
+			if deg := g.OutDegree(a); deg != wantDeg {
+				t.Errorf("Ring(%d): out-degree of %d = %d, want %d", n, a, deg, wantDeg)
+			}
+		}
+	}
+	if _, err := Ring(1); err == nil {
+		t.Error("Ring(1) accepted")
+	}
+}
+
+// TestTorusShape: the torus is connected with out-degree ≤ 4, and the prime
+// case degenerates to the ring.
+func TestTorusShape(t *testing.T) {
+	for _, n := range []int{4, 6, 9, 16, 36, 64, 100} {
+		g, err := Torus2D(n)
+		if err != nil {
+			t.Fatalf("Torus2D(%d): %v", n, err)
+		}
+		if !g.Connected() {
+			t.Errorf("Torus2D(%d) disconnected", n)
+		}
+		for a := 0; a < n; a++ {
+			if deg := g.OutDegree(a); deg < 1 || deg > 4 {
+				t.Errorf("Torus2D(%d): out-degree of %d = %d, want 1..4", n, a, deg)
+			}
+		}
+	}
+	// A 4×4 torus is 4-regular with 2·2·16 = 64 directed edges.
+	g, err := Torus2D(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 64 {
+		t.Errorf("Torus2D(16): M = %d, want 64", g.M())
+	}
+	// Prime n folds to the 1×n torus = the ring.
+	prime, err := Torus2D(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := Ring(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prime.M() != ring.M() {
+		t.Errorf("Torus2D(13): M = %d, ring has %d", prime.M(), ring.M())
+	}
+}
+
+// TestRandomRegularShape: exact d-regularity (counting multiplicity),
+// connectivity, and parameter validation.
+func TestRandomRegularShape(t *testing.T) {
+	cases := []struct{ n, d int }{{16, 2}, {16, 8}, {12, 8}, {32, 3}, {9, 4}, {64, 8}}
+	for _, c := range cases {
+		g, err := RandomRegular(c.n, c.d, 7)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d, %d): %v", c.n, c.d, err)
+		}
+		if g.M() != c.n*c.d {
+			t.Errorf("RandomRegular(%d, %d): M = %d, want %d", c.n, c.d, g.M(), c.n*c.d)
+		}
+		if !g.Connected() {
+			t.Errorf("RandomRegular(%d, %d) disconnected", c.n, c.d)
+		}
+		for a := 0; a < c.n; a++ {
+			if deg := g.OutDegree(a); deg != c.d {
+				t.Errorf("RandomRegular(%d, %d): out-degree of %d = %d", c.n, c.d, a, deg)
+			}
+		}
+	}
+	for _, c := range []struct{ n, d int }{{8, 1}, {8, 8}, {4, 8}, {9, 3}} {
+		if _, err := RandomRegular(c.n, c.d, 1); err == nil {
+			t.Errorf("RandomRegular(%d, %d) accepted", c.n, c.d)
+		}
+	}
+}
+
+// TestErdosRenyiShape: p = 1 yields the complete graph; mid-range p yields
+// a plausible edge count; invalid parameters are rejected.
+func TestErdosRenyiShape(t *testing.T) {
+	const n = 24
+	full, err := ErdosRenyi(n, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.M() != n*(n-1) {
+		t.Errorf("ErdosRenyi(p=1): M = %d, want %d", full.M(), n*(n-1))
+	}
+	if !full.Connected() {
+		t.Error("complete ER graph disconnected")
+	}
+	half, err := ErdosRenyi(n, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := n * (n - 1) / 2
+	if half.M() < mean/2 || half.M() > 3*mean/2 {
+		t.Errorf("ErdosRenyi(p=0.5): M = %d, implausible vs mean %d", half.M(), mean)
+	}
+	for _, p := range []float64{0, -0.5, 1.5} {
+		if _, err := ErdosRenyi(n, p, 1); err == nil {
+			t.Errorf("ErdosRenyi(p=%v) accepted", p)
+		}
+	}
+	// p so small that the draw has no edges is an error, not a broken graph.
+	if _, err := ErdosRenyi(2, 1e-12, 1); err == nil {
+		t.Error("edgeless ER draw accepted")
+	}
+}
+
+// TestGeneratorsDeterministicPerSeed: the same (n, seed) always yields the
+// identical edge list, and a different seed changes the random families.
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	same := func(a, b *Graph) bool {
+		if a.M() != b.M() {
+			return false
+		}
+		for i := 0; i < a.M(); i++ {
+			aa, ab := a.Edge(i)
+			ba, bb := b.Edge(i)
+			if aa != ba || ab != bb {
+				return false
+			}
+		}
+		return true
+	}
+	const n = 20
+	gens := map[string]func(seed uint64) (*Graph, error){
+		"ring":           func(uint64) (*Graph, error) { return Ring(n) },
+		"torus":          func(uint64) (*Graph, error) { return Torus2D(n) },
+		"random-regular": func(seed uint64) (*Graph, error) { return RandomRegular(n, 4, seed) },
+		"erdos-renyi":    func(seed uint64) (*Graph, error) { return ErdosRenyi(n, 0.3, seed) },
+	}
+	for name, gen := range gens {
+		a, err := gen(42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen(42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !same(a, b) {
+			t.Errorf("%s: same seed, different edge list", name)
+		}
+	}
+	for _, name := range []string{"random-regular", "erdos-renyi"} {
+		a, _ := gens[name](1)
+		b, _ := gens[name](2)
+		if same(a, b) {
+			t.Errorf("%s: different seeds, identical edge list", name)
+		}
+	}
+}
+
+// TestFromEdges: explicit edge lists are validated and preserved verbatim,
+// including direction asymmetry.
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges("star", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || g.Name() != "star" || g.N() != 4 {
+		t.Fatalf("FromEdges: M=%d name=%q n=%d", g.M(), g.Name(), g.N())
+	}
+	if a, b := g.Edge(2); a != 0 || b != 3 {
+		t.Fatalf("edge 2 = (%d, %d), want (0, 3)", a, b)
+	}
+	if g.OutDegree(0) != 3 || g.OutDegree(2) != 0 {
+		t.Fatalf("out-degrees %d/%d, want 3/0", g.OutDegree(0), g.OutDegree(2))
+	}
+	bad := [][][2]int{
+		{},        // no edges
+		{{0, 0}},  // self-loop
+		{{0, 4}},  // out of range
+		{{-1, 2}}, // negative
+	}
+	for i, edges := range bad {
+		if _, err := FromEdges("bad", 4, edges); err == nil {
+			t.Errorf("bad edge list %d accepted", i)
+		}
+	}
+}
+
+// TestConnectedDetectsComponents: a two-component edge list is reported
+// disconnected.
+func TestConnectedDetectsComponents(t *testing.T) {
+	g, err := FromEdges("split", 4, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("two-component graph reported connected")
+	}
+}

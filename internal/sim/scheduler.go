@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"sspp/internal/graph"
 	"sspp/internal/rng"
 )
 
@@ -149,18 +150,33 @@ func (b *Batch) refill(n int) {
 
 // Recorder wraps a Scheduler and records every pair it deals, so a schedule
 // observed once (e.g. a run that exposed a bug) can be replayed exactly.
+// When the inner scheduler samples a topology's edge set (EdgePairer, e.g.
+// an EdgeSampler), the recording stores one edge index per interaction
+// instead of the pair, and replay resolves the indices through the same
+// graph — half the memory, and exact by construction.
 type Recorder struct {
 	inner Scheduler
+	edges EdgePairer // non-nil when inner deals topology edges
 	rec   *Recording
 }
 
 // NewRecorder builds a recording wrapper around inner.
 func NewRecorder(inner Scheduler) *Recorder {
-	return &Recorder{inner: inner, rec: &Recording{}}
+	r := &Recorder{inner: inner, rec: &Recording{}}
+	if ep, ok := inner.(EdgePairer); ok {
+		r.edges = ep
+		r.rec.g = ep.Graph()
+	}
+	return r
 }
 
 // Pair deals the inner scheduler's next pair and records it.
 func (r *Recorder) Pair(n int) (int, int) {
+	if r.edges != nil {
+		a, b, idx := r.edges.PairEdge(n)
+		r.rec.edges = append(r.rec.edges, idx)
+		return a, b
+	}
 	a, b := r.inner.Pair(n)
 	r.rec.pairs = append(r.rec.pairs, int32(a), int32(b))
 	return a, b
@@ -171,18 +187,36 @@ func (r *Recorder) Pair(n int) (int, int) {
 // point.
 func (r *Recorder) Recording() *Recording { return r.rec }
 
-// Recording is a captured pair schedule.
+// Graph returns the interaction graph the inner scheduler samples, or nil
+// when the inner scheduler is not topology-aware. A Recorder around an
+// EdgeSampler thereby remains a valid topology scheduler itself.
+func (r *Recorder) Graph() *graph.Graph { return r.rec.g }
+
+// Recording is a captured schedule: explicit pairs for generic schedulers,
+// or edge indices plus the graph that resolves them for topology schedules.
 type Recording struct {
 	pairs []int32
+	edges []int32      // edge-index mode: one index per interaction
+	g     *graph.Graph // resolves edges; nil in pair mode
 }
 
-// Len returns the number of recorded pairs.
-func (rec *Recording) Len() int { return len(rec.pairs) / 2 }
+// Len returns the number of recorded interactions.
+func (rec *Recording) Len() int {
+	if rec.g != nil {
+		return len(rec.edges)
+	}
+	return len(rec.pairs) / 2
+}
 
-// Replay returns a Scheduler that deals the recorded pairs in order. A
+// EdgeIndexed reports whether the recording stores edge indices of an
+// interaction graph rather than explicit pairs.
+func (rec *Recording) EdgeIndexed() bool { return rec.g != nil }
+
+// Replay returns a Scheduler that deals the recorded schedule in order. A
 // consumer that outruns the recording wraps around to its start; replaying
 // an empty recording panics. Pairs recorded for a larger population are
-// folded into [0, n).
+// folded into [0, n); edge-indexed recordings resolve through their graph
+// and ignore n.
 func (rec *Recording) Replay() Scheduler { return &replayer{rec: rec} }
 
 type replayer struct {
@@ -190,8 +224,24 @@ type replayer struct {
 	next int
 }
 
+// Graph returns the graph an edge-indexed recording resolves through (nil
+// for pair-mode recordings), marking edge-indexed replays as valid
+// topology schedulers.
+func (r *replayer) Graph() *graph.Graph { return r.rec.g }
+
 // Pair deals the next recorded pair.
 func (r *replayer) Pair(n int) (int, int) {
+	if r.rec.g != nil {
+		if len(r.rec.edges) == 0 {
+			panic("sim: Replay of an empty Recording")
+		}
+		if r.next >= len(r.rec.edges) {
+			r.next = 0
+		}
+		a, b := r.rec.g.Edge(int(r.rec.edges[r.next]))
+		r.next++
+		return a, b
+	}
 	if len(r.rec.pairs) == 0 {
 		panic("sim: Replay of an empty Recording")
 	}

@@ -1,0 +1,72 @@
+// topology.go is the scheduler side of the interaction-topology layer: an
+// EdgeSampler turns a materialized interaction graph (internal/graph) into a
+// Scheduler by drawing uniformly random edge indices from a PRNG stream.
+// The complete graph never takes this path — the plain uniform scheduler
+// (*rng.PRNG) IS the complete topology, with zero per-interaction overhead —
+// so topology support costs nothing on the paper's model. Schedules dealt by
+// an EdgeSampler are recorded as edge indices (one int32 per interaction
+// instead of a pair), and replay resolves them through the same graph, so a
+// replayed topology run is exact by construction.
+
+package sim
+
+import (
+	"sspp/internal/graph"
+	"sspp/internal/rng"
+)
+
+// EdgeSampler is a Scheduler over a fixed interaction graph: every Pair is
+// a uniformly random directed edge of the graph, drawn from the bound PRNG
+// stream. The uniform-over-edges law is the standard generalization of the
+// population model to arbitrary interaction graphs (every enabled ordered
+// pair equally likely per step).
+type EdgeSampler struct {
+	g   *graph.Graph
+	src *rng.PRNG
+}
+
+// NewEdgeSampler builds an edge-set scheduler over g drawing edge indices
+// from src.
+func NewEdgeSampler(g *graph.Graph, src *rng.PRNG) *EdgeSampler {
+	return &EdgeSampler{g: g, src: src}
+}
+
+// Pair deals a uniformly random directed edge of the graph. The population
+// size argument is fixed by the graph and ignored.
+func (e *EdgeSampler) Pair(int) (a, b int) {
+	return e.g.Edge(e.src.Intn(e.g.M()))
+}
+
+// PairEdge deals the next pair together with the edge index it was sampled
+// from, for edge-indexed recordings.
+func (e *EdgeSampler) PairEdge(int) (a, b int, edge int32) {
+	idx := e.src.Intn(e.g.M())
+	a, b = e.g.Edge(idx)
+	return a, b, int32(idx)
+}
+
+// Graph returns the interaction graph the sampler draws from.
+func (e *EdgeSampler) Graph() *graph.Graph { return e.g }
+
+// EdgePairer is the optional scheduler capability behind edge-indexed
+// recordings: a scheduler that deals pairs by sampling a graph's edge set
+// exposes the index of each sampled edge and the graph itself, so a
+// Recorder can store one edge index per interaction and Replay can resolve
+// the indices through the identical graph.
+type EdgePairer interface {
+	Scheduler
+	PairEdge(n int) (a, b int, edge int32)
+	Graph() *graph.Graph
+}
+
+var _ EdgePairer = (*EdgeSampler)(nil)
+
+// GraphScheduler is the capability the engine probes to decide whether a
+// user-supplied scheduler may drive a non-complete topology: a scheduler
+// that deals pairs from an interaction graph's edge set reports that graph
+// (an edge-indexed replayer reports the recording's). Schedulers without it
+// — or reporting nil — deal pairs from [n]² and are rejected for topology
+// runs rather than silently simulating the complete graph.
+type GraphScheduler interface {
+	Graph() *graph.Graph
+}

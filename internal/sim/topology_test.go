@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"sspp/internal/graph"
+	"sspp/internal/rng"
+)
+
+// mustRing builds a ring graph or fails the test.
+func mustRing(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEdgeSamplerDealsGraphEdges: every dealt pair is a directed edge of
+// the graph, and the distribution covers all edges.
+func TestEdgeSamplerDealsGraphEdges(t *testing.T) {
+	const n = 8
+	g := mustRing(t, n)
+	allowed := make(map[[2]int]bool, g.M())
+	for i := 0; i < g.M(); i++ {
+		a, b := g.Edge(i)
+		allowed[[2]int{a, b}] = true
+	}
+	es := NewEdgeSampler(g, rng.New(5))
+	seen := make(map[[2]int]int)
+	for i := 0; i < 4000; i++ {
+		a, b := es.Pair(n)
+		if !allowed[[2]int{a, b}] {
+			t.Fatalf("pair (%d, %d) is not a ring edge", a, b)
+		}
+		seen[[2]int{a, b}]++
+	}
+	if len(seen) != g.M() {
+		t.Fatalf("only %d of %d edges sampled", len(seen), g.M())
+	}
+}
+
+// TestEdgeRecorderRoundTrip: a schedule recorded from an EdgeSampler is
+// stored as edge indices and replays to the identical pair sequence.
+func TestEdgeRecorderRoundTrip(t *testing.T) {
+	const n = 12
+	g := mustRing(t, n)
+	rec := NewRecorder(NewEdgeSampler(g, rng.New(9)))
+	var pairs [][2]int
+	for i := 0; i < 500; i++ {
+		a, b := rec.Pair(n)
+		pairs = append(pairs, [2]int{a, b})
+	}
+	recording := rec.Recording()
+	if !recording.EdgeIndexed() {
+		t.Fatal("topology schedule recorded as explicit pairs")
+	}
+	if recording.Len() != len(pairs) {
+		t.Fatalf("recording holds %d interactions, dealt %d", recording.Len(), len(pairs))
+	}
+	replay := recording.Replay()
+	for i, want := range pairs {
+		a, b := replay.Pair(n)
+		if a != want[0] || b != want[1] {
+			t.Fatalf("replayed pair %d = (%d, %d), want (%d, %d)", i, a, b, want[0], want[1])
+		}
+	}
+	// Wrap-around replays the same schedule again.
+	a, b := replay.Pair(n)
+	if a != pairs[0][0] || b != pairs[0][1] {
+		t.Fatalf("wrap-around pair = (%d, %d), want (%d, %d)", a, b, pairs[0][0], pairs[0][1])
+	}
+}
+
+// TestPairRecorderStillPairMode: recording a non-topology scheduler keeps
+// the explicit-pair format.
+func TestPairRecorderStillPairMode(t *testing.T) {
+	rec := NewRecorder(rng.New(3))
+	rec.Pair(8)
+	if rec.Recording().EdgeIndexed() {
+		t.Fatal("uniform schedule recorded as edge indices")
+	}
+	if rec.Recording().Len() != 1 {
+		t.Fatalf("Len = %d, want 1", rec.Recording().Len())
+	}
+}
+
+// BenchmarkUniformPair is the complete-topology fast path: the plain PRNG
+// pair draw every pre-topology run used, unchanged by the topology layer.
+func BenchmarkUniformPair(b *testing.B) {
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		src.Pair(256)
+	}
+}
+
+// BenchmarkEdgeSamplerPair is the non-complete path: one bounded draw plus
+// an edge-list lookup.
+func BenchmarkEdgeSamplerPair(b *testing.B) {
+	es := NewEdgeSampler(mustRing(b, 256), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es.Pair(256)
+	}
+}

@@ -249,6 +249,16 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 		sched = rng.New(seed)
 	}
+	// Non-complete topologies sample ordered pairs from the interaction
+	// graph's edge set: a uniform PRNG stream is re-bound as the edge-index
+	// source, topology-aware and edge-replayed schedules pass through, and
+	// anything dealing from [n]² fails the run up front rather than
+	// silently simulating the complete graph. Complete-topology systems
+	// keep the historical scheduler untouched.
+	sched, terr := s.topologize(sched)
+	if terr != nil {
+		return Result{Condition: spec.cond.name, ParallelTime: -1, Err: terr}
+	}
 	// Count-based backends (the species backend) have no agent identities:
 	// they draw state pairs from a uniform stream themselves and step in
 	// bulk. Only uniform PRNG schedulers can seed that stream; anything else
@@ -366,21 +376,33 @@ func (s *System) Run(opts ...RunOption) Result {
 	return finish()
 }
 
-// Step executes k uniformly random interactions with the given scheduler
-// seed stream, with no condition polling. Repeated calls with the same
-// *System advance the same configuration; pass different seeds to explore
-// schedules.
+// Step executes k scheduler-driven interactions with the given scheduler
+// seed stream, with no condition polling: uniformly random pairs on the
+// complete topology, uniformly random interaction-graph edges otherwise.
+// Repeated calls with the same *System advance the same configuration; pass
+// different seeds to explore schedules.
 func (s *System) Step(schedulerSeed uint64, k uint64) {
-	sim.Steps(s.proto, rng.New(schedulerSeed), k)
+	if s.graph == nil {
+		sim.Steps(s.proto, rng.New(schedulerSeed), k) // the monomorphic historical fast path
+	} else {
+		sim.StepsSched(s.proto, sim.NewEdgeSampler(s.graph, rng.New(schedulerSeed)), k)
+	}
 	s.clock += k
 }
 
 // StepSched executes exactly k interactions under an arbitrary Scheduler,
-// with no condition polling. Species-backed systems accept only uniform
+// with no condition polling. On a non-complete topology a uniform scheduler
+// (NewUniform) is re-bound to sample the system's edge set, like Run does,
+// and a scheduler dealing pairs from [n]² panics rather than silently
+// simulating the complete graph. Species-backed systems accept only uniform
 // schedulers (NewUniform; agent identities do not exist in species form)
 // and panic on anything else rather than silently substituting uniform
 // dynamics.
 func (s *System) StepSched(sched Scheduler, k uint64) {
+	sched, err := s.topologize(sched)
+	if err != nil {
+		panic(err.Error())
+	}
 	sim.StepsSched(s.proto, sched, k)
 	s.clock += k
 }

@@ -25,10 +25,17 @@
 //     a high-throughput drop-in with the identical schedule, NewZipf and
 //     NewWeighted model non-uniform contact rates, and NewRecorder /
 //     Recording.Replay capture and re-run exact schedules.
-//   - Ensemble — a declarative grid of protocols × (n, r) Points ×
-//     adversary classes × seed counts, executed across GOMAXPROCS workers
-//     with deterministic aggregation: results (and their JSON export, plus
-//     the pivoted CompareResult) are byte-identical for every worker count.
+//   - Topology — the interaction graph pairs are drawn from.
+//     Config.Topology defaults to the complete graph of the paper's model
+//     (zero overhead, bit-identical to the pre-topology engine); Ring,
+//     Torus2D, RandomRegular, ErdosRenyi and NewTopology restrict the
+//     scheduler to a graph's edge set, the graph-restricted population
+//     model of the ring leader-election literature.
+//   - Ensemble — a declarative grid of protocols × Topologies × (n, r)
+//     Points × adversary classes × seed counts, executed across GOMAXPROCS
+//     workers with deterministic aggregation: results (and their JSON
+//     export, plus the pivoted CompareResult) are byte-identical for every
+//     worker count.
 //
 // A minimal session:
 //
@@ -68,6 +75,7 @@ import (
 	"math"
 
 	"sspp/internal/core"
+	"sspp/internal/graph"
 	"sspp/internal/sim"
 )
 
@@ -98,6 +106,14 @@ type Config struct {
 	// BackendAuto ("auto", species for compactable protocols at populations
 	// of SpeciesAutoThreshold or more).
 	Backend string
+	// Topology selects the interaction graph the scheduler samples pairs
+	// from. The zero value is the complete graph of the paper's model (§1.1)
+	// — the historical behaviour, bit for bit; Ring(), Torus2D(),
+	// RandomRegular(d), ErdosRenyi(p) and NewTopology restrict interactions
+	// to a graph's edge set. Random families draw their graph
+	// deterministically from Seed. Non-complete topologies require the agent
+	// backend (the species backend has no agent adjacency — see DESIGN.md §9).
+	Topology Topology
 }
 
 // System is a running population: one protocol instance plus the engine
@@ -111,6 +127,7 @@ type System struct {
 	cfg     Config
 	spec    *protocolSpec // nil for NewCustom systems
 	backend string        // resolved backend (BackendAgent or BackendSpecies)
+	graph   *graph.Graph  // materialized interaction graph; nil for the complete topology
 	clock   uint64        // engine-counted interactions (Clocked protocols report their own)
 }
 
@@ -130,6 +147,10 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	g, err := cfg.Topology.materialize(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	ev := sim.NewEvents()
 	p, err := spec.build(cfg, ev)
 	if err != nil {
@@ -140,7 +161,7 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
-	return &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: backend}, nil
+	return &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: backend, graph: g}, nil
 }
 
 // ProtocolName returns the registry name of the system's protocol
