@@ -80,18 +80,18 @@ func (s *System) injectWith(a Adversary, src *rng.PRNG) error {
 // transient-fault model that motivates self-stabilization. It returns the
 // victim indices. The population recovers on its own (experiment T14); see
 // also the InjectTransientAt run option for faults scheduled inside a Run.
-// Protocols without the injectable capability return nil and are left
-// untouched.
-func (s *System) InjectTransient(k int, seed uint64) []int {
+// Protocols without the injectable capability return an error (they used to
+// silently no-op, which made a mis-typed protocol name look fault-tolerant).
+func (s *System) InjectTransient(k int, seed uint64) ([]int, error) {
 	return s.injectTransientWith(k, rng.New(seed))
 }
 
 // injectTransientWith is InjectTransient against a caller-owned randomness
 // stream.
-func (s *System) injectTransientWith(k int, src *rng.PRNG) []int {
+func (s *System) injectTransientWith(k int, src *rng.PRNG) ([]int, error) {
 	inj, ok := s.proto.(sim.Injectable)
 	if !ok {
-		return nil
+		return nil, fmt.Errorf("sspp: protocol %q does not support transient faults (no injectable capability; see the capability table, DESIGN.md §9)", s.ProtocolName())
 	}
-	return inj.InjectTransient(k, src)
+	return inj.InjectTransient(k, src), nil
 }

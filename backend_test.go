@@ -92,8 +92,8 @@ func TestSpeciesPerAgentSurfacesDegrade(t *testing.T) {
 	if err := sys.Inject(AdversaryTwoLeaders, 7); err == nil {
 		t.Fatal("Inject accepted on the species backend")
 	}
-	if got := sys.InjectTransient(3, 7); got != nil {
-		t.Fatalf("InjectTransient returned victims %v", got)
+	if got, err := sys.InjectTransient(3, 7); err == nil || got != nil {
+		t.Fatalf("InjectTransient = %v, %v; want an error (no injectable capability)", got, err)
 	}
 	if got := sys.Ranks(); got != nil {
 		t.Fatalf("Ranks = %v on a count-based backend", got)

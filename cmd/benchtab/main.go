@@ -44,8 +44,9 @@ type jsonTable struct {
 // jsonReport or jsonTable. v3: the interaction-topology layer — the T-ring
 // table joined the registry (its rows carry a topology column), and the
 // -compare faceoff accepts -topology (its CompareResult JSON then stamps
-// the topology names).
-const schemaVersion = 3
+// the topology names). v4: the workload layer — the T-churn table joined the
+// registry (per-event recovery columns over Ensemble workload cells).
+const schemaVersion = 4
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {

@@ -83,6 +83,17 @@ type Grid struct {
 	// summarize recovery, and HardResets counts only post-fault resets).
 	// Requires protocols with the injectable capability.
 	TransientK int
+	// Workload, when non-nil, generalizes the TransientK recovery shape to
+	// full disruption schedules: every trial stabilizes first, then runs
+	// again with the workload attached (WithWorkload) until every scheduled
+	// event has fired, and cells additionally aggregate per-event recovery
+	// statistics across seeds (Cell.Events). Workload phases carry their own
+	// seeds, so a cell's schedule is identical across its seeds — which is
+	// what makes per-event aggregation well-defined. Exclusive with
+	// TransientK; requires the agent backend, fault phases require the
+	// injectable capability, churn phases the churnable capability and the
+	// complete topology.
+	Workload *Workload
 	// Tau is the timeout parameter for "loosele" points (0: 4·ln n).
 	Tau int32
 	// SyntheticCoins runs every trial fully derandomized (Appendix B;
@@ -165,6 +176,23 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 			}
 		}
 	}
+	// The workload's static capability footprint gates grid validation: fault
+	// phases need injectable protocols, churn phases churnable ones on the
+	// complete topology, and the whole mode needs agent-backend trials.
+	wlFaults, wlChurn := false, false
+	if g.Workload != nil {
+		if g.TransientK > 0 {
+			return nil, fmt.Errorf("sspp: ensemble grid sets both Workload and TransientK — express the burst as a workload phase (TransientBurst)")
+		}
+		wlFaults, wlChurn = g.Workload.uses()
+		if wlChurn {
+			for _, top := range topos {
+				if !top.IsComplete() {
+					return nil, fmt.Errorf("sspp: the workload's churn phases require the complete topology; topology %q does not support them (see the capability table, DESIGN.md §10)", top.Name())
+				}
+			}
+		}
+	}
 	for _, name := range protos {
 		spec, err := specFor(name)
 		if err != nil {
@@ -181,6 +209,16 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 		if g.TransientK > 0 {
 			if _, ok := spec.zero.(sim.Injectable); !ok {
 				return nil, fmt.Errorf("sspp: TransientK requires the injectable capability, which protocol %q lacks", spec.name)
+			}
+		}
+		if wlFaults {
+			if _, ok := spec.zero.(sim.Injectable); !ok {
+				return nil, fmt.Errorf("sspp: the workload's fault phases require the injectable capability, which protocol %q lacks (see the capability table, DESIGN.md §9)", spec.name)
+			}
+		}
+		if wlChurn {
+			if _, ok := spec.zero.(sim.Churnable); !ok {
+				return nil, fmt.Errorf("sspp: the workload's churn phases require the churnable capability, which protocol %q lacks (see the capability table, DESIGN.md §10)", spec.name)
 			}
 		}
 		// speciesTrials reports whether any of this protocol's trials will
@@ -205,6 +243,9 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 			}
 		}
 		if speciesTrials {
+			if g.Workload != nil {
+				return nil, fmt.Errorf("sspp: ensemble workloads require the agent backend (protocol %q would run trials on the species backend)", spec.name)
+			}
 			if g.TransientK > 0 {
 				return nil, fmt.Errorf("sspp: the species backend does not support transient faults (no agent identities; protocol %q would run on it)", spec.name)
 			}
@@ -297,6 +338,32 @@ type Cell struct {
 	// Samples holds the raw stabilization arrival times (interactions) of
 	// the recovered trials, in seed order.
 	Samples []float64 `json:"samples"`
+	// Events aggregates per-event recovery across the cell's seeds when the
+	// grid carried a Workload: one entry per scheduled event, in firing
+	// order (omitted otherwise, keeping pre-workload exports byte-identical).
+	Events []EventCell `json:"events,omitempty"`
+}
+
+// EventCell is the per-seed aggregation of one scheduled workload event
+// within a cell: how many trials reached it, how many were observed to
+// recover afterwards, and the distribution of recovery times.
+type EventCell struct {
+	// At is the interaction count the event was scheduled for.
+	At uint64 `json:"at"`
+	// Kind is the event kind's wire name (transient, inject, join, leave).
+	Kind string `json:"kind"`
+	// K is the burst size of transient events.
+	K int `json:"k,omitempty"`
+	// Class is the adversary class of inject and join events.
+	Class string `json:"class,omitempty"`
+	// Fired counts trials that reached the event before stopping.
+	Fired int `json:"fired"`
+	// Recovered counts trials whose stop condition was observed to hold at
+	// some poll after the event fired.
+	Recovered int `json:"recovered"`
+	// Recovery summarizes RecoveredAt − At over recovered trials, in
+	// interactions (resolution: the polling cadence).
+	Recovery Distribution `json:"recovery"`
 }
 
 // EnsembleResult is the aggregated outcome of an Ensemble run. Its JSON
@@ -454,6 +521,10 @@ type trialOutcome struct {
 	ok   bool
 	took uint64
 	hard uint64
+	// events holds the per-event outcomes of Workload trials (nil otherwise);
+	// the schedule is identical across a cell's seeds, so outcomes align by
+	// index during aggregation.
+	events []EventOutcome
 }
 
 // seedStreams holds the pre-derived randomness of one seed index: the
@@ -506,9 +577,25 @@ func (e *Ensemble) runTrial(proto string, top Topology, pt Point, class Adversar
 	if !res.Stabilized {
 		return trialOutcome{}
 	}
+	if g.Workload != nil {
+		// Recovery shape generalized: the stabilized population absorbs the
+		// whole schedule, and the per-event outcomes ride along whether or
+		// not the final re-stabilization landed within budget.
+		hardBefore := sys.HardResets()
+		res = sys.Run(append(opts, WithWorkload(g.Workload))...)
+		out := trialOutcome{events: res.EventOutcomes()}
+		if res.Stabilized {
+			out.ok = true
+			out.took = res.StabilizedAt
+			out.hard = sys.HardResets() - hardBefore
+		}
+		return out
+	}
 	if g.TransientK > 0 {
 		hardBefore := sys.HardResets()
-		sys.injectTransientWith(g.TransientK, &advSrc)
+		if _, err := sys.injectTransientWith(g.TransientK, &advSrc); err != nil {
+			return trialOutcome{}
+		}
 		res = sys.Run(opts...)
 		if !res.Stabilized {
 			return trialOutcome{}
@@ -592,6 +679,32 @@ func (e *Ensemble) Run() *EnsembleResult {
 		cell.Interactions = summarize(cell.Samples)
 		cell.ParallelTime = summarize(par)
 		cell.HardResets = summarize(hard)
+		if g.Workload != nil {
+			// Per-event recovery aggregation: the schedule is identical
+			// across a cell's seeds (trials that failed before the workload
+			// ran contribute no outcomes), so outcomes align by index.
+			var evCells []EventCell
+			var recSamples [][]float64
+			for s := 0; s < g.Seeds; s++ {
+				for i, eo := range outs[ci*g.Seeds+s].events {
+					if i == len(evCells) {
+						evCells = append(evCells, EventCell{At: eo.At, Kind: eo.Kind, K: eo.K, Class: eo.Class})
+						recSamples = append(recSamples, nil)
+					}
+					if eo.Fired {
+						evCells[i].Fired++
+					}
+					if eo.Recovered {
+						evCells[i].Recovered++
+						recSamples[i] = append(recSamples[i], float64(eo.RecoveredAt-eo.At))
+					}
+				}
+			}
+			for i := range evCells {
+				evCells[i].Recovery = summarize(recSamples[i])
+			}
+			cell.Events = evCells
+		}
 		out.Cells = append(out.Cells, cell)
 	}
 	return out

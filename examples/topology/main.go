@@ -66,8 +66,11 @@ func main() {
 	rec := sspp.NewRecorder(build().Sampler(4))
 	first := build().Run(sspp.WithScheduler(rec))
 	replayed := build().Run(sspp.WithScheduler(rec.Recording().Replay()))
+	same := first.Interactions == replayed.Interactions &&
+		first.Stabilized == replayed.Stabilized &&
+		first.StabilizedAt == replayed.StabilizedAt
 	fmt.Printf("recorded %d ring edges; replay reproduces the run exactly: %v\n",
-		rec.Recording().Len(), first == replayed)
+		rec.Recording().Len(), same)
 
 	// NewTopology runs user graphs: a star forces every interaction through
 	// a hub.

@@ -186,7 +186,10 @@ func TestIntegrationTransientFaults(t *testing.T) {
 		t.Fatal("setup failed")
 	}
 	for round := uint64(0); round < 3; round++ {
-		victims := sys.InjectTransient(4, 43+round)
+		victims, err := sys.InjectTransient(4, 43+round)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(victims) != 4 {
 			t.Fatalf("round %d: %d victims, want 4", round, len(victims))
 		}
@@ -198,7 +201,9 @@ func TestIntegrationTransientFaults(t *testing.T) {
 		}
 	}
 	// Whole-population burst.
-	sys.InjectTransient(100, 99) // clamps to n
+	if _, err := sys.InjectTransient(100, 99); err != nil { // clamps to n
+		t.Fatal(err)
+	}
 	if res := sys.Run(Until(SafeSet), SchedulerSeed(60)); !res.Stabilized {
 		t.Fatal("no recovery from full-population burst")
 	}

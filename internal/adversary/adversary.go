@@ -243,25 +243,33 @@ func Transient(p *core.Protocol, k int, r *rng.PRNG) []int {
 	}
 	victims := r.Perm(n)[:k]
 	for _, i := range victims {
-		switch r.Intn(5) {
-		case 0:
-			p.ForceVerifier(i, int32(1+r.Intn(n)))
-			p.SetProbation(i, int32(r.Intn(int(p.Constants().PMax))))
-			p.SetGeneration(i, uint8(r.Intn(verify.Generations)))
-		case 1:
-			p.ForceTriggered(i)
-		case 2:
-			p.ForceRanker(i)
-			p.SetCountdown(i, int32(r.Intn(int(p.Constants().CountdownMax))))
-		case 3:
-			if !p.TamperMessages(i) {
-				p.ForceVerifier(i, int32(1+r.Intn(n)))
-			}
-		default:
-			p.ForceDormant(i, int32(1+r.Intn(int(p.Constants().Reset.DMax))))
-		}
+		CorruptOne(p, i, r)
 	}
 	return victims
+}
+
+// CorruptOne gives agent i one random type-valid corrupt state — the
+// single-victim core of Transient, exported so churn joins can enter in the
+// same fault model (an agent arriving with arbitrary memory).
+func CorruptOne(p *core.Protocol, i int, r *rng.PRNG) {
+	n := p.N()
+	switch r.Intn(5) {
+	case 0:
+		p.ForceVerifier(i, int32(1+r.Intn(n)))
+		p.SetProbation(i, int32(r.Intn(int(p.Constants().PMax))))
+		p.SetGeneration(i, uint8(r.Intn(verify.Generations)))
+	case 1:
+		p.ForceTriggered(i)
+	case 2:
+		p.ForceRanker(i)
+		p.SetCountdown(i, int32(r.Intn(int(p.Constants().CountdownMax))))
+	case 3:
+		if !p.TamperMessages(i) {
+			p.ForceVerifier(i, int32(1+r.Intn(n)))
+		}
+	default:
+		p.ForceDormant(i, int32(1+r.Intn(int(p.Constants().Reset.DMax))))
+	}
 }
 
 // applyPermutation makes every agent a verifier with a uniformly random

@@ -1,0 +1,117 @@
+// churn.go implements the agent-level Churnable capability for the baselines
+// whose state space survives a changing population. CIW's ranks live in
+// [1, n], so a shrink clamps stranded out-of-range ranks to the new maximum —
+// without the clamp a rank above n could never be corrected ((k, k) fires
+// only on collisions) and the protocol would lose liveness. LooseLE's
+// (leader, timer) states are n-independent, so joins and leaves are plain
+// slice surgery. NameRank is deliberately not churnable: its name space and
+// commit threshold are anchored at the build-time n.
+
+package baseline
+
+import (
+	"fmt"
+
+	"sspp/internal/adversary"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+var (
+	_ sim.Churnable  = (*CIW)(nil)
+	_ sim.Churnable  = (*LooseLE)(nil)
+	_ sim.StateKeyer = (*CIW)(nil)
+	_ sim.StateKeyer = (*LooseLE)(nil)
+)
+
+// StateKey returns agent i's state in the species-form key encoding of
+// Compact (the rank is the key).
+func (c *CIW) StateKey(i int) uint64 { return uint64(c.ranks[i]) }
+
+// ChurnBounds: CIW supports any population of at least two agents.
+func (c *CIW) ChurnBounds() (minN, maxN int) { return 2, 0 }
+
+// JoinAgent adds one agent in the class-chosen rank state. Realizable join
+// classes: "" / clean-rankers (rank 1, the canonical initial state),
+// random-garbage (a uniform rank in the new [1, n]), and duplicate-ranks
+// (copying a uniformly chosen existing agent's rank).
+func (c *CIW) JoinAgent(class string, src *rng.PRNG) (int, error) {
+	nNew := len(c.ranks) + 1
+	var rank int32
+	switch adversary.Class(class) {
+	case "", adversary.ClassCleanRankers:
+		rank = 1
+	case adversary.ClassRandomGarbage:
+		rank = int32(src.Intn(nNew)) + 1
+	case adversary.ClassDuplicateRanks:
+		rank = c.ranks[src.Intn(len(c.ranks))]
+	default:
+		return 0, fmt.Errorf("baseline: class %q not realizable as a CIW join state", class)
+	}
+	c.ranks = append(c.ranks, rank)
+	return len(c.ranks) - 1, nil
+}
+
+// LeaveAgent removes agent i (swap-remove; agent identities carry no state in
+// CIW) and clamps any rank the shrunken [1, n] strands.
+func (c *CIW) LeaveAgent(i int) error {
+	n := len(c.ranks)
+	if i < 0 || i >= n {
+		return fmt.Errorf("baseline: CIW leave index %d out of range [0, %d)", i, n)
+	}
+	if n <= 1 {
+		return fmt.Errorf("baseline: cannot remove the last CIW agent")
+	}
+	c.ranks[i] = c.ranks[n-1]
+	c.ranks = c.ranks[:n-1]
+	max := int32(len(c.ranks))
+	for j, r := range c.ranks {
+		if r > max {
+			c.ranks[j] = max
+		}
+	}
+	return nil
+}
+
+// ChurnBounds: LooseLE supports any population of at least two agents.
+func (l *LooseLE) ChurnBounds() (minN, maxN int) { return 2, 0 }
+
+// JoinAgent adds one agent in the class-chosen (leader, timer) state.
+// Realizable join classes: "" (a follower with a full timer — the state of an
+// agent that just heard from a leader), no-leader (a dead timer, about to
+// self-promote), two-leaders (a spurious leader claim), and random-garbage.
+func (l *LooseLE) JoinAgent(class string, src *rng.PRNG) (int, error) {
+	var leader bool
+	var timer int32
+	switch adversary.Class(class) {
+	case "":
+		leader, timer = false, l.tau
+	case adversary.ClassNoLeader:
+		leader, timer = false, 0
+	case adversary.ClassTwoLeaders:
+		leader, timer = true, l.tau
+	case adversary.ClassRandomGarbage:
+		leader, timer = src.Bool(), src.Int31n(l.tau+1)
+	default:
+		return 0, fmt.Errorf("baseline: class %q not realizable as a LooseLE join state", class)
+	}
+	l.leader = append(l.leader, leader)
+	l.timer = append(l.timer, timer)
+	return len(l.timer) - 1, nil
+}
+
+// LeaveAgent removes agent i (swap-remove).
+func (l *LooseLE) LeaveAgent(i int) error {
+	n := len(l.timer)
+	if i < 0 || i >= n {
+		return fmt.Errorf("baseline: LooseLE leave index %d out of range [0, %d)", i, n)
+	}
+	if n <= 1 {
+		return fmt.Errorf("baseline: cannot remove the last LooseLE agent")
+	}
+	l.leader[i] = l.leader[n-1]
+	l.timer[i] = l.timer[n-1]
+	l.leader = l.leader[:n-1]
+	l.timer = l.timer[:n-1]
+	return nil
+}

@@ -11,8 +11,10 @@ package baseline
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 
+	"sspp/internal/adversary"
 	"sspp/internal/rng"
 	"sspp/internal/sim"
 )
@@ -29,7 +31,10 @@ var (
 // Compact describes CIW in species form: the state key is the rank itself,
 // only equal-rank pairs react ((k, k) → (k, k mod n + 1)), and the safe set
 // — the permutations — is exactly "every state is a singleton", an O(1)
-// check on the occupied-state tally.
+// check on the occupied-state tally. The population size n is a mutable
+// closure variable shared by React and the churn hooks: Rescale updates it
+// when churn changes the population, so the wrap rule and the key-space
+// bound track the live size.
 func (c *CIW) Compact() sim.CompactModel {
 	n := len(c.ranks)
 	return sim.CompactModel{
@@ -62,6 +67,47 @@ func (c *CIW) Compact() sim.CompactModel {
 			// A permutation is the only way n agents occupy n distinct
 			// states when every state is a rank in [1, n].
 			return v.Occupied() == v.N()
+		},
+		Churn: &sim.CompactChurn{
+			MinN: 2,
+			Join: func(class string, nNew int, v sim.CountView, src *rng.PRNG) (uint64, error) {
+				switch adversary.Class(class) {
+				case "", adversary.ClassCleanRankers:
+					return 1, nil
+				case adversary.ClassRandomGarbage:
+					return uint64(src.Intn(nNew)) + 1, nil
+				case adversary.ClassDuplicateRanks:
+					// Copy a uniformly chosen existing agent's rank
+					// (count-weighted over the pre-join multiset).
+					u := int64(src.Uint64n(uint64(v.N())))
+					var key uint64
+					v.Each(func(k uint64, cnt int64) bool {
+						if u < cnt {
+							key = k
+							return false
+						}
+						u -= cnt
+						return true
+					})
+					return key, nil
+				default:
+					return 0, fmt.Errorf("baseline: class %q not realizable as a CIW join state", class)
+				}
+			},
+			Rescale: func(nNew int) (uint64, func(uint64) uint64) {
+				shrink := nNew < n
+				n = nNew
+				if !shrink {
+					return uint64(nNew) + 1, nil
+				}
+				bound := uint64(nNew)
+				return bound + 1, func(k uint64) uint64 {
+					if k > bound {
+						return bound
+					}
+					return k
+				}
+			},
 		},
 	}
 }
@@ -137,6 +183,25 @@ func (l *LooseLE) Compact() sim.CompactModel {
 			return looseKey(la, ta), looseKey(lb, tb)
 		},
 		Leader: func(key uint64) bool { return key&1 == 1 },
+		Churn: &sim.CompactChurn{
+			// The (leader, timer) state space is n-independent, so no
+			// Rescale is needed; any population of at least two works.
+			MinN: 2,
+			Join: func(class string, _ int, _ sim.CountView, src *rng.PRNG) (uint64, error) {
+				switch adversary.Class(class) {
+				case "":
+					return looseKey(false, tau), nil
+				case adversary.ClassNoLeader:
+					return looseKey(false, 0), nil
+				case adversary.ClassTwoLeaders:
+					return looseKey(true, tau), nil
+				case adversary.ClassRandomGarbage:
+					return looseKey(src.Bool(), src.Int31n(tau+1)), nil
+				default:
+					return 0, fmt.Errorf("baseline: class %q not realizable as a LooseLE join state", class)
+				}
+			},
+		},
 	}
 }
 

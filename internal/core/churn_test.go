@@ -1,0 +1,49 @@
+// churn_test.go covers ReplaceAgent, the replacement-churn primitive: a
+// departed slot re-initialized as a fresh ranker must leave every
+// incremental counter consistent, knock the configuration out of the safe
+// set, and be recoverable by the ordinary protocol dynamics.
+
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sspp/internal/rng"
+)
+
+func TestReplaceAgentReinitializesSlot(t *testing.T) {
+	const n, r = 24, 6
+	p, err := New(n, r, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := rng.New(7)
+	stabilize := func(ctx string) {
+		for step := 0; step < 400; step++ {
+			for k := 0; k < 500; k++ {
+				a, b := sched.Pair(n)
+				p.Interact(a, b)
+			}
+			if p.InSafeSet() {
+				return
+			}
+		}
+		t.Fatalf("%s: no safe set within the budget", ctx)
+	}
+	stabilize("clean start")
+	for _, i := range []int{0, n / 2, n - 1} {
+		p.ReplaceAgent(i)
+		checkCounters(t, p, fmt.Sprintf("after replacing agent %d", i))
+	}
+	// Replaced slots are fresh rankers, so an all-verifier safe configuration
+	// cannot survive the replacement.
+	if _, ranking, _ := p.Roles(); ranking < 3 {
+		t.Fatalf("%d ranking agents after 3 replacements, want at least 3", ranking)
+	}
+	if p.InSafeSet() {
+		t.Fatal("safe set survived the replacements")
+	}
+	stabilize("after replacement churn")
+	checkCounters(t, p, "re-stabilized")
+}

@@ -153,30 +153,31 @@ type Generator func(Config) *Table
 // All returns the registry of experiment generators keyed by ID.
 func All() map[string]Generator {
 	return map[string]Generator{
-		"T1":     T1StabilizeFromReset,
-		"F1":     F1TradeoffCurve,
-		"F2":     F2ScalingInN,
-		"T2":     T2StateComplexity,
-		"T3":     T3AssignRanks,
-		"T4":     T4FastLeaderElect,
-		"T5":     T5Epidemic,
-		"T6":     T6LoadBalance,
-		"T7":     T7DetectionLatency,
-		"T8":     T8Soundness,
-		"T9":     T9SoftReset,
-		"T10":    T10Recovery,
-		"T11":    T11Baselines,
-		"T12":    T12SyntheticCoin,
-		"T13":    T13LooseLeader,
-		"T14":    T14TransientFaults,
-		"T15":    T15ObservedStates,
-		"T16":    T16SchedulerRobustness,
-		"A1":     A1SoftResetAblation,
-		"A2":     A2ProbationAblation,
-		"A3":     A3RefreshAblation,
-		"A4":     A4LoadBalanceAblation,
-		"S1":     S1SpeciesBackend,
-		"T-ring": TRingTopology,
+		"T1":      T1StabilizeFromReset,
+		"F1":      F1TradeoffCurve,
+		"F2":      F2ScalingInN,
+		"T2":      T2StateComplexity,
+		"T3":      T3AssignRanks,
+		"T4":      T4FastLeaderElect,
+		"T5":      T5Epidemic,
+		"T6":      T6LoadBalance,
+		"T7":      T7DetectionLatency,
+		"T8":      T8Soundness,
+		"T9":      T9SoftReset,
+		"T10":     T10Recovery,
+		"T11":     T11Baselines,
+		"T12":     T12SyntheticCoin,
+		"T13":     T13LooseLeader,
+		"T14":     T14TransientFaults,
+		"T15":     T15ObservedStates,
+		"T16":     T16SchedulerRobustness,
+		"A1":      A1SoftResetAblation,
+		"A2":      A2ProbationAblation,
+		"A3":      A3RefreshAblation,
+		"A4":      A4LoadBalanceAblation,
+		"S1":      S1SpeciesBackend,
+		"T-ring":  TRingTopology,
+		"T-churn": TChurnWorkload,
 	}
 }
 
@@ -196,10 +197,14 @@ func IDs() []string {
 }
 
 // idKey orders the experiments for presentation: T1, F1, F2, T2..T16, the
-// ablations A1..A4, the scale experiment S1, then the topology experiment.
+// ablations A1..A4, the scale experiment S1, then the topology and churn
+// experiments.
 func idKey(id string) int {
 	if id == "T-ring" {
 		return 700 // topology experiment, after the scale experiments
+	}
+	if id == "T-churn" {
+		return 710 // churn experiment, after the topology experiment
 	}
 	var n int
 	fmt.Sscanf(id[1:], "%d", &n)

@@ -79,6 +79,57 @@ type Clocked interface {
 	Clock() uint64
 }
 
+// Churnable is implemented by agent-level protocols that support population
+// churn: agents joining and leaving mid-run (the dynamic half of the
+// robustness story — self-stabilization under ongoing disruption, not just
+// after a single burst). Joins enter in an adversary-class-chosen state; the
+// engine applies the leaves of a same-instant event group before its joins,
+// so replacement-churn protocols (ChurnBounds returning (n, n)) see each
+// departure paired with an arrival.
+type Churnable interface {
+	// JoinAgent adds one agent in the state the adversary class names (""
+	// selects the protocol's canonical clean join state), drawing randomness
+	// from src, and returns the new agent's index. Classes not realizable as
+	// a join state return an error.
+	JoinAgent(class string, src *rng.PRNG) (int, error)
+	// LeaveAgent removes agent i from the population.
+	LeaveAgent(i int) error
+	// ChurnBounds returns the population sizes the protocol supports: churn
+	// schedules must keep n within [minN, maxN] (maxN 0 means unbounded).
+	// Equal bounds declare replacement churn only (leaves paired with joins
+	// at the same instant).
+	ChurnBounds() (minN, maxN int)
+}
+
+// CountChurnable is implemented by count-based backends whose model supports
+// churn (CompactModel.Churn). The engine prefers it over Churnable: agent
+// identities do not exist in species form, so joins and leaves act on the
+// state multiset directly.
+type CountChurnable interface {
+	// CanChurn reports whether the running model declares churn hooks; the
+	// method set alone cannot express this, so the engine gates on it.
+	CanChurn() bool
+	// ChurnBounds mirrors Churnable.ChurnBounds.
+	ChurnBounds() (minN, maxN int)
+	// JoinState adds one agent in the state the model's Join hook picks for
+	// the class.
+	JoinState(class string, src *rng.PRNG) error
+	// LeaveState removes one uniformly chosen agent (count-weighted over
+	// states — the same law as a uniform agent pick) and returns its state
+	// key.
+	LeaveState(src *rng.PRNG) (uint64, error)
+}
+
+// StateKeyer is implemented by agent-level protocols whose per-agent state
+// round-trips through the species-form key encoding of their CompactModel.
+// The workload tracer uses it to record pre-interaction state pairs and
+// per-event count deltas, which is what makes a recorded workload replay
+// bit-exactly on the count-based backend.
+type StateKeyer interface {
+	// StateKey returns agent i's state in the species key encoding.
+	StateKey(i int) uint64
+}
+
 // CountView is a read-only view of a population represented as a multiset of
 // states (the species form): state keys with their agent counts. Predicates
 // supplied through CompactModel receive one to inspect the configuration
@@ -136,6 +187,31 @@ type CompactModel struct {
 	// protocol's safe set; the species system then exposes the safe-set
 	// capability.
 	SafeSet func(v CountView) bool
+	// Churn, when non-nil, declares that the model supports population churn
+	// (joins and leaves changing n mid-run); the species system then exposes
+	// the CountChurnable capability.
+	Churn *CompactChurn
+}
+
+// CompactChurn is the churn declaration of a CompactModel: how joins pick
+// their state, and how the key space rescales when the population size
+// changes (e.g. CIW's rank keys live in [1, n], so a shrink must clamp
+// stranded out-of-range ranks for the protocol to stay live).
+type CompactChurn struct {
+	// MinN and MaxN bound the population sizes the model supports (MaxN 0
+	// means unbounded); churn schedules are validated against them.
+	MinN, MaxN int
+	// Join returns the state key of an agent joining under the named
+	// adversary class ("" selects the clean join state). n is the population
+	// size after the join; v views the configuration before it (for classes
+	// that copy an existing agent's state).
+	Join func(class string, n int, v CountView, src *rng.PRNG) (uint64, error)
+	// Rescale, when non-nil, is called whenever the population size changes:
+	// it returns the new key-space bound (for dense-table growth) and an
+	// optional remap merging keys that the new size makes invalid (nil when
+	// every existing key stays valid). It must also update any internal
+	// population-size state the model's React closure reads.
+	Rescale func(n int) (stateSpace uint64, remap func(uint64) uint64)
 }
 
 // Compactable is implemented by protocols that can describe themselves as a

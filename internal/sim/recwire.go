@@ -1,0 +1,94 @@
+// recwire.go is the versioned wire format of captured schedules: a Recording
+// encodes to JSON stamped with RecordingVersion, and decoding rejects unknown
+// versions and internally inconsistent payloads up front, so a schedule
+// archived today replays bit-exactly against any future engine that still
+// speaks version 1. Pair-mode recordings store the explicit pair stream;
+// edge-indexed recordings store the resolving graph's full edge list plus one
+// index per interaction, reconstructing the graph on decode (graph.FromEdges)
+// so replay does not depend on regenerating the topology from (name, seed).
+
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sspp/internal/graph"
+)
+
+// RecordingVersion identifies the Recording wire layout.
+const RecordingVersion = 1
+
+// recordingWire is the JSON layout of a Recording. Pair mode fills Pairs;
+// edge-indexed mode fills Topology, N, EdgeList and Edges.
+type recordingWire struct {
+	Version int `json:"version"`
+	// Topology is the resolving graph's generator name (edge mode only).
+	Topology string `json:"topology,omitempty"`
+	// N is the resolving graph's population (edge mode only).
+	N int `json:"n,omitempty"`
+	// EdgeList is the resolving graph's directed edge list (edge mode only).
+	EdgeList [][2]int `json:"edge_list,omitempty"`
+	// Edges holds one edge index per interaction (edge mode only).
+	Edges []int32 `json:"edges,omitempty"`
+	// Pairs holds the flat (a, b) pair stream (pair mode only).
+	Pairs []int32 `json:"pairs,omitempty"`
+}
+
+// Encode writes the recording as versioned JSON.
+func (rec *Recording) Encode(w io.Writer) error {
+	wire := recordingWire{Version: RecordingVersion}
+	if rec.g != nil {
+		wire.Topology = rec.g.Name()
+		wire.N = rec.g.N()
+		wire.EdgeList = make([][2]int, rec.g.M())
+		for i := range wire.EdgeList {
+			a, b := rec.g.Edge(i)
+			wire.EdgeList[i] = [2]int{a, b}
+		}
+		wire.Edges = rec.edges
+	} else {
+		wire.Pairs = rec.pairs
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(wire)
+}
+
+// DecodeRecording reads a versioned JSON recording, rejecting unknown
+// versions and internally inconsistent payloads (odd pair streams, edge
+// indices outside the stored graph, mixed modes).
+func DecodeRecording(r io.Reader) (*Recording, error) {
+	var wire recordingWire
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("sim: decoding recording: %w", err)
+	}
+	if wire.Version != RecordingVersion {
+		return nil, fmt.Errorf("sim: recording version %d not supported (this build speaks version %d)", wire.Version, RecordingVersion)
+	}
+	if wire.Topology != "" || wire.N != 0 || len(wire.EdgeList) > 0 {
+		if len(wire.Pairs) > 0 {
+			return nil, fmt.Errorf("sim: recording mixes edge-indexed and pair modes")
+		}
+		g, err := graph.FromEdges(wire.Topology, wire.N, wire.EdgeList)
+		if err != nil {
+			return nil, fmt.Errorf("sim: recording carries an invalid graph: %w", err)
+		}
+		for i, e := range wire.Edges {
+			if e < 0 || int(e) >= g.M() {
+				return nil, fmt.Errorf("sim: recording edge index %d at interaction %d outside the stored graph (%d edges)", e, i, g.M())
+			}
+		}
+		return &Recording{edges: wire.Edges, g: g}, nil
+	}
+	if len(wire.Pairs)%2 != 0 {
+		return nil, fmt.Errorf("sim: recording pair stream has odd length %d", len(wire.Pairs))
+	}
+	for i, p := range wire.Pairs {
+		if p < 0 {
+			return nil, fmt.Errorf("sim: recording pair entry %d is negative (%d)", i, p)
+		}
+	}
+	return &Recording{pairs: wire.Pairs}, nil
+}

@@ -1,0 +1,93 @@
+// recwire_test.go covers the versioned Recording wire format at the package
+// level: pair-mode and edge-indexed round trips, re-encode stability, and
+// the decoder's rejection of unknown versions and inconsistent payloads.
+// The public-API golden bytes live in the root package's scheduler tests.
+
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sspp/internal/graph"
+)
+
+func TestRecordingWirePairModeRoundTrip(t *testing.T) {
+	rec := &Recording{pairs: []int32{0, 1, 2, 3, 1, 0}}
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRecording(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 3 || dec.EdgeIndexed() {
+		t.Fatalf("decoded %d edge-indexed=%v, want 3 pair-mode interactions", dec.Len(), dec.EdgeIndexed())
+	}
+	s := dec.Replay()
+	for i, want := range [][2]int{{0, 1}, {2, 3}, {1, 0}} {
+		if a, b := s.Pair(4); a != want[0] || b != want[1] {
+			t.Fatalf("replayed pair %d = (%d, %d), want (%d, %d)", i, a, b, want[0], want[1])
+		}
+	}
+	var again bytes.Buffer
+	if err := dec.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding the decoded recording changed the bytes")
+	}
+}
+
+func TestRecordingWireEdgeModeRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges("ring", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recording{edges: []int32{0, 2, 1}, g: g}
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRecording(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 3 || !dec.EdgeIndexed() {
+		t.Fatalf("decoded %d edge-indexed=%v, want 3 edge-indexed interactions", dec.Len(), dec.EdgeIndexed())
+	}
+	s := dec.Replay()
+	for i, want := range [][2]int{{0, 1}, {2, 0}, {1, 2}} {
+		if a, b := s.Pair(3); a != want[0] || b != want[1] {
+			t.Fatalf("replayed edge %d = (%d, %d), want (%d, %d)", i, a, b, want[0], want[1])
+		}
+	}
+	var again bytes.Buffer
+	if err := dec.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding the decoded recording changed the bytes")
+	}
+}
+
+func TestDecodeRecordingWireRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"future version", `{"version":2,"pairs":[0,1]}`, "version 2"},
+		{"mixed modes", `{"version":1,"n":3,"edge_list":[[0,1]],"edges":[0],"pairs":[0,1]}`, "mixes"},
+		{"odd pairs", `{"version":1,"pairs":[0,1,2]}`, "odd length"},
+		{"negative pair", `{"version":1,"pairs":[0,-1]}`, "negative"},
+		{"edge index out of range", `{"version":1,"n":2,"edge_list":[[0,1]],"edges":[1]}`, "outside"},
+		{"self-loop edge", `{"version":1,"n":2,"edge_list":[[1,1]],"edges":[0]}`, "invalid graph"},
+		{"not json", `nope`, "decoding"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRecording(strings.NewReader(tc.doc)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// churn.go implements population churn on the count-based backend: joins and
+// leaves act on the state multiset directly (agent identities do not exist in
+// species form), and the population size n becomes mutable mid-run. The
+// stepping paths already recompute the pair mass n(n−1) per call, so the only
+// extra machinery is resizing bookkeeping: growing the dense lookup table
+// when the model's key space expands with n, and applying the model's Rescale
+// remap when a shrink strands keys the new size makes invalid (e.g. CIW ranks
+// above the new n, which could otherwise never self-correct).
+
+package species
+
+import (
+	"fmt"
+
+	"sspp/internal/rng"
+	"sspp/internal/workload"
+)
+
+// CanChurn reports whether the running model declares churn hooks. The
+// methods below exist on every System, so the engine gates on this before
+// trusting the sim.CountChurnable capability.
+func (s *System) CanChurn() bool { return s.model.Churn != nil }
+
+// ChurnBounds returns the model's declared population bounds (zero values
+// when the model has no churn hooks).
+func (s *System) ChurnBounds() (minN, maxN int) {
+	if s.model.Churn == nil {
+		return 0, 0
+	}
+	return s.model.Churn.MinN, s.model.Churn.MaxN
+}
+
+// JoinState adds one agent in the state the model's Join hook picks for the
+// adversary class. The hook sees the pre-join configuration but the post-join
+// size, matching the agent-level Churnable contract.
+func (s *System) JoinState(class string, src *rng.PRNG) error {
+	ch := s.model.Churn
+	if ch == nil {
+		return fmt.Errorf("species: model has no churn hooks")
+	}
+	key, err := ch.Join(class, s.n+1, s, src)
+	if err != nil {
+		return err
+	}
+	s.setN(s.n + 1)
+	if s.dense != nil && key >= uint64(len(s.dense)) {
+		return fmt.Errorf("species: join state %#x outside the rescaled state space %d", key, len(s.dense))
+	}
+	s.add(key, 1)
+	return nil
+}
+
+// LeaveState removes one uniformly chosen agent — count-weighted over states,
+// the same law as a uniform agent pick — and returns its state key. The
+// population may dip to one agent mid-event-group (a replacement pair at the
+// protocol's minimum size); the workload validator guarantees every group
+// boundary restores the declared bounds.
+func (s *System) LeaveState(src *rng.PRNG) (uint64, error) {
+	if s.model.Churn == nil {
+		return 0, fmt.Errorf("species: model has no churn hooks")
+	}
+	if s.n <= 1 {
+		return 0, fmt.Errorf("species: cannot remove an agent from a population of %d", s.n)
+	}
+	u := int64(src.Uint64n(uint64(s.n)))
+	var key uint64
+	found := false
+	s.Each(func(k uint64, c int64) bool {
+		if u < c {
+			key, found = k, true
+			return false
+		}
+		u -= c
+		return true
+	})
+	if !found {
+		return 0, fmt.Errorf("species: leave sampling ran past the population (corrupted counts)")
+	}
+	s.add(key, -1)
+	s.setN(s.n - 1)
+	return key, nil
+}
+
+// setN moves the population size to nNew: it grows the key→slot lookup for
+// the rescaled state space, lets the model update any internal size state its
+// React closure reads, and applies the model's remap to keys the new size
+// strands.
+func (s *System) setN(nNew int) {
+	if ch := s.model.Churn; ch != nil && ch.Rescale != nil {
+		space, remap := ch.Rescale(nNew)
+		s.growSpace(space)
+		if remap != nil {
+			s.remapKeys(remap)
+		}
+	}
+	s.n = nNew
+}
+
+// growSpace widens the dense lookup table to cover [0, space), migrating to
+// the hash map when the space outgrows the dense bound.
+func (s *System) growSpace(space uint64) {
+	if s.dense == nil || space <= uint64(len(s.dense)) {
+		return
+	}
+	if space > maxDense {
+		s.sparse = make(map[uint64]int32, s.occupied)
+		for key, slot := range s.dense {
+			if slot >= 0 {
+				s.sparse[uint64(key)] = slot
+			}
+		}
+		s.dense = nil
+		return
+	}
+	old := len(s.dense)
+	grown := make([]int32, space)
+	copy(grown, s.dense)
+	for i := old; i < int(space); i++ {
+		grown[i] = -1
+	}
+	s.dense = grown
+}
+
+// remapKeys merges the counts of every occupied state the remap moves into
+// its image state.
+func (s *System) remapKeys(remap func(uint64) uint64) {
+	type move struct {
+		from, to uint64
+		count    int64
+	}
+	var moves []move
+	s.Each(func(key uint64, c int64) bool {
+		if to := remap(key); to != key {
+			moves = append(moves, move{key, to, c})
+		}
+		return true
+	})
+	for _, m := range moves {
+		s.add(m.from, -m.count)
+		s.add(m.to, m.count)
+	}
+}
+
+// ApplyDeltas applies a recorded event's exact effect on the state multiset
+// (the trace-replay path): negative deltas first, then the size change and
+// rescale bookkeeping, then positive deltas. The remap is deliberately NOT
+// re-applied — the recorded deltas already include any clamp merges the
+// original event performed, so re-running it would double-apply them; Rescale
+// is still called so the model's internal size state and the key space stay
+// in sync with the new n.
+func (s *System) ApplyDeltas(deltas []workload.KeyDelta) error {
+	var shift int64
+	for _, d := range deltas {
+		shift += d.Delta
+		if d.Delta < 0 && s.Count(d.Key) < -d.Delta {
+			return fmt.Errorf("species: recorded delta removes %d agents from state %#x holding %d", -d.Delta, d.Key, s.Count(d.Key))
+		}
+	}
+	nNew := s.n + int(shift)
+	if nNew < 1 {
+		return fmt.Errorf("species: recorded deltas drop the population to %d", nNew)
+	}
+	for _, d := range deltas {
+		if d.Delta < 0 {
+			s.add(d.Key, d.Delta)
+		}
+	}
+	if ch := s.model.Churn; ch != nil && ch.Rescale != nil && nNew != s.n {
+		space, _ := ch.Rescale(nNew)
+		s.growSpace(space)
+	}
+	s.n = nNew
+	for _, d := range deltas {
+		if d.Delta > 0 {
+			if s.dense != nil && d.Key >= uint64(len(s.dense)) {
+				return fmt.Errorf("species: recorded delta state %#x outside the rescaled state space %d", d.Key, len(s.dense))
+			}
+			s.add(d.Key, d.Delta)
+		}
+	}
+	return nil
+}

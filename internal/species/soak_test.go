@@ -20,7 +20,9 @@ import (
 	"time"
 
 	"sspp"
+	"sspp/internal/rng"
 	"sspp/internal/stats/statcheck"
+	"sspp/internal/trials"
 )
 
 // soakReport is the archived artifact of one nightly soak run.
@@ -86,6 +88,74 @@ func TestSoakBackendEquivalenceLargeN(t *testing.T) {
 	t.Logf("soak report written to %s", reportPath())
 	if !report.Passed {
 		t.Fatal("backend equivalence failed at large n; see the report artifact")
+	}
+}
+
+// TestSoakChurnEquivalenceLargeN is the churn variant of the nightly gate:
+// paired trials at n=4096 whose runs each absorb 10³ join/leave events (500
+// periodic bursts of one leave and one join in the random-garbage class),
+// with the re-stabilization-time distributions of the two backends gated by
+// the same KS / Mann–Whitney check. This exercises the dynamic-n engine —
+// setN, key-space rescales, count-weighted leaves — at a scale the unit
+// tests do not reach.
+func TestSoakChurnEquivalenceLargeN(t *testing.T) {
+	const (
+		n      = 4096
+		count  = 100
+		alpha  = 0.01
+		bursts = 500 // 2 events per burst: 10³ join/leave events per run
+	)
+	collect := func(backend string) (samples []float64, failures int) {
+		type outcome struct {
+			took uint64
+			ok   bool
+		}
+		outs := trials.Run(0, count, 9003, func(_ int, src *rng.PRNG) outcome {
+			protoSeed := src.Uint64()
+			schedSeed := src.Uint64()
+			wlSeed := src.Uint64()
+			sys, err := sspp.New(sspp.Config{
+				Protocol: sspp.ProtocolCIW, N: n, Seed: protoSeed, Backend: backend,
+			})
+			if err != nil {
+				return outcome{}
+			}
+			wl := sspp.NewWorkload(sspp.ChurnBursts(
+				n, n+bursts*2*n+1, 2*n, 1, 1, sspp.AdversaryRandomGarbage, wlSeed))
+			res := sys.Run(
+				sspp.Until(sspp.CorrectOutput),
+				sspp.Confirm(4*n),
+				sspp.SchedulerSeed(schedSeed),
+				sspp.WithWorkload(wl),
+			)
+			if res.Err != nil || !res.Stabilized {
+				return outcome{}
+			}
+			return outcome{took: res.StabilizedAt, ok: true}
+		})
+		for _, o := range outs {
+			if o.ok {
+				samples = append(samples, float64(o.took))
+			} else {
+				failures++
+			}
+		}
+		return samples, failures
+	}
+	start := time.Now()
+	agent, agentFail := collect(sspp.BackendAgent)
+	spec, specFail := collect(sspp.BackendSpecies)
+	if diff := agentFail - specFail; diff < -2 || diff > 2 {
+		t.Fatalf("failure counts diverge: agent %d, species %d", agentFail, specFail)
+	}
+	if len(agent) < count*9/10 || len(spec) < count*9/10 {
+		t.Fatalf("too many failed trials: agent %d/%d, species %d/%d ok",
+			len(agent), count, len(spec), count)
+	}
+	eq := statcheck.CheckEquivalence("ciw/churn", agent, spec, alpha)
+	t.Logf("%v (n=%d, 10³ churn events per run, %s)", eq, n, time.Since(start).Round(time.Millisecond))
+	if !eq.Passed {
+		t.Fatalf("backends statistically distinguishable under churn: %v", eq)
 	}
 }
 

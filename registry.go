@@ -63,6 +63,10 @@ const (
 	// count-based species backend (Config.Backend) can run it at populations
 	// far beyond one-struct-per-agent storage.
 	CapabilityCompactable = "compactable"
+	// CapabilityChurnable: agents may join and leave mid-run (workload churn
+	// phases). Protocols whose ChurnBounds are equal support replacement
+	// churn only: every leave must be paired with a join at the same instant.
+	CapabilityChurnable = "churnable"
 )
 
 // ProtocolInfo describes one registry protocol.
@@ -94,22 +98,76 @@ type protocolSpec struct {
 	zero sim.Protocol
 }
 
-// electProtocol adapts *core.Protocol to the Injectable capability: the
-// adversarial generators live in internal/adversary (which depends on core,
-// so core cannot carry them itself). Every other capability is promoted
-// from the embedded protocol.
+// electProtocol adapts *core.Protocol to the Injectable and Churnable
+// capabilities: the adversarial generators live in internal/adversary (which
+// depends on core, so core cannot carry them itself), and churn bookkeeping
+// needs mutable state (the vacant-slot stack). Every other capability is
+// promoted from the embedded protocol.
 type electProtocol struct {
 	*core.Protocol
+	// vacant holds slot indices whose agents have left and not yet been
+	// replaced. ElectLeader_r supports replacement churn only (its detect
+	// partition and constants are anchored at the build-time n), so the
+	// workload validator guarantees every vacancy is filled by a join at the
+	// same instant, before any interaction runs.
+	vacant []int
 }
 
 // Inject rewrites the configuration according to the named adversary class.
-func (e electProtocol) Inject(class string, src *rng.PRNG) error {
+func (e *electProtocol) Inject(class string, src *rng.PRNG) error {
 	return adversary.Apply(e.Protocol, adversary.Class(class), src)
 }
 
 // InjectTransient corrupts k uniformly chosen agents in place.
-func (e electProtocol) InjectTransient(k int, src *rng.PRNG) []int {
+func (e *electProtocol) InjectTransient(k int, src *rng.PRNG) []int {
 	return adversary.Transient(e.Protocol, k, src)
+}
+
+// ChurnBounds pins the population to the build-time n: replacement churn
+// only.
+func (e *electProtocol) ChurnBounds() (minN, maxN int) {
+	n := e.Protocol.N()
+	return n, n
+}
+
+// LeaveAgent marks slot i vacant. The slot's state is replaced when the
+// paired join fires; the protocol is anonymous, so a departed agent is
+// indistinguishable from its slot awaiting re-initialization.
+func (e *electProtocol) LeaveAgent(i int) error {
+	if i < 0 || i >= e.Protocol.N() {
+		return fmt.Errorf("sspp: electleader leave index %d out of range [0, %d)", i, e.Protocol.N())
+	}
+	for _, v := range e.vacant {
+		if v == i {
+			return fmt.Errorf("sspp: electleader slot %d is already vacant", i)
+		}
+	}
+	e.vacant = append(e.vacant, i)
+	return nil
+}
+
+// JoinAgent fills the most recent vacancy with a brand-new agent: a fresh
+// ranker with fresh randomness (ReplaceAgent), then reshaped by the join
+// class. Realizable classes: "" / clean-rankers (the canonical clean join),
+// triggered (an agent arriving mid-reset), and random-garbage (an agent
+// arriving with arbitrary memory).
+func (e *electProtocol) JoinAgent(class string, src *rng.PRNG) (int, error) {
+	if len(e.vacant) == 0 {
+		return 0, fmt.Errorf("sspp: electleader supports replacement churn only — pair each leave with a join at the same instant")
+	}
+	i := e.vacant[len(e.vacant)-1]
+	e.vacant = e.vacant[:len(e.vacant)-1]
+	e.Protocol.ReplaceAgent(i)
+	switch adversary.Class(class) {
+	case "", adversary.ClassCleanRankers:
+	case adversary.ClassTriggered:
+		e.Protocol.ForceTriggered(i)
+	case adversary.ClassRandomGarbage:
+		adversary.CorruptOne(e.Protocol, i, src)
+	default:
+		return 0, fmt.Errorf("sspp: class %q not realizable as an electleader join state", class)
+	}
+	return i, nil
 }
 
 // validateBaseline is the shared validation of the non-core protocols: a
@@ -168,13 +226,13 @@ var protocolSpecs = map[string]*protocolSpec{
 			if err != nil {
 				return nil, err
 			}
-			return electProtocol{p}, nil
+			return &electProtocol{Protocol: p}, nil
 		},
 		budget: func(cfg Config) uint64 {
 			n, r := float64(cfg.N), float64(cfg.R)
 			return uint64(1000 * n * n / r * math.Log(n+1))
 		},
-		zero: electProtocol{},
+		zero: (*electProtocol)(nil),
 	},
 	ProtocolCIW: {
 		name:            ProtocolCIW,
@@ -251,6 +309,9 @@ func capabilitiesOf(p sim.Protocol) []string {
 	}
 	if _, ok := p.(sim.Compactable); ok {
 		caps = append(caps, CapabilityCompactable)
+	}
+	if _, ok := p.(sim.Churnable); ok {
+		caps = append(caps, CapabilityChurnable)
 	}
 	return caps
 }

@@ -10,10 +10,10 @@ import (
 // matrix of DESIGN.md §7.
 func TestProtocolsCatalogue(t *testing.T) {
 	wantCaps := map[string][]string{
-		ProtocolElectLeader: {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilitySnapshotter},
-		ProtocolCIW:         {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilityCompactable},
+		ProtocolElectLeader: {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilitySnapshotter, CapabilityChurnable},
+		ProtocolCIW:         {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilityCompactable, CapabilityChurnable},
 		ProtocolNameRank:    {CapabilityRanker, CapabilitySafeSet, CapabilityCompactable},
-		ProtocolLooseLE:     {CapabilityInjectable, CapabilityCompactable},
+		ProtocolLooseLE:     {CapabilityInjectable, CapabilityCompactable, CapabilityChurnable},
 		ProtocolFastLE:      {CapabilitySafeSet},
 	}
 	infos := Protocols()
@@ -169,7 +169,11 @@ func TestTransientDispatch(t *testing.T) {
 	if res := sys.Run(SchedulerSeed(3)); !res.Stabilized {
 		t.Fatal("ciw setup failed")
 	}
-	if hit := sys.InjectTransient(4, 5); len(hit) != 4 {
+	hit, err := sys.InjectTransient(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit) != 4 {
 		t.Fatalf("ciw transient hit %d agents, want 4", len(hit))
 	}
 	if res := sys.Run(SchedulerSeed(6)); !res.Stabilized {
@@ -179,8 +183,8 @@ func TestTransientDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit := noInj.InjectTransient(4, 5); hit != nil {
-		t.Fatalf("namerank transient returned %v, want nil (no capability)", hit)
+	if hit, err := noInj.InjectTransient(4, 5); err == nil || hit != nil {
+		t.Fatalf("namerank transient = %v, %v; want an error (no capability)", hit, err)
 	}
 	// A scheduled fault burst on a non-injectable protocol fails the run up
 	// front instead of silently reporting a clean result.

@@ -10,10 +10,10 @@ package sspp
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"sspp/internal/rng"
 	"sspp/internal/sim"
+	"sspp/internal/workload"
 )
 
 // Condition is a first-class stop predicate over a System. The built-in
@@ -69,13 +69,6 @@ func ConditionFunc(name string, holds func(*System) bool) Condition {
 	}
 }
 
-// transientFault is one scheduled InjectTransientAt fault.
-type transientFault struct {
-	at   uint64
-	k    int
-	seed uint64
-}
-
 // runSpec is the resolved configuration of one Run call.
 type runSpec struct {
 	cond      Condition
@@ -87,8 +80,21 @@ type runSpec struct {
 	sched     Scheduler
 	obsEvery  uint64
 	observe   func(Snapshot)
-	faults    []transientFault
 	ctx       context.Context
+	// events is the scheduled disruption timeline: InjectTransientAt bursts
+	// plus everything the attached workload compiles to.
+	events []workload.Event
+	// wl is the attached workload, compiled against (n, budget) when Run
+	// starts.
+	wl *Workload
+	// awaitEvents keeps the run alive until every scheduled event has fired,
+	// even when the stop condition already holds — workload runs measure
+	// recovery after each event. The legacy InjectTransientAt contract
+	// ("faults scheduled past the stop do not fire") stays untouched: only
+	// WithWorkload sets this.
+	awaitEvents bool
+	// traceDst, when non-nil, receives the recorded workload trace.
+	traceDst **WorkloadTrace
 }
 
 // RunOption configures a single System.Run call.
@@ -159,8 +165,37 @@ func Observe(cadence uint64, fn func(Snapshot)) RunOption {
 // (Result.Err, zero interactions) rather than silently skipping the burst.
 func InjectTransientAt(t uint64, k int, seed uint64) RunOption {
 	return func(r *runSpec) {
-		r.faults = append(r.faults, transientFault{at: t, k: k, seed: seed})
+		r.events = append(r.events, workload.Event{At: t, Kind: workload.KindTransient, K: k, Seed: seed})
 	}
+}
+
+// WithWorkload attaches a workload — a schedule of timed disruption phases
+// (transient bursts, adversary re-injections, churn arrival processes) —
+// compiled against the population size and the interaction budget when the
+// run starts, validated against the protocol's capabilities up front, and
+// fired at exact interaction counts. Unlike plain InjectTransientAt, a
+// workload run keeps going until every scheduled event has fired (within the
+// budget), and Result.Events reports each event with the time at which the
+// stop condition was next observed to hold — recovery after each disruption,
+// not just after the last. Churn phases require the complete topology.
+func WithWorkload(w *Workload) RunOption {
+	return func(r *runSpec) {
+		if w != nil {
+			r.wl = w
+			r.awaitEvents = true
+		}
+	}
+}
+
+// RecordTrace captures everything the run does — the dealt interaction
+// pairs, per-agent state keys when the protocol exposes them, and every
+// fired event with its exact effect on the state multiset — into a versioned
+// WorkloadTrace written to *dst when the run ends. A recorded trace replays
+// bit-exactly via System.ReplayTrace on both backends. Recording requires
+// the agent backend (the species backend has no interaction pairs to record)
+// and the complete topology.
+func RecordTrace(dst **WorkloadTrace) RunOption {
+	return func(r *runSpec) { r.traceDst = dst }
 }
 
 // WithContext makes the run cancellable: the context is checked at every
@@ -191,8 +226,49 @@ type Result struct {
 	StabilizedAt uint64
 	// Condition names the stop condition the run used.
 	Condition string
-	// Err is non-nil when the run was cancelled via WithContext.
+	// Events reports every scheduled workload event (in firing order) with
+	// its per-event recovery observation; nil for runs without a schedule.
+	// It is a pointer so Result stays comparable with == for schedule-free
+	// runs (the bit-identity contract of the deprecated wrappers); read it
+	// through EventOutcomes.
+	Events *EventList
+	// Err is non-nil when the run was cancelled via WithContext or a
+	// scheduled event failed to apply.
 	Err error
+}
+
+// EventList is the per-event outcome list of a workload run.
+type EventList []EventOutcome
+
+// EventOutcomes returns the scheduled events' outcomes (nil for runs without
+// a schedule).
+func (r Result) EventOutcomes() []EventOutcome {
+	if r.Events == nil {
+		return nil
+	}
+	return *r.Events
+}
+
+// EventOutcome is one scheduled event's outcome within a Run.
+type EventOutcome struct {
+	// At is the interaction count the event was scheduled for.
+	At uint64
+	// Kind is the event kind's wire name (transient, inject, join, leave).
+	Kind string
+	// K is the burst size of transient events.
+	K int
+	// Class is the adversary class of inject and join events.
+	Class string
+	// N is the population size after the event fired.
+	N int
+	// Fired reports whether the run reached the event before stopping.
+	Fired bool
+	// Recovered reports whether the stop condition was observed to hold at
+	// some poll after the event fired.
+	Recovered bool
+	// RecoveredAt is the interaction count of that first poll (resolution:
+	// the polling cadence). Zero when not recovered.
+	RecoveredAt uint64
 }
 
 // Run executes the system under a scheduler until the stop condition is
@@ -209,7 +285,8 @@ func (s *System) Run(opts ...RunOption) Result {
 	for _, o := range opts {
 		o(&spec)
 	}
-	n := s.N()
+	n0 := s.N()
+	n := n0
 	// Safe-set fallback: protocols without a checkable safe set are measured
 	// at the output level instead — correct output held through a
 	// confirmation window (20·n interactions unless Confirm was given).
@@ -221,21 +298,30 @@ func (s *System) Run(opts ...RunOption) Result {
 			}
 		}
 	}
-	// Scheduled fault bursts need the injectable capability; fail the run up
-	// front instead of reporting a clean result for a fault that never fired.
-	if len(spec.faults) > 0 {
-		if _, ok := s.proto.(sim.Injectable); !ok {
-			return Result{
-				Condition:    spec.cond.name,
-				ParallelTime: -1,
-				Err: fmt.Errorf("sspp: protocol %q does not support transient faults",
-					s.ProtocolName()),
-			}
-		}
-	}
 	max := spec.max
 	if max == 0 {
 		max = s.DefaultBudget()
+	}
+	// Compile the attached workload against the starting population and the
+	// resolved budget, merge it with any InjectTransientAt bursts, and
+	// validate the whole schedule against the protocol's capability set up
+	// front — a run never fires a disruption its protocol cannot absorb.
+	if spec.wl != nil {
+		spec.events = append(spec.events, workload.Compile(spec.wl.phases, n0, max)...)
+	}
+	workload.SortEvents(spec.events)
+	if len(spec.events) > 0 {
+		if err := workload.Validate(spec.events, n0, s.workloadCaps()); err != nil {
+			return Result{Condition: spec.cond.name, ParallelTime: -1, Err: err}
+		}
+		if workload.UsesChurn(spec.events) && s.graph != nil {
+			return Result{
+				Condition:    spec.cond.name,
+				ParallelTime: -1,
+				Err: fmt.Errorf("sspp: churn requires the complete topology; topology %q does not support it (see the capability table, DESIGN.md §10)",
+					s.graph.Name()),
+			}
+		}
 	}
 	poll := spec.poll
 	if poll == 0 {
@@ -277,7 +363,27 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 		cb.BindSource(src)
 	}
-	sort.SliceStable(spec.faults, func(i, j int) bool { return spec.faults[i].at < spec.faults[j].at })
+	// Trace recording needs the agent backend on the complete topology: the
+	// species backend draws state pairs internally (no agent pairs exist to
+	// record), and edge-indexed schedules go through the Recording format.
+	var tracer *traceRecorder
+	if spec.traceDst != nil {
+		if countBased {
+			return Result{
+				Condition:    spec.cond.name,
+				ParallelTime: -1,
+				Err:          fmt.Errorf("sspp: trace recording requires the agent backend (record there, then replay on either backend)"),
+			}
+		}
+		if s.graph != nil {
+			return Result{
+				Condition:    spec.cond.name,
+				ParallelTime: -1,
+				Err:          fmt.Errorf("sspp: trace recording requires the complete topology (capture edge-indexed schedules with NewRecorder and archive them via Recording.Encode)"),
+			}
+		}
+		tracer = newTraceRecorder(s)
+	}
 	obsEvery := spec.obsEvery
 	if spec.observe != nil && obsEvery == 0 {
 		obsEvery = uint64(n)
@@ -285,15 +391,52 @@ func (s *System) Run(opts ...RunOption) Result {
 
 	const never = ^uint64(0)
 	res := Result{Condition: spec.cond.name, ParallelTime: -1}
+	outcomes := make([]EventOutcome, len(spec.events))
+	for i, ev := range spec.events {
+		outcomes[i] = EventOutcome{At: ev.At, Kind: ev.Kind.String(), K: ev.K, Class: ev.Class}
+	}
+	var pending []int
 	var t, since uint64
 	fi := 0
-	// Faults scheduled at t = 0 strike the starting configuration, before
-	// the initial condition poll.
-	for fi < len(spec.faults) && spec.faults[fi].at == 0 {
-		s.injectTransientWith(spec.faults[fi].k, rng.New(spec.faults[fi].seed))
-		fi++
+	// fire applies every event scheduled for the current interaction count,
+	// in order (leaves before joins within an instant); a failing event
+	// aborts the run with Result.Err.
+	fire := func() bool {
+		for fi < len(spec.events) && spec.events[fi].At == t {
+			ev := spec.events[fi]
+			var before map[uint64]int64
+			if tracer != nil {
+				before = tracer.census()
+			}
+			if err := s.applyWorkloadEvent(ev); err != nil {
+				res.Err = err
+				return false
+			}
+			n = s.N()
+			outcomes[fi].Fired = true
+			outcomes[fi].N = n
+			pending = append(pending, fi)
+			if tracer != nil {
+				tracer.event(ev, before, n)
+			}
+			fi++
+		}
+		return true
 	}
+	// Events at t = 0 strike the starting configuration, before the initial
+	// condition poll.
+	ok := fire()
 	held := spec.cond.holds(s)
+	markRecovered := func() {
+		for _, i := range pending {
+			outcomes[i].Recovered = true
+			outcomes[i].RecoveredAt = t
+		}
+		pending = pending[:0]
+	}
+	if held {
+		markRecovered()
+	}
 	lastObs := never
 
 	finish := func() Result {
@@ -301,19 +444,29 @@ func (s *System) Run(opts ...RunOption) Result {
 		if res.Err == nil && held && t-since >= spec.confirm {
 			res.Stabilized = true
 			res.StabilizedAt = since
-			res.ParallelTime = float64(since) / float64(n)
+			res.ParallelTime = float64(since) / float64(n0)
+		}
+		if len(outcomes) > 0 {
+			el := EventList(outcomes)
+			res.Events = &el
 		}
 		if spec.observe != nil && lastObs != t {
 			spec.observe(s.Snapshot())
 		}
+		if tracer != nil && res.Err == nil {
+			*spec.traceDst = tracer.finish(t)
+		}
 		return res
 	}
 
+	if !ok {
+		return finish()
+	}
 	if err := spec.ctx.Err(); err != nil {
 		res.Err = err
 		return finish()
 	}
-	if held && spec.confirm == 0 {
+	if held && spec.confirm == 0 && (!spec.awaitEvents || fi == len(spec.events)) {
 		return finish()
 	}
 
@@ -330,13 +483,20 @@ func (s *System) Run(opts ...RunOption) Result {
 		if nextObs < next {
 			next = nextObs
 		}
-		if fi < len(spec.faults) && spec.faults[fi].at < next {
-			next = spec.faults[fi].at
+		if fi < len(spec.events) && spec.events[fi].At < next {
+			next = spec.events[fi].At
 		}
 		s.clock += next - t
 		if countBased {
 			cb.StepMany(next - t)
 			t = next
+		} else if tracer != nil {
+			for t < next {
+				a, b := sched.Pair(n)
+				tracer.pair(a, b)
+				s.proto.Interact(a, b)
+				t++
+			}
 		} else {
 			for t < next {
 				a, b := sched.Pair(n)
@@ -344,9 +504,8 @@ func (s *System) Run(opts ...RunOption) Result {
 				t++
 			}
 		}
-		for fi < len(spec.faults) && spec.faults[fi].at == t {
-			s.injectTransientWith(spec.faults[fi].k, rng.New(spec.faults[fi].seed))
-			fi++
+		if !fire() {
+			break
 		}
 		if t == nextObs {
 			spec.observe(s.Snapshot())
@@ -355,6 +514,9 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 		if t == nextPoll || t == max {
 			now := spec.cond.holds(s)
+			if now {
+				markRecovered()
+			}
 			if now != held {
 				if now {
 					since = t
@@ -365,7 +527,7 @@ func (s *System) Run(opts ...RunOption) Result {
 				res.Err = err
 				break
 			}
-			if held && t-since >= spec.confirm {
+			if held && t-since >= spec.confirm && (!spec.awaitEvents || fi == len(spec.events)) {
 				break
 			}
 			if t == nextPoll {
@@ -374,6 +536,25 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 	}
 	return finish()
+}
+
+// workloadCaps probes the running protocol's disruption capabilities for
+// schedule validation. The count-based churn capability wins over the
+// agent-level one: species systems carry the churn method set structurally
+// and gate real support behind CanChurn.
+func (s *System) workloadCaps() workload.Caps {
+	caps := workload.Caps{Protocol: s.ProtocolName()}
+	_, caps.Injectable = s.proto.(sim.Injectable)
+	if cc, ok := s.proto.(sim.CountChurnable); ok {
+		if cc.CanChurn() {
+			caps.Churnable = true
+			caps.MinN, caps.MaxN = cc.ChurnBounds()
+		}
+	} else if ch, ok := s.proto.(sim.Churnable); ok {
+		caps.Churnable = true
+		caps.MinN, caps.MaxN = ch.ChurnBounds()
+	}
+	return caps
 }
 
 // Step executes k scheduler-driven interactions with the given scheduler

@@ -10,6 +10,8 @@
 package sspp
 
 import (
+	"io"
+
 	"sspp/internal/rng"
 	"sspp/internal/sim"
 )
@@ -79,8 +81,28 @@ type Recording struct {
 	rec *sim.Recording
 }
 
+// RecordingVersion identifies the Recording wire layout written by Encode
+// and accepted by DecodeRecording.
+const RecordingVersion = sim.RecordingVersion
+
 // Len returns the number of recorded pairs.
 func (rec *Recording) Len() int { return rec.rec.Len() }
 
 // Replay returns a Scheduler dealing the recorded pairs in order.
 func (rec *Recording) Replay() Scheduler { return rec.rec.Replay() }
+
+// Encode writes the recording as versioned JSON (RecordingVersion). Both
+// modes round-trip: generic pair streams, and edge-indexed topology
+// schedules, which archive the resolving graph's edge list so replay does
+// not depend on regenerating the topology.
+func (rec *Recording) Encode(w io.Writer) error { return rec.rec.Encode(w) }
+
+// DecodeRecording reads a versioned JSON recording written by Encode,
+// rejecting unknown versions and internally inconsistent payloads.
+func DecodeRecording(r io.Reader) (*Recording, error) {
+	rec, err := sim.DecodeRecording(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{rec}, nil
+}

@@ -1,6 +1,8 @@
 package sspp
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -120,6 +122,143 @@ func TestReplayWrapsAround(t *testing.T) {
 		a, b := replay.Pair(n)
 		if a != first[i][0] || b != first[i][1] {
 			t.Fatalf("wrap-around pair %d = (%d,%d), want (%d,%d)", i, a, b, first[i][0], first[i][1])
+		}
+	}
+}
+
+// TestRecordingEncodeDecodeRoundTrip: a recording archived through the
+// versioned wire format and decoded back replays the identical trajectory,
+// in pair mode (complete topology) and edge-indexed mode (ring, random
+// regular graph) alike — and re-encoding the decoded recording reproduces
+// the archive byte-for-byte.
+func TestRecordingEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"complete", Config{N: 16, R: 4, Seed: 71}},
+		{"ring", Config{Protocol: ProtocolNameRank, N: 16, Seed: 3, Topology: Ring()}},
+		{"random-regular", Config{N: 16, R: 4, Seed: 1, Topology: RandomRegular(8)}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			build := func() *System {
+				sys, err := New(c.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys
+			}
+			var sched Scheduler = NewUniform(73) // pair mode on the complete topology
+			if !c.cfg.Topology.IsComplete() {
+				sched = build().Sampler(73) // edge-indexed mode
+			}
+			rec := NewRecorder(sched)
+			first := build()
+			res1 := first.Run(WithScheduler(rec))
+			if !res1.Stabilized {
+				t.Fatal("recorded run did not stabilize")
+			}
+			var buf bytes.Buffer
+			if err := rec.Recording().Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			archived := buf.String()
+			decoded, err := DecodeRecording(strings.NewReader(archived))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Len() != rec.Recording().Len() {
+				t.Fatalf("decoded %d interactions, recorded %d", decoded.Len(), rec.Recording().Len())
+			}
+			var again bytes.Buffer
+			if err := decoded.Encode(&again); err != nil {
+				t.Fatal(err)
+			}
+			if again.String() != archived {
+				t.Fatal("re-encoding the decoded recording changed the archive bytes")
+			}
+			second := build()
+			res2 := second.Run(WithScheduler(decoded.Replay()))
+			if res1 != res2 {
+				t.Fatalf("archived replay %+v differs from recorded %+v", res2, res1)
+			}
+			if first.Events() != second.Events() {
+				t.Fatalf("archived replay events diverge:\n%s\n%s", first.Events(), second.Events())
+			}
+		})
+	}
+}
+
+// TestRecordingGoldenWire pins the version-1 wire layout byte-for-byte: the
+// golden archives below must keep decoding (and re-encoding to the identical
+// bytes) for as long as the engine speaks RecordingVersion 1.
+func TestRecordingGoldenWire(t *testing.T) {
+	if RecordingVersion != 1 {
+		t.Fatalf("RecordingVersion = %d; the golden archives pin version 1", RecordingVersion)
+	}
+	golden := map[string]struct {
+		wire string
+		len  int
+	}{
+		"complete": {
+			wire: `{"version":1,"pairs":[0,1,2,3,1,0]}` + "\n",
+			len:  3,
+		},
+		"ring": {
+			wire: `{"version":1,"topology":"ring","n":4,"edge_list":[[0,1],[1,0],[1,2],[2,1],[2,3],[3,2],[3,0],[0,3]],"edges":[0,3,5,2]}` + "\n",
+			len:  4,
+		},
+		"random-regular": {
+			wire: `{"version":1,"topology":"random-regular","n":5,"edge_list":[[0,2],[2,0],[1,3],[3,1],[2,4],[4,2],[0,4],[4,0],[1,2],[2,1]],"edges":[8,0,7,4,1]}` + "\n",
+			len:  5,
+		},
+	}
+	for name, g := range golden {
+		name, g := name, g
+		t.Run(name, func(t *testing.T) {
+			rec, err := DecodeRecording(strings.NewReader(g.wire))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Len() != g.len {
+				t.Fatalf("decoded %d interactions, want %d", rec.Len(), g.len)
+			}
+			var buf bytes.Buffer
+			if err := rec.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.String() != g.wire {
+				t.Fatalf("re-encoded archive drifted from the golden bytes:\n got %q\nwant %q", buf.String(), g.wire)
+			}
+			// The decoded schedule deals real pairs.
+			replay := rec.Replay()
+			for i := 0; i < g.len; i++ {
+				a, b := replay.Pair(5)
+				if a < 0 || b < 0 || a == b {
+					t.Fatalf("golden pair %d invalid: (%d, %d)", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRecordingRejectsBadArchives: unknown versions and internally
+// inconsistent payloads fail the decode up front.
+func TestDecodeRecordingRejectsBadArchives(t *testing.T) {
+	bad := map[string]string{
+		"future version": `{"version":2,"pairs":[0,1]}`,
+		"mixed modes":    `{"version":1,"topology":"ring","n":4,"edge_list":[[0,1]],"edges":[0],"pairs":[0,1]}`,
+		"odd pairs":      `{"version":1,"pairs":[0,1,2]}`,
+		"negative pair":  `{"version":1,"pairs":[0,-1]}`,
+		"edge index out": `{"version":1,"topology":"ring","n":4,"edge_list":[[0,1],[1,0]],"edges":[2]}`,
+		"self-loop edge": `{"version":1,"topology":"ring","n":4,"edge_list":[[1,1]],"edges":[0]}`,
+		"not json":       `schedule`,
+	}
+	for name, wire := range bad {
+		if _, err := DecodeRecording(strings.NewReader(wire)); err == nil {
+			t.Errorf("%s: decoded without error", name)
 		}
 	}
 }

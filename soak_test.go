@@ -29,10 +29,14 @@ func TestSoak(t *testing.T) {
 			if err := sys.Inject(class, seed); err != nil {
 				// Some classes are unrealizable at some (n, r); strike with
 				// a transient burst instead.
-				sys.InjectTransient(3, seed)
+				if _, err := sys.InjectTransient(3, seed); err != nil {
+					t.Fatal(err)
+				}
 			}
 		} else {
-			sys.InjectTransient(1+round%n, seed)
+			if _, err := sys.InjectTransient(1+round%n, seed); err != nil {
+				t.Fatal(err)
+			}
 		}
 		res := sys.Run(Until(SafeSet), SchedulerSeed(seed+1))
 		if !res.Stabilized {
