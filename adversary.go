@@ -67,7 +67,7 @@ func (s *System) Inject(a Adversary, seed uint64) error {
 // injectWith is Inject against a caller-owned randomness stream, used by
 // the Ensemble layer so trial randomness stays pre-derived.
 func (s *System) injectWith(a Adversary, src *rng.PRNG) error {
-	inj, ok := s.proto.(sim.Injectable)
+	inj, ok := sim.AsInjectable(s.proto)
 	if !ok {
 		return fmt.Errorf("sspp: protocol %q does not support adversarial injection", s.ProtocolName())
 	}
@@ -89,7 +89,7 @@ func (s *System) InjectTransient(k int, seed uint64) ([]int, error) {
 // injectTransientWith is InjectTransient against a caller-owned randomness
 // stream.
 func (s *System) injectTransientWith(k int, src *rng.PRNG) ([]int, error) {
-	inj, ok := s.proto.(sim.Injectable)
+	inj, ok := sim.AsInjectable(s.proto)
 	if !ok {
 		return nil, fmt.Errorf("sspp: protocol %q does not support transient faults (no injectable capability; see the capability table, DESIGN.md §9)", s.ProtocolName())
 	}

@@ -52,7 +52,7 @@ const speciesSeedSalt = 0xA5A5_5A5A_0F0F_F0F0
 // fails fast too rather than silently degrading a million-agent run to the
 // agent backend.
 func resolveBackend(cfg Config, spec *protocolSpec) (string, error) {
-	_, compactable := spec.zero.(sim.Compactable)
+	_, compactable := sim.AsCompactable(spec.zero)
 	species := func() (string, error) {
 		if !cfg.Topology.IsComplete() {
 			return "", fmt.Errorf("sspp: the species backend supports only the complete topology "+
@@ -84,7 +84,7 @@ func resolveBackend(cfg Config, spec *protocolSpec) (string, error) {
 // form. The agent instance only serves as the configuration source; the
 // returned protocol carries the capability set its compact model declares.
 func compactProto(p sim.Protocol, seed uint64) (sim.Protocol, error) {
-	comp, ok := p.(sim.Compactable)
+	comp, ok := sim.AsCompactable(p)
 	if !ok {
 		return nil, fmt.Errorf("sspp: protocol %T has no species form", p)
 	}

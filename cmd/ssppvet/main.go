@@ -1,0 +1,180 @@
+// ssppvet is the project's multichecker: it runs the internal/analyzers
+// suite (rngdiscipline, maporder, capdispatch, importguard, hotpathalloc —
+// see DESIGN.md §11) over sspp packages.
+//
+// Two modes, one binary:
+//
+//	go install ./cmd/ssppvet && go vet -vettool=$(which ssppvet) ./...
+//	go run ./cmd/ssppvet ./...   # standalone: re-execs go vet -vettool=self
+//
+// The vettool protocol (cmd/go's unitchecker contract) is implemented here
+// directly against the standard library: the build environment has no
+// module cache and no network, so golang.org/x/tools/go/analysis/unitchecker
+// is unavailable. The contract is small: answer the -V=full and -flags
+// handshakes, then for each package accept a JSON .cfg naming the Go files
+// and the export-data files of every dependency, type-check with the gc
+// importer reading that export data, analyze, and write the (empty) facts
+// file go vet expects. Dependency-only invocations (VetxOnly) and non-sspp
+// packages are acknowledged without analysis, so a whole-repo run
+// type-checks only this module's packages.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"sspp/internal/analyzers"
+	"sspp/internal/analyzers/analysis"
+)
+
+// vetConfig is the JSON cmd/go writes for each package unit (the fields
+// this tool consumes; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go handshakes: tool identity (cached into the build ID, so it
+	// must change when the binary changes) and the declared flag set.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		self, _ := os.ReadFile(os.Args[0])
+		fmt.Printf("%s version devel buildID=%x\n", os.Args[0], sha256.Sum256(self))
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(unitcheck(args[len(args)-1]))
+	}
+	// Standalone mode: ssppvet ./... re-execs go vet with itself as the
+	// vettool, so CI and the command line share one entry point.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssppvet:", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "ssppvet:", err)
+		os.Exit(1)
+	}
+}
+
+// unitcheck analyzes one package unit described by cfgPath and returns the
+// process exit code: 0 clean, 1 tool failure, 2 findings.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssppvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ssppvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts file first: go vet requires it even when nothing is analyzed.
+	// This suite carries no cross-package facts, so the content is a stub.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ssppvet: no facts"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ssppvet:", err)
+			return 1
+		}
+	}
+	// Dependency-only invocations and foreign packages (stdlib when
+	// someone points the tool outside this module) are acknowledged, not
+	// analyzed: the invariants are sspp's.
+	if cfg.VetxOnly || !inScope(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssppvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// The gc importer reads the export data cmd/go already built for every
+	// dependency, resolved through the vendor/ImportMap indirection.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compilerOf(cfg), lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ssppvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := unit.Check(analyzers.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssppvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// inScope reports whether the import path belongs to this module (plain
+// packages and their in-package test variants).
+func inScope(path string) bool {
+	return path == "sspp" || strings.HasPrefix(path, "sspp/")
+}
+
+func compilerOf(cfg vetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}

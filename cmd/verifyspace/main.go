@@ -47,7 +47,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	start := time.Now()
+	start := time.Now() //sspp:allow rngdiscipline -- wall-clock progress reporting; verification itself is exhaustive, not sampled
 	switch *check {
 	case "detect-sound":
 		m, err := modelcheck.NewDetectMachine(*n, *n, nil, int32(*sig), *refresh)
@@ -111,7 +111,7 @@ func run() error {
 		fmt.Printf("  permutations (silent targets): %d\n", rep.Permutations)
 		fmt.Printf("  permutations silent:           %v\n", rep.PermutationsSilent)
 		fmt.Printf("  all configurations reach one:  %v\n", rep.AllReachStable)
-		fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond)) //sspp:allow rngdiscipline -- wall-clock progress reporting; verification itself is exhaustive, not sampled
 		if !rep.AllReachStable || !rep.PermutationsSilent {
 			return fmt.Errorf("CIW verification failed")
 		}
@@ -132,5 +132,5 @@ func printReport(rep modelcheck.Report, start time.Time) {
 	fmt.Printf("  configurations explored: %d (truncated: %v, max depth %d)\n",
 		rep.Explored, rep.Truncated, rep.MaxDepth)
 	fmt.Printf("  violations: %d\n", rep.Violations)
-	fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  wall time: %s\n", time.Since(start).Round(time.Millisecond)) //sspp:allow rngdiscipline -- wall-clock progress reporting; verification itself is exhaustive, not sampled
 }

@@ -207,17 +207,17 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 			}
 		}
 		if g.TransientK > 0 {
-			if _, ok := spec.zero.(sim.Injectable); !ok {
+			if _, ok := sim.AsInjectable(spec.zero); !ok {
 				return nil, fmt.Errorf("sspp: TransientK requires the injectable capability, which protocol %q lacks", spec.name)
 			}
 		}
 		if wlFaults {
-			if _, ok := spec.zero.(sim.Injectable); !ok {
+			if _, ok := sim.AsInjectable(spec.zero); !ok {
 				return nil, fmt.Errorf("sspp: the workload's fault phases require the injectable capability, which protocol %q lacks (see the capability table, DESIGN.md §9)", spec.name)
 			}
 		}
 		if wlChurn {
-			if _, ok := spec.zero.(sim.Churnable); !ok {
+			if _, ok := sim.AsChurnable(spec.zero); !ok {
 				return nil, fmt.Errorf("sspp: the workload's churn phases require the churnable capability, which protocol %q lacks (see the capability table, DESIGN.md §10)", spec.name)
 			}
 		}

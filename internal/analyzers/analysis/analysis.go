@@ -1,0 +1,179 @@
+// Package analysis is a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface this repository needs. The
+// toolchain baked into the build environment carries no module cache and no
+// network, so the real x/tools framework is unavailable; the project's
+// analyzers (internal/analyzers/...) are written against this shim instead.
+// The shapes match x/tools closely enough that a future PR with network
+// access can swap the import path and delete this package.
+//
+// What is intentionally missing compared to x/tools: facts (no cross-package
+// analysis state), result dependencies between analyzers (every analyzer is
+// self-contained per package), and suggested fixes. What is added: a
+// project-wide suppression convention —
+//
+//	//sspp:allow <analyzer> -- <reason>
+//
+// placed on (or on the line directly above) an offending line silences that
+// analyzer there. The reason is mandatory; a bare //sspp:allow is itself a
+// diagnostic. Suppressions are handled centrally in Unit.Check so every
+// analyzer gets them for free and fixtures can test them uniformly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check: a name (used in diagnostics and in
+// //sspp:allow comments), a human-readable invariant statement, and a Run
+// function applied to one type-checked package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Unit is one type-checked package ready to be analyzed: the parsed files
+// (with comments), the checked *types.Package, and the filled Info maps.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Both drivers (cmd/ssppvet and analysistest) type-check with it.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Check runs every analyzer over the unit, applies //sspp:allow
+// suppressions, and returns the surviving diagnostics in file/position
+// order. Analyzer errors (not findings — failures of the analyzer itself)
+// abort the whole check.
+func (u *Unit) Check(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = append(diags, u.filterAllowed(&diags)...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// allowRe matches the suppression convention. The reason after "--" is
+// required: an allow without a recorded why is how invariant rot starts.
+var allowRe = regexp.MustCompile(`^//sspp:allow\s+([a-zA-Z][a-zA-Z0-9_,]*)\s*(?:--\s*(.*))?$`)
+
+// filterAllowed drops suppressed diagnostics from *diags in place and
+// returns extra diagnostics for malformed allow comments (missing reason).
+// An allow comment covers its own line and the following line, so it works
+// both trailing the offending statement and on its own line above it.
+func (u *Unit) filterAllowed(diags *[]Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	allowed := map[key]map[string]bool{}
+	var malformed []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//sspp:allow") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "allow",
+						Pos:      c.Pos(),
+						Message:  `malformed //sspp:allow: want "//sspp:allow <analyzer> -- <reason>" with a non-empty reason`,
+					})
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := key{pos.Filename, line}
+						if allowed[k] == nil {
+							allowed[k] = map[string]bool{}
+						}
+						allowed[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return malformed
+	}
+	kept := (*diags)[:0]
+	for _, d := range *diags {
+		pos := u.Fset.Position(d.Pos)
+		if allowed[key{pos.Filename, pos.Line}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	*diags = kept
+	return malformed
+}

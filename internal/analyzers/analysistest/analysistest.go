@@ -1,0 +1,202 @@
+// Package analysistest drives internal/analyzers fixtures the way
+// golang.org/x/tools/go/analysis/analysistest does: each analyzer owns a
+// testdata/src/<importpath>/ tree of small packages annotated with
+//
+//	... offending line ...  // want `regexp`
+//
+// comments, and Run type-checks the fixture packages, applies the analyzer,
+// and diffs the produced diagnostics against the want annotations — both
+// directions: a want with no diagnostic fails, a diagnostic with no want
+// fails.
+//
+// Fixture imports resolve fixture-first: an import path with a directory
+// under testdata/src/ loads from the fixture tree (letting fixtures shadow
+// real repo packages such as sspp/internal/sim with minimal fakes), and
+// anything else — the standard library — goes through the stdlib source
+// importer, which works offline from GOROOT source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sspp/internal/analyzers/analysis"
+)
+
+// Run loads each fixture package in pkgpaths from testdata/src/ (relative
+// to the calling test's package directory), runs a over it, and reports
+// mismatches between diagnostics and // want annotations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := newLoader("testdata")
+	for _, path := range pkgpaths {
+		unit, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := unit.Check([]*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("checking fixture %s: %v", path, err)
+			continue
+		}
+		compare(t, unit, diags)
+	}
+}
+
+// A want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func compare(t *testing.T, unit *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loader loads fixture packages with memoization and cycle detection.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*types.Package
+	units    map[string]*analysis.Unit
+	loading  map[string]bool
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		// The source importer type-checks stdlib packages from GOROOT
+		// source: slower than export data, but it needs neither a module
+		// cache nor a network, which is the whole point of this harness.
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*types.Package{},
+		units:   map[string]*analysis.Unit{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer with fixture-first resolution, so
+// fixture packages can import each other (and shadow real import paths).
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(ld.testdata, "src", path); dirExists(dir) {
+		unit, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return unit.Pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*analysis.Unit, error) {
+	if unit, ok := ld.units[path]; ok {
+		return unit, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.testdata, "src", path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	info := analysis.NewInfo()
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	ld.pkgs[path] = pkg
+	unit := &analysis.Unit{Fset: ld.fset, Files: files, Pkg: pkg, Info: info}
+	ld.units[path] = unit
+	return unit, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,101 @@
+// Package capdispatch keeps the DESIGN §7–§10 capability table the single
+// source of truth for protocol capability dispatch. The engine and facade
+// discover optional protocol capabilities (Ranker, SafeSetter, Compactable,
+// Churnable, …) through the As* helpers in internal/sim/capability.go; a
+// raw type assertion against a capability interface anywhere else is an
+// ad-hoc dispatch site the capability table does not know about — exactly
+// how a future backend silently diverges from the documented degradation
+// rules.
+//
+// Type assertions and type switches against the capability interfaces are
+// legal only in internal/sim/capability.go (where the helpers live). Test
+// files are exempt: asserting a capability is how tests state expectations
+// about the table itself.
+package capdispatch
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"sspp/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "capdispatch",
+	Doc:  "capability interfaces may be type-asserted only in internal/sim/capability.go; use the sim.As* dispatch helpers",
+	Run:  run,
+}
+
+// capabilities is the closed set of dispatch interfaces from
+// internal/sim/capability.go. Adding a capability means adding it here and
+// adding its As* helper next to the interface — which is the point.
+var capabilities = map[string]bool{
+	"Ranker":         true,
+	"SafeSetter":     true,
+	"Injectable":     true,
+	"Snapshotter":    true,
+	"Clocked":        true,
+	"Churnable":      true,
+	"CountChurnable": true,
+	"StateKeyer":     true,
+	"Compactable":    true,
+	"CountBased":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		if filepath.Base(filename) == "capability.go" && strings.HasSuffix(pass.Pkg.Path(), "internal/sim") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				if n.Type != nil { // nil Type is the x.(type) of a type switch
+					check(pass, n.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, texpr := range cc.List {
+						check(pass, texpr)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports texpr when it names a capability interface defined in the
+// internal/sim package.
+func check(pass *analysis.Pass, texpr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[texpr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !capabilities[obj.Name()] {
+		return
+	}
+	if !strings.HasSuffix(obj.Pkg().Path(), "internal/sim") {
+		return
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	pass.Reportf(texpr.Pos(), "type assertion against capability interface sim.%s outside internal/sim/capability.go; dispatch through sim.As%s so the capability table stays the single source of truth", obj.Name(), obj.Name())
+}

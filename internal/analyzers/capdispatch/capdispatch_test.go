@@ -1,0 +1,12 @@
+package capdispatch_test
+
+import (
+	"testing"
+
+	"sspp/internal/analyzers/analysistest"
+	"sspp/internal/analyzers/capdispatch"
+)
+
+func TestCapDispatch(t *testing.T) {
+	analysistest.Run(t, capdispatch.Analyzer, "a", "sspp/internal/sim")
+}

@@ -1,0 +1,42 @@
+package a
+
+import "sspp/internal/sim"
+
+// localCap is not a sim capability: asserting it is fine.
+type localCap interface {
+	Flush() error
+}
+
+func adHoc(p sim.Protocol) int32 {
+	if rk, ok := p.(sim.Ranker); ok { // want `capability interface sim\.Ranker outside internal/sim/capability\.go`
+		return rk.RankOutput(0)
+	}
+	return 0
+}
+
+func adHocSwitch(p sim.Protocol) bool {
+	switch p.(type) {
+	case sim.SafeSetter: // want `capability interface sim\.SafeSetter outside internal/sim/capability\.go`
+		return true
+	case localCap:
+		return false
+	}
+	return false
+}
+
+func viaHelper(p sim.Protocol) int32 {
+	if rk, ok := sim.AsRanker(p); ok {
+		return rk.RankOutput(0)
+	}
+	return 0
+}
+
+func assertLocal(v any) bool {
+	_, ok := v.(localCap)
+	return ok
+}
+
+func allowlisted(p sim.Protocol) bool {
+	_, ok := p.(sim.Compactable) //sspp:allow capdispatch -- fixture: documented escape hatch
+	return ok
+}

@@ -1,0 +1,31 @@
+// Fixture shadow of the real sspp/internal/sim capability surface: the
+// interfaces the analyzer polices plus the As* helpers, whose assertions
+// are legal because they live in capability.go.
+package sim
+
+type Protocol interface {
+	N() int
+	Interact(a, b int)
+}
+
+type Ranker interface {
+	RankOutput(i int) int32
+}
+
+type SafeSetter interface {
+	InSafeSet() bool
+}
+
+type Compactable interface {
+	Compact() int
+}
+
+func AsRanker(p any) (Ranker, bool) {
+	r, ok := p.(Ranker)
+	return r, ok
+}
+
+func AsSafeSetter(p any) (SafeSetter, bool) {
+	s, ok := p.(SafeSetter)
+	return s, ok
+}

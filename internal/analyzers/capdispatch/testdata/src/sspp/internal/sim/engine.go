@@ -1,0 +1,8 @@
+// Even inside the sim package, dispatch outside capability.go must go
+// through the helpers: the file boundary is the invariant.
+package sim
+
+func engineProbe(p Protocol) bool {
+	_, ok := p.(SafeSetter) // want `capability interface sim\.SafeSetter outside internal/sim/capability\.go`
+	return ok
+}

@@ -1,0 +1,182 @@
+// Package hotpathalloc keeps the PR 1 "0 allocs/op" guarantees honest at
+// compile time. Functions annotated
+//
+//	//sspp:hotpath
+//
+// in their doc comment (core.Interact, the species sampler draw, the
+// silent-skip stepper, edge sampling, the rng draw kernels) are the
+// per-interaction code the throughput claims rest on. Inside them the
+// analyzer rejects the constructs that allocate or wreck inlining:
+//
+//   - any call into fmt, reflect, or log (fmt.Sprintf in a panic argument
+//     counts: it bloats the inline budget of the whole function — hoist
+//     the message into a constant or a cold helper);
+//   - explicit conversions to an interface type;
+//   - implicit interface conversions at call sites — passing a concrete
+//     non-pointer-shaped value (struct, string, slice, int, …) to an
+//     interface parameter boxes it onto the heap. Pointer-shaped values
+//     (pointers, maps, chans, funcs) ride in the interface word for free
+//     and are not flagged;
+//   - function literals: a closure in a hot function is an allocation
+//     waiting for the inliner to have a bad day.
+//
+// The testing.AllocsPerRun guards in internal/core/perf_bench_test.go
+// prove the end state; this analyzer points at the exact expression when a
+// refactor is about to regress them.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sspp/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//sspp:hotpath functions must stay allocation-free: no fmt/reflect/log, no interface boxing, no closures",
+	Run:  run,
+}
+
+// bannedPkgs allocate, reflect, or drag the inline budget through the
+// floor; none belong in a per-interaction path.
+var bannedPkgs = map[string]bool{"fmt": true, "reflect": true, "log": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHot(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text := strings.TrimSpace(c.Text); text == "//sspp:hotpath" || strings.HasPrefix(text, "//sspp:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //sspp:hotpath function %s: the captured environment allocates; hoist it to a method or pass state explicitly", fd.Name.Name)
+			return false // the literal's body is cold relative to this check
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// panic is the cold path by definition: its argument never boxes on
+	// the happy path. Calls in the argument (fmt.Sprintf) still get their
+	// own CallExpr visit and stay banned — they bloat the inline budget
+	// whether or not they run.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	// Banned-package calls (fmt.Sprintf, reflect.ValueOf, ...). Methods are
+	// skipped: the package-level entry point that produced the receiver
+	// (reflect.TypeOf, ...) is the diagnostic.
+	if fn, ok := calleeFunc(pass, call); ok && fn.Pkg() != nil && bannedPkgs[fn.Pkg().Path()] &&
+		fn.Type().(*types.Signature).Recv() == nil {
+		pass.Reportf(call.Pos(), "call to %s.%s in //sspp:hotpath function %s: it allocates and blocks inlining; use a constant message or a cold helper", fn.Pkg().Name(), fn.Name(), fd.Name.Name)
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Explicit conversion T(x) with T an interface type.
+	if tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceExpr(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface type %s in //sspp:hotpath function %s boxes the value onto the heap", tv.Type, fd.Name.Name)
+		}
+		return
+	}
+	// Implicit boxing at ordinary call sites.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin (append, len, panic, ...): no interface params
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // x... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || isInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		if pointerShaped(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter in //sspp:hotpath function %s boxes the value onto the heap", at.Type, fd.Name.Name)
+	}
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isInterfaceExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isInterface(tv.Type)
+}
+
+// pointerShaped reports whether values of t fit in the interface data word
+// without allocating: pointers, unsafe pointers, maps, chans, funcs.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}

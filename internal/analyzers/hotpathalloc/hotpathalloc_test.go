@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"sspp/internal/analyzers/analysistest"
+	"sspp/internal/analyzers/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "a")
+}

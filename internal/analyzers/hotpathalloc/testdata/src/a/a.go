@@ -1,0 +1,90 @@
+package a
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+type sink interface {
+	Put(v any)
+}
+
+type counterSink struct{ n int }
+
+func (c *counterSink) Put(v any) { c.n++ }
+
+func anyArg(v any) {}
+
+func ptrArg(p *int) {}
+
+//sspp:hotpath
+func hotFmt(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("n=%d", n)) // want `call to fmt\.Sprintf in //sspp:hotpath function hotFmt`
+	}
+}
+
+//sspp:hotpath
+func hotReflect(v int) string {
+	return reflect.TypeOf(v).Name() // want `call to reflect\.TypeOf in //sspp:hotpath function hotReflect`
+}
+
+//sspp:hotpath
+func hotExplicitBox(n int) any {
+	return any(n) // want `conversion to interface type any in //sspp:hotpath function hotExplicitBox boxes`
+}
+
+//sspp:hotpath
+func hotImplicitBox(s sink, n int) {
+	s.Put(n) // want `passing int to interface parameter in //sspp:hotpath function hotImplicitBox boxes`
+}
+
+//sspp:hotpath
+func hotStructBox(pair struct{ A, B int }) {
+	anyArg(pair) // want `passing struct\{A int; B int\} to interface parameter in //sspp:hotpath function hotStructBox boxes`
+}
+
+//sspp:hotpath
+func hotClosure(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `closure in //sspp:hotpath function hotClosure` `passing \[\]int to interface parameter`
+}
+
+// Pointer-shaped values ride in the interface word for free.
+//
+//sspp:hotpath
+func hotPointerOK(s sink, p *int) {
+	s.Put(p)
+	anyArg(p)
+	ptrArg(p)
+}
+
+// Constant-string panics are fine: no fmt, no boxing beyond the static
+// string header the compiler interns.
+//
+//sspp:hotpath
+func hotPanicOK(n int) int {
+	if n <= 0 {
+		panic("a: nonpositive n")
+	}
+	return n - 1
+}
+
+// Interface-to-interface passing does not box.
+//
+//sspp:hotpath
+func hotIfaceThrough(s sink, v any) {
+	s.Put(v)
+}
+
+// Unannotated functions may do all of this.
+func coldEverything(n int) any {
+	defer func() {}()
+	_ = fmt.Sprintf("n=%d", n)
+	return any(n)
+}
+
+//sspp:hotpath
+func hotAllowlisted(s sink, n int) {
+	s.Put(n) //sspp:allow hotpathalloc -- fixture: measured, the compiler caches this box
+}

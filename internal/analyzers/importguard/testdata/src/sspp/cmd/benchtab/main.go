@@ -1,0 +1,9 @@
+package main
+
+import (
+	"sspp/internal/core" // want `sspp/cmd/benchtab imports sspp/internal/core outside the cmd allowlist`
+	"sspp/internal/experiments"
+	"sspp/internal/trials"
+)
+
+func main() { _ = experiments.S1() + core.N() + trials.Run() }

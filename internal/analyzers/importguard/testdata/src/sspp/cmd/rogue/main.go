@@ -1,0 +1,5 @@
+package main
+
+import "sspp/internal/trials" // want `sspp/cmd/rogue imports sspp/internal/trials outside the cmd allowlist`
+
+func main() { _ = trials.Run() }

@@ -1,0 +1,8 @@
+package main
+
+import (
+	"sspp"
+	"sspp/internal/core" // want `examples are public-API demos`
+)
+
+func main() { _ = sspp.New() + core.N() }

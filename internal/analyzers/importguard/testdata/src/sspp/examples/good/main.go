@@ -1,0 +1,5 @@
+package main
+
+import "sspp"
+
+func main() { _ = sspp.New() }

@@ -1,0 +1,5 @@
+package experiments
+
+import "sspp/internal/species"
+
+func S1() int { return species.Counts() }

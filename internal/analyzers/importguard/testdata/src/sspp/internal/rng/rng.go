@@ -1,0 +1,5 @@
+package rng
+
+import "sspp/internal/core" // want `internal/rng is the determinism root and must not import module packages`
+
+func Draw() int { return core.N() }

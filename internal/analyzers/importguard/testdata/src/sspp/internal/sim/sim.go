@@ -1,0 +1,8 @@
+package sim
+
+import (
+	"sspp/internal/core" // want `engine layer internal/sim must stay protocol-agnostic`
+	"sspp/internal/graph"
+)
+
+func Run() int { return core.N() + graph.Edges() }

@@ -1,0 +1,5 @@
+package trials
+
+import "sspp/internal/species" // want `reaches into the species backend's internals`
+
+func Run() int { return species.Counts() }

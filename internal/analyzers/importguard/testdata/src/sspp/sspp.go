@@ -1,0 +1,9 @@
+// The root facade may import anything internal: it IS the public API.
+package sspp
+
+import (
+	"sspp/internal/core"
+	"sspp/internal/species"
+)
+
+func New() int { return core.N() + species.Counts() }

@@ -1,0 +1,368 @@
+// Package maporder guards the repository's byte-identical-artifact claims
+// against Go's randomized map iteration order. Ensemble/Compare JSON is
+// pinned byte-identical at any worker count, recorded workload traces
+// replay bit-exactly across backends, and golden tests diff raw bytes —
+// so map iteration order must never reach a Result, a Cell, a JSON
+// encoder, or rendered output.
+//
+// The analyzer marks a function as artifact-emitting when it (directly or
+// through package-local calls) touches a named Result or Cell type, calls
+// into encoding/json, or renders to a writer via fmt.Fprint*. Inside an
+// emitting function, every `for k := range m` over a map is flagged unless
+// it is a recognizable collect-then-sort idiom: the loop body only defines
+// locals, branches, and appends onto slices, and every appended-to slice is
+// passed to a sort.*/slices.Sort* call after the loop in the same function.
+// Anything cleverer needs an //sspp:allow maporder with a reason.
+//
+// The analysis is package-local: a map range that leaks order through a
+// cross-package call chain is out of reach (that chain crosses the public
+// API, where returned data is already required to be order-normalized).
+// Test files are skipped.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sspp/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach Results, Cells, JSON, or rendered artifacts; collect and sort first",
+	Run:  run,
+}
+
+// artifactTypes are the named types whose presence marks a function as
+// producing deterministic artifacts (the engine's Result structs and the
+// Ensemble's Cell grid entries).
+var artifactTypes = map[string]bool{"Result": true, "Cell": true}
+
+func run(pass *analysis.Pass) error {
+	// funcs maps this package's declared functions (by object) to their
+	// declarations, for the package-local call graph.
+	funcs := map[*types.Func]*ast.FuncDecl{}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				funcs[obj] = fd
+			}
+			decls = append(decls, fd)
+		}
+	}
+
+	emitting := map[*ast.FuncDecl]bool{}
+	callees := map[*ast.FuncDecl][]*types.Func{}
+	for _, fd := range decls {
+		emitting[fd] = emitsDirectly(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := calleeFunc(pass, call); ok && fn.Pkg() == pass.Pkg {
+				callees[fd] = append(callees[fd], fn)
+			}
+			return true
+		})
+	}
+	// Propagate emitter status up the call graph to a fixed point: a caller
+	// of an emitting function feeds the same artifact.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if emitting[fd] {
+				continue
+			}
+			for _, fn := range callees[fd] {
+				if cd, ok := funcs[fn]; ok && emitting[cd] {
+					emitting[fd] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		if !emitting[fd] {
+			continue
+		}
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+// emitsDirectly reports whether fd itself touches an artifact sink: a
+// Result/Cell-typed value, encoding/json, or fmt.Fprint* rendering.
+func emitsDirectly(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			var obj types.Object
+			if o, ok := pass.TypesInfo.Uses[n]; ok {
+				obj = o
+			} else if o, ok := pass.TypesInfo.Defs[n]; ok {
+				obj = o
+			}
+			if obj != nil && touchesArtifactType(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeFunc(pass, n); ok && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "encoding/json":
+					found = true
+				case fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// touchesArtifactType walks pointer/slice/array/map/chan structure looking
+// for a named Result or Cell type.
+func touchesArtifactType(t types.Type) bool {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch u := t.(type) {
+		case *types.Named:
+			if artifactTypes[u.Obj().Name()] {
+				return true
+			}
+			return false
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, when it statically
+// names one (plain call or method call; closures and func values resolve
+// to nothing).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// checkFunc flags unlaundered map ranges in one emitting function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// A keyless `for range m` cannot observe the order.
+		if rs.Key == nil {
+			return true
+		}
+		if sortedCollect(pass, fd, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "iteration over map %s in artifact-emitting function %s depends on Go's randomized map order; collect into a slice and sort before emitting", tv.Type, fd.Name.Name)
+		return true
+	})
+}
+
+// sortedCollect reports whether rs is a collect-then-sort idiom: the body
+// only defines locals, branches, and appends onto slices, and each
+// appended-to slice is sorted after the loop within the innermost function
+// literal or declaration enclosing rs.
+func sortedCollect(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	targets := map[string]bool{}
+	clean := true
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		if !clean {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, sub := range s.List {
+				walkStmt(sub)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			walkStmt(s.Body)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.BranchStmt:
+			// continue/break keep the collect loop clean.
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				// Defining loop-locals (including from map index reads) is
+				// order-free as long as they stay inside the loop.
+				for _, rhs := range s.Rhs {
+					if hasImpureCall(pass, rhs) {
+						clean = false
+					}
+				}
+				return
+			}
+			if target, ok := appendTarget(pass, s); ok {
+				targets[target] = true
+				return
+			}
+			clean = false
+		default:
+			clean = false
+		}
+	}
+	walkStmt(rs.Body)
+	if !clean || len(targets) == 0 {
+		return false
+	}
+	// Every append target must be sorted after the loop, within the
+	// innermost enclosing function (declaration or literal).
+	body := enclosingFuncBody(fd, rs)
+	for target := range targets {
+		if !sortedAfter(pass, body, rs.End(), target) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTarget matches `x = append(x, ...)` (any expression x, compared by
+// rendering) and returns the rendered target.
+func appendTarget(pass *analysis.Pass, s *ast.AssignStmt) (string, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return "", false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	lhs := types.ExprString(s.Lhs[0])
+	if types.ExprString(call.Args[0]) != lhs {
+		return "", false
+	}
+	for _, arg := range call.Args[1:] {
+		if hasImpureCall(pass, arg) {
+			return "", false
+		}
+	}
+	return lhs, true
+}
+
+// hasImpureCall reports whether expr contains a call to anything but the
+// order-free builtins — calls could observe or publish iteration order.
+func hasImpureCall(pass *analysis.Pass, expr ast.Expr) bool {
+	impure := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		impure = true
+		return false
+	})
+	return impure
+}
+
+// enclosingFuncBody returns the body of the innermost function literal in
+// fd that contains pos, or fd's own body.
+func enclosingFuncBody(fd *ast.FuncDecl, rs *ast.RangeStmt) *ast.BlockStmt {
+	body := fd.Body
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if lit.Body.Pos() <= rs.Pos() && rs.End() <= lit.Body.End() {
+				body = lit.Body
+			}
+		}
+		return true
+	})
+	return body
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call with target as an
+// argument appears after pos within body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn, ok := calleeFunc(pass, call)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path, name := fn.Pkg().Path(), fn.Name()
+		isSort := path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

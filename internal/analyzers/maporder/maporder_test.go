@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sspp/internal/analyzers/analysistest"
+	"sspp/internal/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}

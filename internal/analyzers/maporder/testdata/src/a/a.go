@@ -1,0 +1,147 @@
+package a
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Result marks functions that touch it as artifact-emitting.
+type Result struct {
+	Names []string
+	Total int
+}
+
+type KeyDelta struct {
+	Key   uint64
+	Delta int64
+}
+
+// unsorted leaks map order straight into an emitted Result.
+func unsorted(m map[string]int) Result {
+	var r Result
+	for k := range m { // want `iteration over map map\[string\]int in artifact-emitting function unsorted`
+		r.Names = append(r.Names, k)
+	}
+	return r
+}
+
+// collectThenSort is the blessed idiom: append-only body, sorted after.
+func collectThenSort(m map[string]int) Result {
+	var r Result
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	r.Names = keys
+	return r
+}
+
+// deltaDiff mirrors the workload trace recorder: conditional appends of
+// composite literals onto a selector target, sorted after both loops.
+func deltaDiff(before, after map[uint64]int64) Result {
+	var r Result
+	var deltas []KeyDelta
+	for k, c := range after {
+		if d := c - before[k]; d != 0 {
+			deltas = append(deltas, KeyDelta{Key: k, Delta: d})
+		}
+	}
+	for k, c := range before {
+		if _, live := after[k]; !live {
+			deltas = append(deltas, KeyDelta{Key: k, Delta: -c})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Key < deltas[j].Key })
+	r.Total = len(deltas)
+	return r
+}
+
+// deltaDiffUnsorted is the same shape with the sort removed: flagged.
+func deltaDiffUnsorted(before, after map[uint64]int64) Result {
+	var r Result
+	var deltas []KeyDelta
+	for k, c := range after { // want `iteration over map map\[uint64\]int64 in artifact-emitting function deltaDiffUnsorted`
+		if d := c - before[k]; d != 0 {
+			deltas = append(deltas, KeyDelta{Key: k, Delta: d})
+		}
+	}
+	r.Total = len(deltas)
+	return r
+}
+
+// impureBody calls a function inside the loop: not a recognizable collect,
+// flagged even though a sort follows.
+func impureBody(m map[string]int) Result {
+	var r Result
+	var keys []string
+	for k := range m { // want `iteration over map map\[string\]int in artifact-emitting function impureBody`
+		keys = append(keys, decorate(k))
+	}
+	sort.Strings(keys)
+	r.Names = keys
+	return r
+}
+
+func decorate(s string) string { return s + "!" }
+
+// viaJSON: encoding/json marks the function as emitting.
+func viaJSON(m map[string]int) ([]byte, error) {
+	var names []string
+	for k := range m { // want `iteration over map map\[string\]int in artifact-emitting function viaJSON`
+		names = append(names, k)
+	}
+	return json.Marshal(names)
+}
+
+// transitive: callers of emitting functions are emitting too.
+func transitive(m map[string]int) Result {
+	var names []string
+	for k := range m { // want `iteration over map map\[string\]int in artifact-emitting function transitive`
+		names = append(names, k)
+	}
+	return sink(names)
+}
+
+func sink(names []string) Result { return Result{Names: names} }
+
+// notEmitting never reaches an artifact: map order is its own business.
+func notEmitting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyless range cannot observe order.
+func keyless(m map[string]int) Result {
+	n := 0
+	for range m {
+		n++
+	}
+	return Result{Total: n}
+}
+
+// closures inherit the enclosing declaration's emitter status, and the
+// sort may live inside the same literal.
+func inClosure(m map[uint64]int64) Result {
+	build := func() []uint64 {
+		keys := make([]uint64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return keys
+	}
+	return Result{Total: len(build())}
+}
+
+func allowlisted(m map[string]int) Result {
+	var r Result
+	//sspp:allow maporder -- fixture: order laundered by a scheme this analyzer cannot see
+	for k := range m {
+		r.Names = append(r.Names, k)
+	}
+	return r
+}

@@ -1,0 +1,86 @@
+// Package rngdiscipline enforces the repository's randomness discipline:
+// every stochastic draw flows through sspp/internal/rng — xoshiro256++
+// streams forked deterministically from a single seed — because every
+// headline artifact (worker-count-byte-identical Ensemble JSON, bit-exact
+// trace replay, matched-seed backend equivalence) is a deterministic
+// function of that seed. A single math/rand call or wall-clock read in
+// simulation code silently breaks all three.
+//
+// Flagged outside internal/rng:
+//   - importing math/rand, math/rand/v2, or crypto/rand;
+//   - calling time.Now, time.Since, or time.Until in non-test code
+//     (wall-clock reads feeding simulation state or artifacts; benchmark
+//     harness timing is the intended //sspp:allow case).
+//
+// Test files keep the import bans (property tests must replay from seeds
+// too) but may read the wall clock for deadlines and timing.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"sspp/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "all randomness must come from sspp/internal/rng forked streams; no stdlib RNGs, no wall clock in simulation code",
+	Run:  run,
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "use a forked *rng.PRNG stream instead",
+	"math/rand/v2": "use a forked *rng.PRNG stream instead",
+	"crypto/rand":  "simulations must be replayable from a uint64 seed",
+}
+
+var bannedCalls = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// internal/rng is the one place allowed to define randomness.
+	if path := pass.Pkg.Path(); path == "sspp/internal/rng" || strings.HasSuffix(path, "/internal/rng") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(filename, "_test.go")
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "import of %s breaks seed-determinism: %s", path, why)
+			}
+		}
+		if isTest {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if name := fn.FullName(); bannedCalls[name] {
+				pass.Reportf(call.Pos(), "%s reads the wall clock in simulation code; results must be a function of the seed alone", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"sspp/internal/analyzers/analysistest"
+	"sspp/internal/analyzers/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	analysistest.Run(t, rngdiscipline.Analyzer, "a", "sspp/internal/rng")
+}

@@ -1,0 +1,29 @@
+package a
+
+import (
+	"crypto/rand"     // want `import of crypto/rand breaks seed-determinism`
+	mrand "math/rand" // want `import of math/rand breaks seed-determinism`
+	"time"
+)
+
+func draws() int {
+	b := make([]byte, 8)
+	rand.Read(b)
+	return mrand.Int()
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in simulation code`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock in simulation code`
+}
+
+// durations and clock-free time APIs are fine.
+func window() time.Duration { return 3 * time.Second }
+
+func allowedStamp() int64 {
+	//sspp:allow rngdiscipline -- harness wall-clock timing, not simulation state
+	return time.Now().UnixNano()
+}

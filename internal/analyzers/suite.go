@@ -1,0 +1,26 @@
+// Package analyzers assembles the project's static-analysis suite: the
+// machine-checked forms of the invariants every headline claim rests on
+// (DESIGN.md §11). cmd/ssppvet runs the suite over every package via
+// `go vet -vettool`; each analyzer's own package documents and tests the
+// invariant it encodes.
+package analyzers
+
+import (
+	"sspp/internal/analyzers/analysis"
+	"sspp/internal/analyzers/capdispatch"
+	"sspp/internal/analyzers/hotpathalloc"
+	"sspp/internal/analyzers/importguard"
+	"sspp/internal/analyzers/maporder"
+	"sspp/internal/analyzers/rngdiscipline"
+)
+
+// Suite returns the full analyzer suite in stable (alphabetical) order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		capdispatch.Analyzer,
+		hotpathalloc.Analyzer,
+		importguard.Analyzer,
+		maporder.Analyzer,
+		rngdiscipline.Analyzer,
+	}
+}

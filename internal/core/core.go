@@ -292,6 +292,8 @@ func (p *Protocol) becomeVerifier(i int) {
 // pair (a, b). Only the two participating agents can change, so the
 // incremental counters are maintained by bracketing the transition with
 // untrack/track on exactly those two.
+//
+//sspp:hotpath
 func (p *Protocol) Interact(a, b int) {
 	p.untrack(a)
 	p.untrack(b)
@@ -301,6 +303,8 @@ func (p *Protocol) Interact(a, b int) {
 }
 
 // interact is the tracking-free transition body of Interact.
+//
+//sspp:hotpath
 func (p *Protocol) interact(a, b int) {
 	p.clock++
 	u, v := &p.agents[a], &p.agents[b]

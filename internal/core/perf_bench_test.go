@@ -69,6 +69,67 @@ func BenchmarkInSafeSetPoll(b *testing.B) {
 	}
 }
 
+// TestInteractSteadyStateZeroAllocs pins the headline "0 allocs/op" claim as
+// a hard test, not just a benchmark column someone has to read: a steady-state
+// interaction on a stabilized population must not allocate. The hotpathalloc
+// analyzer rejects the allocating constructs at compile time; this guard
+// catches whatever slips past it (compiler escape-analysis regressions,
+// allocations hidden behind non-annotated callees).
+func TestInteractSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{64, 8}, {256, 64}} {
+		t.Run(fmt.Sprintf("n=%d/r=%d", tc.n, tc.r), func(t *testing.T) {
+			p, err := New(tc.n, tc.r, WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < tc.n; i++ {
+				p.ForceVerifier(i, int32(i+1))
+			}
+			sched := rng.New(2)
+			// Warm the scratch buffers and free lists before measuring.
+			for i := 0; i < 4*tc.n; i++ {
+				x, y := sched.Pair(tc.n)
+				p.Interact(x, y)
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				x, y := sched.Pair(tc.n)
+				p.Interact(x, y)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Interact allocated %.2f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestInSafeSetPollZeroAllocs pins the other per-interaction-loop predicate:
+// the safe-set poll RunToSafeSet executes every ⌈n/2⌉ interactions must not
+// allocate on a safe configuration.
+func TestInSafeSetPollZeroAllocs(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{64, 8}, {256, 64}} {
+		t.Run(fmt.Sprintf("n=%d/r=%d", tc.n, tc.r), func(t *testing.T) {
+			p, err := New(tc.n, tc.r, WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < tc.n; i++ {
+				p.ForceVerifier(i, int32(i+1))
+			}
+			if !p.InSafeSet() {
+				t.Fatal("configuration should be safe")
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if !p.InSafeSet() {
+					t.Fatal("should be safe")
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("InSafeSet allocated %.2f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 // BenchmarkInSafeSetPollUnsafe measures the predicate on a configuration that
 // fails the cheap gates (a ranker present) — the common case during
 // stabilization, which must short-circuit in O(1).

@@ -13,8 +13,6 @@
 // uint64 seed.
 package rng
 
-import "fmt"
-
 // PRNG is a seedable xoshiro256++ pseudo-random number generator.
 //
 // The zero value is not usable; construct instances with New. PRNG is not
@@ -59,6 +57,8 @@ func splitmix64(state uint64) (next, out uint64) {
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.
+//
+//sspp:hotpath
 func (p *PRNG) Uint64() uint64 {
 	s := &p.s
 	result := rotl(s[0]+s[3], 23) + s[0]
@@ -83,22 +83,28 @@ func (p *PRNG) Bit() uint8 { return uint8(p.Uint64() >> 63) }
 
 // Intn returns a uniformly random int in [0, n). It panics if n <= 0.
 // It uses Lemire's nearly-divisionless unbiased bounded generation.
+//
+//sspp:hotpath
 func (p *PRNG) Intn(n int) int {
 	if n <= 0 {
-		panic(fmt.Sprintf("rng: Intn called with n=%d", n))
+		panic("rng: Intn called with n <= 0")
 	}
 	return int(p.Uint64n(uint64(n)))
 }
 
 // Int31n returns a uniformly random int32 in [0, n). It panics if n <= 0.
+//
+//sspp:hotpath
 func (p *PRNG) Int31n(n int32) int32 {
 	if n <= 0 {
-		panic(fmt.Sprintf("rng: Int31n called with n=%d", n))
+		panic("rng: Int31n called with n <= 0")
 	}
 	return int32(p.Uint64n(uint64(n)))
 }
 
 // Uint64n returns a uniformly random uint64 in [0, n). It panics if n == 0.
+//
+//sspp:hotpath
 func (p *PRNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n=0")
@@ -137,9 +143,11 @@ func (p *PRNG) Float64() float64 {
 // Pair returns a uniformly random ordered pair (a, b) of distinct agent
 // indices in [0, n). It panics if n < 2. This is the uniform scheduler of
 // the population model (paper §1.1).
+//
+//sspp:hotpath
 func (p *PRNG) Pair(n int) (a, b int) {
 	if n < 2 {
-		panic(fmt.Sprintf("rng: Pair called with n=%d", n))
+		panic("rng: Pair called with n < 2")
 	}
 	a = p.Intn(n)
 	b = p.Intn(n - 1)

@@ -233,3 +233,46 @@ type CountBased interface {
 	// StepMany executes k interactions of the uniform population model.
 	StepMany(k uint64)
 }
+
+// Capability dispatch helpers. Everything outside this file asks for a
+// capability through one of these instead of type-asserting against the
+// interface directly (enforced by the capdispatch analyzer, DESIGN.md §11).
+// That keeps this file the single place that knows the full capability
+// surface: adding or renaming a capability is a change here, not a grep for
+// scattered assertions — and wrapper types that forward capabilities have
+// one canonical list to mirror.
+
+// AsRanker reports whether v exposes the full-ranking output capability.
+func AsRanker(v any) (Ranker, bool) { r, ok := v.(Ranker); return r, ok }
+
+// AsSafeSetter reports whether v exposes a checkable safe set.
+func AsSafeSetter(v any) (SafeSetter, bool) { s, ok := v.(SafeSetter); return s, ok }
+
+// AsInjectable reports whether v supports adversarial state rewrites.
+func AsInjectable(v any) (Injectable, bool) { i, ok := v.(Injectable); return i, ok }
+
+// AsSnapshotter reports whether v can export a rich state summary.
+func AsSnapshotter(v any) (Snapshotter, bool) { s, ok := v.(Snapshotter); return s, ok }
+
+// AsClocked reports whether v counts its own interactions.
+func AsClocked(v any) (Clocked, bool) { c, ok := v.(Clocked); return c, ok }
+
+// AsChurnable reports whether v supports agent-level population churn.
+func AsChurnable(v any) (Churnable, bool) { c, ok := v.(Churnable); return c, ok }
+
+// AsCountChurnable reports whether v supports count-based population churn.
+func AsCountChurnable(v any) (CountChurnable, bool) {
+	c, ok := v.(CountChurnable)
+	return c, ok
+}
+
+// AsStateKeyer reports whether v exposes the species key encoding of its
+// per-agent state.
+func AsStateKeyer(v any) (StateKeyer, bool) { s, ok := v.(StateKeyer); return s, ok }
+
+// AsCompactable reports whether v can describe itself as a CompactModel.
+func AsCompactable(v any) (Compactable, bool) { c, ok := v.(Compactable); return c, ok }
+
+// AsCountBased reports whether v is a count-based backend that samples its
+// own interaction pairs.
+func AsCountBased(v any) (CountBased, bool) { c, ok := v.(CountBased); return c, ok }

@@ -271,7 +271,7 @@ func RunSched(p Protocol, sched Scheduler, opt Options) Result {
 // steps in bulk; anything else panics rather than silently substituting
 // uniform dynamics for the requested schedule.
 func StepsSched(p Protocol, sched Scheduler, k uint64) {
-	if cb, ok := p.(CountBased); ok {
+	if cb, ok := AsCountBased(p); ok {
 		src, uniform := sched.(*rng.PRNG)
 		if !uniform {
 			panic(fmt.Sprintf("sim: count-based protocol %T supports only uniform *rng.PRNG schedulers, got %T", p, sched))

@@ -149,7 +149,7 @@ func runWith(p Protocol, sched Scheduler, opt Options) Result {
 	// and step in bulk between polls. A non-uniform scheduler cannot be
 	// honored (agent identities do not exist), so it is an error here, not
 	// a silent substitution of uniform dynamics.
-	cb, countBased := p.(CountBased)
+	cb, countBased := AsCountBased(p)
 	var cbSrc *rng.PRNG
 	if countBased {
 		src, uniform := sched.(*rng.PRNG)
@@ -214,7 +214,7 @@ func runWith(p Protocol, sched Scheduler, opt Options) Result {
 // and adversarial setups that need fine-grained control. Count-based
 // backends consume rand as their sampling stream and step in bulk.
 func Steps(p Protocol, rand *rng.PRNG, k uint64) {
-	if cb, ok := p.(CountBased); ok {
+	if cb, ok := AsCountBased(p); ok {
 		cb.BindSource(rand)
 		cb.StepMany(k)
 		return

@@ -33,12 +33,16 @@ func NewEdgeSampler(g *graph.Graph, src *rng.PRNG) *EdgeSampler {
 
 // Pair deals a uniformly random directed edge of the graph. The population
 // size argument is fixed by the graph and ignored.
+//
+//sspp:hotpath
 func (e *EdgeSampler) Pair(int) (a, b int) {
 	return e.g.Edge(e.src.Intn(e.g.M()))
 }
 
 // PairEdge deals the next pair together with the edge index it was sampled
 // from, for edge-indexed recordings.
+//
+//sspp:hotpath
 func (e *EdgeSampler) PairEdge(int) (a, b int, edge int32) {
 	idx := e.src.Intn(e.g.M())
 	a, b = e.g.Edge(idx)

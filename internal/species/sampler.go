@@ -156,6 +156,8 @@ func (sa *sampler) rebuild() {
 
 // sample draws a slot with probability live[slot]/total. The caller must
 // ensure total > 0.
+//
+//sspp:hotpath
 func (sa *sampler) sample(src *rng.PRNG) int32 {
 	for {
 		x := int64(src.Uint64n(uint64(sa.sideTotal + sa.baseTotal)))

@@ -305,6 +305,8 @@ func (s *System) StepMany(k uint64) {
 // is geometric with success probability Σc(c−1) / n(n−1), so whole silent
 // runs are consumed with one draw and only reactive interactions sample a
 // state.
+//
+//sspp:hotpath
 func (s *System) stepDiagonal(k uint64) {
 	pairs := int64(s.n) * int64(s.n-1)
 	fpairs := float64(pairs)
@@ -345,6 +347,8 @@ func (s *System) stepDiagonal(k uint64) {
 
 // stepAll draws every interaction individually: initiator state ∝ count,
 // responder state ∝ count with one agent at the initiator's state removed.
+//
+//sspp:hotpath
 func (s *System) stepAll(k uint64) {
 	for i := uint64(0); i < k; i++ {
 		s.clock++
@@ -364,6 +368,8 @@ func (s *System) stepAll(k uint64) {
 
 // sampleSecond draws the responder slot ∝ count, with the initiator's state
 // weighted by count−1 (the initiating agent cannot respond to itself).
+//
+//sspp:hotpath
 func (s *System) sampleSecond(a int32) int32 {
 	for {
 		b := s.samp.sample(s.src)

@@ -295,22 +295,22 @@ func specFor(name string) (*protocolSpec, error) {
 // capabilitiesOf probes which optional engine capabilities p implements.
 func capabilitiesOf(p sim.Protocol) []string {
 	var caps []string
-	if _, ok := p.(sim.Ranker); ok {
+	if _, ok := sim.AsRanker(p); ok {
 		caps = append(caps, CapabilityRanker)
 	}
-	if _, ok := p.(sim.SafeSetter); ok {
+	if _, ok := sim.AsSafeSetter(p); ok {
 		caps = append(caps, CapabilitySafeSet)
 	}
-	if _, ok := p.(sim.Injectable); ok {
+	if _, ok := sim.AsInjectable(p); ok {
 		caps = append(caps, CapabilityInjectable)
 	}
-	if _, ok := p.(sim.Snapshotter); ok {
+	if _, ok := sim.AsSnapshotter(p); ok {
 		caps = append(caps, CapabilitySnapshotter)
 	}
-	if _, ok := p.(sim.Compactable); ok {
+	if _, ok := sim.AsCompactable(p); ok {
 		caps = append(caps, CapabilityCompactable)
 	}
-	if _, ok := p.(sim.Churnable); ok {
+	if _, ok := sim.AsChurnable(p); ok {
 		caps = append(caps, CapabilityChurnable)
 	}
 	return caps

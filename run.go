@@ -291,7 +291,7 @@ func (s *System) Run(opts ...RunOption) Result {
 	// at the output level instead — correct output held through a
 	// confirmation window (20·n interactions unless Confirm was given).
 	if spec.cond.safeSet {
-		if _, ok := s.proto.(sim.SafeSetter); !ok {
+		if _, ok := sim.AsSafeSetter(s.proto); !ok {
 			spec.cond = CorrectOutput
 			if spec.confirm == 0 {
 				spec.confirm = uint64(20 * n)
@@ -350,7 +350,7 @@ func (s *System) Run(opts ...RunOption) Result {
 	// bulk. Only uniform PRNG schedulers can seed that stream; anything else
 	// (batch, weighted, replayed, user types) fails the run up front rather
 	// than silently mis-modelling the schedule.
-	cb, countBased := s.proto.(sim.CountBased)
+	cb, countBased := sim.AsCountBased(s.proto)
 	if countBased {
 		src, uniform := sched.(*rng.PRNG)
 		if !uniform {
@@ -544,13 +544,13 @@ func (s *System) Run(opts ...RunOption) Result {
 // and gate real support behind CanChurn.
 func (s *System) workloadCaps() workload.Caps {
 	caps := workload.Caps{Protocol: s.ProtocolName()}
-	_, caps.Injectable = s.proto.(sim.Injectable)
-	if cc, ok := s.proto.(sim.CountChurnable); ok {
+	_, caps.Injectable = sim.AsInjectable(s.proto)
+	if cc, ok := sim.AsCountChurnable(s.proto); ok {
 		if cc.CanChurn() {
 			caps.Churnable = true
 			caps.MinN, caps.MaxN = cc.ChurnBounds()
 		}
-	} else if ch, ok := s.proto.(sim.Churnable); ok {
+	} else if ch, ok := sim.AsChurnable(s.proto); ok {
 		caps.Churnable = true
 		caps.MinN, caps.MaxN = ch.ChurnBounds()
 	}

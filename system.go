@@ -201,7 +201,7 @@ func (s *System) R() int {
 
 // Interactions returns the number of interactions executed so far.
 func (s *System) Interactions() uint64 {
-	if c, ok := s.proto.(sim.Clocked); ok {
+	if c, ok := sim.AsClocked(s.proto); ok {
 		return c.Clock()
 	}
 	return s.clock
@@ -236,7 +236,7 @@ func (s *System) Leaders() int {
 	if lc, ok := s.proto.(interface{ Leaders() int }); ok {
 		return lc.Leaders()
 	}
-	if rk, ok := s.proto.(sim.Ranker); ok {
+	if rk, ok := sim.AsRanker(s.proto); ok {
 		leaders := 0
 		for i := 0; i < s.N(); i++ {
 			if rk.RankOutput(i) == 1 {
@@ -251,7 +251,7 @@ func (s *System) Leaders() int {
 // Ranks returns every agent's current rank output, or nil for protocols
 // without the ranker capability.
 func (s *System) Ranks() []int {
-	rk, ok := s.proto.(sim.Ranker)
+	rk, ok := sim.AsRanker(s.proto)
 	if !ok {
 		return nil
 	}
@@ -284,7 +284,7 @@ func (s *System) CorrectRanking() bool {
 // Protocols without the safe-set capability always report false; runs
 // against Until(SafeSet) fall back to confirmed correct output for them.
 func (s *System) InSafeSet() bool {
-	if ss, ok := s.proto.(sim.SafeSetter); ok {
+	if ss, ok := sim.AsSafeSetter(s.proto); ok {
 		return ss.InSafeSet()
 	}
 	return false
@@ -338,7 +338,7 @@ type Snapshot struct {
 func (s *System) Snapshot() Snapshot {
 	var ss sim.Snapshot
 	ss.Interactions = s.Interactions()
-	if sn, ok := s.proto.(sim.Snapshotter); ok {
+	if sn, ok := sim.AsSnapshotter(s.proto); ok {
 		sn.SnapshotInto(&ss)
 	} else {
 		ss.Leaders = s.Leaders()

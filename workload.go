@@ -118,20 +118,20 @@ func (s *System) applyWorkloadEvent(ev workload.Event) error {
 	case workload.KindInject:
 		return s.injectWith(Adversary(ev.Class), src)
 	case workload.KindJoin:
-		if cc, ok := s.proto.(sim.CountChurnable); ok && cc.CanChurn() {
+		if cc, ok := sim.AsCountChurnable(s.proto); ok && cc.CanChurn() {
 			return cc.JoinState(ev.Class, src)
 		}
-		if ch, ok := s.proto.(sim.Churnable); ok {
+		if ch, ok := sim.AsChurnable(s.proto); ok {
 			_, err := ch.JoinAgent(ev.Class, src)
 			return err
 		}
 		return fmt.Errorf("sspp: protocol %q does not support churn", s.ProtocolName())
 	case workload.KindLeave:
-		if cc, ok := s.proto.(sim.CountChurnable); ok && cc.CanChurn() {
+		if cc, ok := sim.AsCountChurnable(s.proto); ok && cc.CanChurn() {
 			_, err := cc.LeaveState(src)
 			return err
 		}
-		if ch, ok := s.proto.(sim.Churnable); ok {
+		if ch, ok := sim.AsChurnable(s.proto); ok {
 			// The victim is uniform over the live agents. Replacement-churn
 			// protocols keep dead slots in place until the paired join fires,
 			// so a pick may land on an already-vacant slot — redraw. The
@@ -165,7 +165,7 @@ type traceRecorder struct {
 
 func newTraceRecorder(s *System) *traceRecorder {
 	r := &traceRecorder{s: s, proto: s.ProtocolName(), n0: s.N()}
-	r.keyer, _ = s.proto.(sim.StateKeyer)
+	r.keyer, _ = sim.AsStateKeyer(s.proto)
 	return r
 }
 
