@@ -45,8 +45,11 @@ type jsonTable struct {
 // table joined the registry (its rows carry a topology column), and the
 // -compare faceoff accepts -topology (its CompareResult JSON then stamps
 // the topology names). v4: the workload layer — the T-churn table joined the
-// registry (per-event recovery columns over Ensemble workload cells).
-const schemaVersion = 4
+// registry (per-event recovery columns over Ensemble workload cells). v5:
+// the continuous-clock layer — the S2 table joined the registry (exact vs
+// tau-leaped continuous stepping, with a clock column and native parallel
+// times).
+const schemaVersion = 5
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {

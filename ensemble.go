@@ -58,6 +58,11 @@ type Grid struct {
 	// topology name; random families draw their graph per trial from the
 	// trial's protocol seed. Non-complete entries require the agent backend.
 	Topologies []Topology
+	// Clocks are the simulation clocks to cross (ClockDiscrete,
+	// ClockContinuous, ClockContinuousExact); empty means the discrete clock
+	// alone, keeping the pre-clock JSON layout. Cells are stamped with the
+	// clock name.
+	Clocks []string
 	// Points are the (n, r) parameter points (at least one).
 	Points []Point
 	// Adversaries are the starting-configuration classes; empty means a
@@ -256,6 +261,11 @@ func NewEnsemble(g Grid, opts ...EnsembleOption) (*Ensemble, error) {
 			}
 		}
 	}
+	for _, c := range g.Clocks {
+		if _, err := resolveClock(c); err != nil {
+			return nil, err
+		}
+	}
 	known := make(map[Adversary]bool)
 	for _, c := range AdversaryClasses() {
 		known[c] = true
@@ -315,6 +325,9 @@ type Cell struct {
 	// Topology is the interaction-topology name ("" when the grid did not
 	// cross topologies, i.e. the complete graph of the paper's model).
 	Topology string `json:"topology,omitempty"`
+	// Clock is the simulation-clock name ("" when the grid did not cross
+	// clocks, i.e. the discrete interaction-counting clock).
+	Clock string `json:"clock,omitempty"`
 	// Point is the (n, r) parameter point.
 	Point Point `json:"point"`
 	// Adversary is the starting-configuration class ("" for a clean start).
@@ -376,6 +389,9 @@ type EnsembleResult struct {
 	// Topologies echoes the grid's topology names (omitted when the grid
 	// did not cross topologies, keeping pre-topology exports byte-identical).
 	Topologies []string `json:"topologies,omitempty"`
+	// Clocks echoes the grid's clock names (omitted when the grid did not
+	// cross clocks, keeping pre-clock exports byte-identical).
+	Clocks []string `json:"clocks,omitempty"`
 	// Backend echoes the grid's backend (omitted for the default agent
 	// backend, keeping pre-backend exports byte-identical).
 	Backend  string `json:"backend,omitempty"`
@@ -417,6 +433,18 @@ func (r *EnsembleResult) TopologyCell(protocol, topology string, p Point, a Adve
 	return Cell{}, false
 }
 
+// ClockCell returns the cell for the given protocol, topology name, clock
+// name, point and adversary class ("" matches the respective un-crossed
+// axis).
+func (r *EnsembleResult) ClockCell(protocol, topology, clock string, p Point, a Adversary) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Protocol == protocol && c.Topology == topology && c.Clock == clock && c.Point == p && c.Adversary == a {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
 // JSON renders the result as indented JSON.
 func (r *EnsembleResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -439,6 +467,9 @@ type CompareRow struct {
 	// Topology is the interaction-topology name ("" when the grid did not
 	// cross topologies).
 	Topology string `json:"topology,omitempty"`
+	// Clock is the simulation-clock name ("" when the grid did not cross
+	// clocks).
+	Clock string `json:"clock,omitempty"`
 	// Point is the (n, r) parameter point.
 	Point Point `json:"point"`
 	// Adversary is the starting-configuration class ("" for clean starts).
@@ -455,6 +486,7 @@ type CompareResult struct {
 	SchemaVersion int          `json:"schema_version"`
 	Protocols     []string     `json:"protocols"`
 	Topologies    []string     `json:"topologies,omitempty"`
+	Clocks        []string     `json:"clocks,omitempty"`
 	Backend       string       `json:"backend,omitempty"`
 	Seeds         int          `json:"seeds"`
 	BaseSeed      uint64       `json:"base_seed"`
@@ -473,6 +505,7 @@ func (r *EnsembleResult) Compare() *CompareResult {
 		SchemaVersion: CompareSchemaVersion,
 		Protocols:     protos,
 		Topologies:    r.Topologies,
+		Clocks:        r.Clocks,
 		Backend:       r.Backend,
 		Seeds:         r.Seeds,
 		BaseSeed:      r.BaseSeed,
@@ -484,6 +517,7 @@ func (r *EnsembleResult) Compare() *CompareResult {
 	for j := 0; j < perProto; j++ {
 		row := CompareRow{
 			Topology:  r.Cells[j].Topology,
+			Clock:     r.Cells[j].Clock,
 			Point:     r.Cells[j].Point,
 			Adversary: r.Cells[j].Adversary,
 			Cells:     make([]Cell, 0, len(protos)),
@@ -555,11 +589,12 @@ func deriveSeedStreams(baseSeed uint64, seeds int) []seedStreams {
 // runTrial executes one (protocol, topology, point, adversary, seed) trial:
 // build, optionally inject, run to the stabilization condition — and, in
 // TransientK mode, corrupt and run again, reporting the recovery.
-func (e *Ensemble) runTrial(proto string, top Topology, pt Point, class Adversary, st seedStreams) trialOutcome {
+func (e *Ensemble) runTrial(proto, clock string, top Topology, pt Point, class Adversary, st seedStreams) trialOutcome {
 	g := e.grid
 	advSrc, schedSrc := st.adv, st.sched
 	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
-		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend, Topology: top})
+		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend, Topology: top,
+		Clock: clock})
 	if err != nil {
 		return trialOutcome{}
 	}
@@ -608,7 +643,7 @@ func (e *Ensemble) runTrial(proto string, top Topology, pt Point, class Adversar
 
 // Run executes every trial of the grid across the worker pool and
 // aggregates per cell, in grid declaration order (protocols outermost,
-// then topologies, then points, then adversaries).
+// then topologies, then clocks, then points, then adversaries).
 func (e *Ensemble) Run() *EnsembleResult {
 	g := e.grid
 	protos := g.Protocols
@@ -625,11 +660,19 @@ func (e *Ensemble) Run() *EnsembleResult {
 	} else {
 		topos = []Topology{Complete()}
 	}
+	clocks := g.Clocks
+	clockNames := []string{""}
+	if len(g.Clocks) > 0 {
+		clockNames = clocks
+	} else {
+		clocks = []string{""}
+	}
 	advs := g.Adversaries
 	if len(advs) == 0 {
 		advs = []Adversary{""}
 	}
-	perTopo := len(g.Points) * len(advs)
+	perClock := len(g.Points) * len(advs)
+	perTopo := len(clocks) * perClock
 	perProto := len(topos) * perTopo
 	cells := len(protos) * perProto
 	jobs := cells * g.Seeds
@@ -639,9 +682,10 @@ func (e *Ensemble) Run() *EnsembleResult {
 		ci, s := j/g.Seeds, j%g.Seeds
 		proto := protos[ci/perProto]
 		top := topos[ci%perProto/perTopo]
-		pt := g.Points[ci%perTopo/len(advs)]
+		clock := clocks[ci%perTopo/perClock]
+		pt := g.Points[ci%perClock/len(advs)]
 		class := advs[ci%len(advs)]
-		return e.runTrial(proto, top, pt, class, streams[s])
+		return e.runTrial(proto, clock, top, pt, class, streams[s])
 	})
 
 	out := &EnsembleResult{
@@ -655,11 +699,15 @@ func (e *Ensemble) Run() *EnsembleResult {
 	if len(g.Topologies) > 0 {
 		out.Topologies = topoNames
 	}
+	if len(g.Clocks) > 0 {
+		out.Clocks = clockNames
+	}
 	for ci := 0; ci < cells; ci++ {
 		cell := Cell{
 			Protocol:  protos[ci/perProto],
 			Topology:  topoNames[ci%perProto/perTopo],
-			Point:     g.Points[ci%perTopo/len(advs)],
+			Clock:     clockNames[ci%perTopo/perClock],
+			Point:     g.Points[ci%perClock/len(advs)],
 			Adversary: advs[ci%len(advs)],
 			Seeds:     g.Seeds,
 			Samples:   []float64{},

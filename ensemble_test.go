@@ -184,6 +184,94 @@ func TestEnsembleCleanDefault(t *testing.T) {
 	}
 }
 
+// TestEnsembleClockAxis: crossing the Clocks axis stamps every cell with
+// its clock, keeps the declaration order (clocks between topologies and
+// points), stays byte-identical across worker counts — and, because the
+// continuous-exact clock draws holding times from a dedicated stream, its
+// cells report the same interaction-count samples as the discrete ones.
+func TestEnsembleClockAxis(t *testing.T) {
+	base := Grid{
+		Points:      []Point{{N: 16, R: 4}, {N: 24, R: 8}},
+		Adversaries: []Adversary{AdversaryTriggered},
+		Seeds:       2,
+		BaseSeed:    11,
+	}
+	clocked := base
+	clocked.Clocks = []string{ClockDiscrete, ClockContinuousExact}
+
+	render := func(g Grid, workers int) (*EnsembleResult, []byte) {
+		ens, err := NewEnsemble(g, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ens.Run()
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+
+	plainRes, plainJSON := render(base, 1)
+	res, seq := render(clocked, 1)
+	if _, par := render(clocked, 8); !bytes.Equal(seq, par) {
+		t.Fatalf("clocked JSON differs between workers=1 and workers=8:\n%s\n---\n%s", seq, par)
+	}
+
+	// Declaration order: clocks vary slower than points within a topology.
+	wantClocks := []string{ClockDiscrete, ClockDiscrete, ClockContinuousExact, ClockContinuousExact}
+	if len(res.Cells) != len(wantClocks) {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), len(wantClocks))
+	}
+	for i, c := range res.Cells {
+		if c.Clock != wantClocks[i] {
+			t.Fatalf("cell %d clock %q, want %q", i, c.Clock, wantClocks[i])
+		}
+		if c.Point != base.Points[i%2] {
+			t.Fatalf("cell %d point %+v, want %+v", i, c.Point, base.Points[i%2])
+		}
+	}
+
+	// The continuous-exact clock equips the same jump chain with event times:
+	// at matched seeds the stabilization interaction counts are identical,
+	// clock to clock and to the un-crossed grid.
+	for _, pt := range base.Points {
+		plain, ok := plainRes.Cell(pt, AdversaryTriggered)
+		if !ok {
+			t.Fatalf("plain cell %+v missing", pt)
+		}
+		for _, clock := range clocked.Clocks {
+			cell, ok := res.ClockCell("", "", clock, pt, AdversaryTriggered)
+			if !ok {
+				t.Fatalf("cell (%s, %+v) missing", clock, pt)
+			}
+			if len(cell.Samples) != len(plain.Samples) {
+				t.Fatalf("clock %s point %+v: %d samples, want %d", clock, pt, len(cell.Samples), len(plain.Samples))
+			}
+			for i := range plain.Samples {
+				if cell.Samples[i] != plain.Samples[i] {
+					t.Fatalf("clock %s point %+v sample %d: %v != %v — the clock axis perturbed the jump chain",
+						clock, pt, i, cell.Samples[i], plain.Samples[i])
+				}
+			}
+		}
+	}
+
+	// The JSON gains the clocks axis; the un-crossed layout stays pre-clock.
+	if !bytes.Contains(seq, []byte(`"clocks"`)) || !bytes.Contains(seq, []byte(`"clock": "continuous-exact"`)) {
+		t.Fatalf("clock axis missing from JSON:\n%s", seq)
+	}
+	if bytes.Contains(plainJSON, []byte("clock")) {
+		t.Fatalf("un-crossed grid leaks clock fields into JSON:\n%s", plainJSON)
+	}
+
+	// The pivot carries the clock stamp through.
+	cmp := res.Compare()
+	if len(cmp.Clocks) != 2 || cmp.Rows[0].Clock != ClockDiscrete || cmp.Rows[2].Clock != ClockContinuousExact {
+		t.Fatalf("compare pivot lost the clock axis: %+v", cmp)
+	}
+}
+
 // TestEnsembleValidation: bad grids are rejected up front.
 func TestEnsembleValidation(t *testing.T) {
 	if _, err := NewEnsemble(Grid{}); err == nil {
@@ -203,5 +291,11 @@ func TestEnsembleValidation(t *testing.T) {
 	}
 	if _, err := NewEnsemble(Grid{Points: []Point{{N: 16, R: 4}}, Seeds: -1}); err == nil {
 		t.Fatal("negative seeds accepted")
+	}
+	if _, err := NewEnsemble(Grid{
+		Points: []Point{{N: 16, R: 4}},
+		Clocks: []string{"sundial"},
+	}); err == nil {
+		t.Fatal("unknown clock accepted")
 	}
 }

@@ -32,16 +32,17 @@ var Analyzer = &analysis.Analyzer{
 // internal/sim/capability.go. Adding a capability means adding it here and
 // adding its As* helper next to the interface — which is the point.
 var capabilities = map[string]bool{
-	"Ranker":         true,
-	"SafeSetter":     true,
-	"Injectable":     true,
-	"Snapshotter":    true,
-	"Clocked":        true,
-	"Churnable":      true,
-	"CountChurnable": true,
-	"StateKeyer":     true,
-	"Compactable":    true,
-	"CountBased":     true,
+	"Ranker":            true,
+	"SafeSetter":        true,
+	"Injectable":        true,
+	"Snapshotter":       true,
+	"Clocked":           true,
+	"Churnable":         true,
+	"CountChurnable":    true,
+	"StateKeyer":        true,
+	"Compactable":       true,
+	"CountBased":        true,
+	"ContinuousStepper": true,
 }
 
 func run(pass *analysis.Pass) error {

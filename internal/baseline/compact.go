@@ -38,8 +38,9 @@ var (
 func (c *CIW) Compact() sim.CompactModel {
 	n := len(c.ranks)
 	return sim.CompactModel{
-		StateSpace: uint64(n) + 1,
-		Diagonal:   true,
+		StateSpace:    uint64(n) + 1,
+		Diagonal:      true,
+		Deterministic: true,
 		Init: func() ([]uint64, []int64) {
 			counts := make([]int64, n+1)
 			for _, r := range c.ranks {
@@ -133,7 +134,8 @@ func (l *LooseLE) StateKey(i int) uint64 { return looseKey(l.leader[i], l.timer[
 func (l *LooseLE) Compact() sim.CompactModel {
 	tau := l.tau
 	return sim.CompactModel{
-		StateSpace: uint64(tau+1) << 1,
+		StateSpace:    uint64(tau+1) << 1,
+		Deterministic: true,
 		Init: func() ([]uint64, []int64) {
 			counts := make(map[uint64]int64, 4)
 			for i := range l.timer {
@@ -268,6 +270,7 @@ func (nr *NameRank) Compact() sim.CompactModel {
 		return ok
 	}
 	return sim.CompactModel{
+		Deterministic: true,
 		Init: func() ([]uint64, []int64) {
 			counts := make(map[uint64]int64, n)
 			order := make([]uint64, 0, n)

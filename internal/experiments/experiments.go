@@ -176,6 +176,7 @@ func All() map[string]Generator {
 		"A3":      A3RefreshAblation,
 		"A4":      A4LoadBalanceAblation,
 		"S1":      S1SpeciesBackend,
+		"S2":      S2TauLeapClock,
 		"T-ring":  TRingTopology,
 		"T-churn": TChurnWorkload,
 	}
@@ -197,8 +198,8 @@ func IDs() []string {
 }
 
 // idKey orders the experiments for presentation: T1, F1, F2, T2..T16, the
-// ablations A1..A4, the scale experiment S1, then the topology and churn
-// experiments.
+// ablations A1..A4, the scale experiments S1..S2, then the topology and
+// churn experiments.
 func idKey(id string) int {
 	if id == "T-ring" {
 		return 700 // topology experiment, after the scale experiments

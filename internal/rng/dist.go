@@ -1,0 +1,141 @@
+// dist.go adds the non-uniform draw kernels behind the continuous-time
+// engine: exponential holding times (Exp), normal and gamma variates
+// (Normal, Gamma — Marsaglia–Tsang), and Poisson bundle sizes (Poisson —
+// inversion for small means, Hörmann's PTRS transformed rejection for
+// large). All are deterministic functions of the stream state, built only
+// on Uint64/Float64 so record/replay and worker-count determinism carry
+// over unchanged. Poisson and Exp sit on per-leap/per-interaction paths
+// and are annotated //sspp:hotpath; panics use constant strings only.
+
+package rng
+
+import "math"
+
+// Exp returns an exponentially distributed variate with rate 1 (mean 1).
+// Scale by 1/rate for other rates. Inversion of the survival function:
+// 1-Float64() is uniform on (0, 1], so the log argument is never zero.
+//
+//sspp:hotpath
+func (p *PRNG) Exp() float64 {
+	return -math.Log(1 - p.Float64())
+}
+
+// Normal returns a standard normal variate (mean 0, variance 1) via the
+// Marsaglia polar method. The paired second variate is discarded: keeping
+// it would add generator state and break the "stream is a pure function
+// of seed and call sequence" contract that record/replay relies on.
+func (p *PRNG) Normal() float64 {
+	for {
+		u := 2*p.Float64() - 1
+		v := 2*p.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Gamma returns a gamma variate with the given shape and scale 1, using
+// the Marsaglia–Tsang squeeze method (shape ≥ 1) with the standard
+// power-of-uniform boost for shape < 1. A Gamma(k) draw with integer k is
+// the sum of k unit exponentials, which is how the continuous clock
+// advances over a batch of k interactions in one draw. Panics if shape is
+// not positive.
+func (p *PRNG) Gamma(shape float64) float64 {
+	if !(shape > 0) {
+		panic("rng: Gamma called with shape <= 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a). Float64 can return 0;
+		// math.Pow(0, x) = 0 for x > 0, a valid (boundary) gamma draw.
+		return p.Gamma(shape+1) * math.Pow(p.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := p.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := p.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		// log(0) = -Inf never accepts, so u = 0 just retries.
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// poissonPTRSCut is the mean above which Poisson switches from
+// product-of-uniforms inversion (O(mean) uniforms per draw, exact) to
+// Hörmann's PTRS transformed rejection (O(1) expected, valid for
+// mean ≥ 10).
+const poissonPTRSCut = 10
+
+// Poisson returns a Poisson-distributed count with the given mean. Means
+// below poissonPTRSCut use product-of-uniforms inversion; larger means use
+// Hörmann's PTRS transformed rejection with squeeze steps (the τ-leaping
+// bundle-size path: one expected draw per reaction channel per leap,
+// regardless of how many reactions the bundle carries). A non-positive
+// mean returns 0; panics on NaN or +Inf.
+//
+//sspp:hotpath
+func (p *PRNG) Poisson(mean float64) int64 {
+	if math.IsNaN(mean) {
+		panic("rng: Poisson called with NaN mean")
+	}
+	if mean <= 0 {
+		return 0
+	}
+	if mean < poissonPTRSCut {
+		// Inversion by products: count uniforms until Πuᵢ < e^(-mean).
+		limit := math.Exp(-mean)
+		k := int64(-1)
+		for prod := 1.0; prod > limit || k < 0; k++ {
+			prod *= p.Float64()
+			if prod == 0 && limit == 0 {
+				break // cannot happen for mean < cut; defensive only
+			}
+		}
+		return k
+	}
+	if math.IsInf(mean, 1) {
+		panic("rng: Poisson called with infinite mean")
+	}
+	return p.poissonPTRS(mean)
+}
+
+// poissonPTRS draws a Poisson(mean) variate for mean ≥ 10 via Hörmann's
+// PTRS algorithm (transformed rejection with squeeze; W. Hörmann, "The
+// transformed rejection method for generating Poisson random variables",
+// 1993). Expected uniforms per draw ≈ 2.3, independent of the mean.
+//
+//sspp:hotpath
+func (p *PRNG) poissonPTRS(mean float64) int64 {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := p.Float64() - 0.5
+		v := p.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int64(k)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// momentCheck draws n variates and verifies the sample mean and variance
+// against the analytic values within tol standard errors.
+func momentCheck(t *testing.T, name string, n int, draw func() float64, mean, variance float64) {
+	t.Helper()
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / float64(n)
+	v := sumSq/float64(n) - m*m
+	seMean := math.Sqrt(variance / float64(n))
+	if d := math.Abs(m - mean); d > 6*seMean {
+		t.Errorf("%s: sample mean %g vs %g (|Δ| = %.3g > 6·SE = %.3g)", name, m, mean, d, 6*seMean)
+	}
+	// Loose variance check: relative error only (the variance of the sample
+	// variance depends on the 4th moment; 10%% is comfortable at these n).
+	if d := math.Abs(v - variance); d > 0.1*variance {
+		t.Errorf("%s: sample variance %g vs %g", name, v, variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	p := New(101)
+	momentCheck(t, "Exp", 200_000, p.Exp, 1, 1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	p := New(102)
+	momentCheck(t, "Normal", 200_000, p.Normal, 0, 1)
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5, 17, 400} {
+		p := New(103)
+		draw := func() float64 { return p.Gamma(shape) }
+		momentCheck(t, "Gamma", 100_000, draw, shape, shape)
+	}
+}
+
+func TestGammaPanicsOnNonPositiveShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	// Means straddle the inversion/PTRS cut at 10 on both sides.
+	for _, mean := range []float64{0.3, 2, 9.5, 10.5, 40, 1e4} {
+		p := New(104)
+		draw := func() float64 { return float64(p.Poisson(mean)) }
+		momentCheck(t, "Poisson", 100_000, draw, mean, mean)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	p := New(105)
+	if got := p.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := p.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(NaN) did not panic")
+		}
+	}()
+	p.Poisson(math.NaN())
+}
+
+func TestPoissonPanicsOnInfiniteMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(+Inf) did not panic")
+		}
+	}()
+	New(1).Poisson(math.Inf(1))
+}
+
+// poissonCDF evaluates P[X ≤ k] for X ~ Poisson(mean) by direct summation
+// (stable for the moderate means used in the KS pins).
+func poissonCDF(mean float64, k int64) float64 {
+	logTerm := -mean // log pmf(0)
+	sum := 0.0
+	for i := int64(0); i <= k; i++ {
+		if i > 0 {
+			logTerm += math.Log(mean) - math.Log(float64(i))
+		}
+		sum += math.Exp(logTerm)
+	}
+	return sum
+}
+
+// TestPoissonKSAgainstReference pins the sampled distribution against the
+// analytic CDF with a discrete one-sample Kolmogorov–Smirnov bound: for a
+// discrete distribution the KS statistic of n samples exceeds the
+// asymptotic 0.1%% critical value 1.949/√n with probability < 0.001 (the
+// discrete-case statistic is stochastically smaller than the continuous
+// one, so the continuous critical value is conservative).
+func TestPoissonKSAgainstReference(t *testing.T) {
+	const n = 50_000
+	for _, mean := range []float64{3, 9.5, 25, 150} {
+		p := New(106)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = float64(p.Poisson(mean))
+		}
+		sort.Float64s(samples)
+		// Empirical vs analytic CDF at each distinct sample value.
+		d := 0.0
+		for i := 0; i < n; {
+			j := i
+			for j < n && samples[j] == samples[i] {
+				j++
+			}
+			k := int64(samples[i])
+			ref := poissonCDF(mean, k)
+			emp := float64(j) / n
+			empBelow := float64(i) / n
+			refBelow := ref
+			if k > 0 {
+				refBelow = poissonCDF(mean, k-1)
+			} else {
+				refBelow = 0
+			}
+			if diff := math.Abs(emp - ref); diff > d {
+				d = diff
+			}
+			if diff := math.Abs(empBelow - refBelow); diff > d {
+				d = diff
+			}
+			i = j
+		}
+		crit := 1.949 / math.Sqrt(n)
+		if d > crit {
+			t.Errorf("Poisson(%g): KS statistic %.5f exceeds 0.1%% critical value %.5f", mean, d, crit)
+		}
+	}
+}
+
+// TestExpKSAgainstReference pins Exp against the unit-exponential CDF at
+// the same 0.1%% KS level.
+func TestExpKSAgainstReference(t *testing.T) {
+	const n = 50_000
+	p := New(107)
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = p.Exp()
+	}
+	sort.Float64s(samples)
+	d := 0.0
+	for i, x := range samples {
+		ref := 1 - math.Exp(-x)
+		if diff := math.Abs(float64(i+1)/n - ref); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(float64(i)/n - ref); diff > d {
+			d = diff
+		}
+	}
+	if crit := 1.949 / math.Sqrt(n); d > crit {
+		t.Errorf("Exp: KS statistic %.5f exceeds 0.1%% critical value %.5f", d, crit)
+	}
+}
+
+// TestPoissonDeterminism: the draw is a pure function of stream state, so
+// identical seeds give identical bundles — the property worker-count
+// determinism of τ-leaped ensembles rests on.
+func TestPoissonDeterminism(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := 0; i < 1000; i++ {
+		mean := math.Exp(float64(i%16) - 2) // spans both regimes
+		if av, bv := a.Poisson(mean), b.Poisson(mean); av != bv {
+			t.Fatalf("Poisson streams diverge at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+// FuzzPoisson drives the sampler across arbitrary seeds and means,
+// checking it always terminates with a non-negative count and never
+// mutates more stream state than it reports (determinism under replay).
+func FuzzPoisson(f *testing.F) {
+	f.Add(uint64(1), 0.5)
+	f.Add(uint64(2), 9.999)
+	f.Add(uint64(3), 10.001)
+	f.Add(uint64(4), 1e6)
+	f.Add(uint64(5), -1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, mean float64) {
+		if math.IsNaN(mean) || math.IsInf(mean, 0) {
+			t.Skip()
+		}
+		if mean > 1e12 {
+			mean = math.Mod(mean, 1e12)
+		}
+		p := New(seed)
+		k := p.Poisson(mean)
+		if k < 0 {
+			t.Fatalf("Poisson(%g) = %d < 0", mean, k)
+		}
+		q := New(seed)
+		if k2 := q.Poisson(mean); k2 != k {
+			t.Fatalf("Poisson(%g) not deterministic: %d vs %d", mean, k, k2)
+		}
+	})
+}
+
+func BenchmarkPoissonPTRS(b *testing.B) {
+	p := New(42)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += p.Poisson(1e5)
+	}
+	benchSinkInt64 = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	p := New(42)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Exp()
+	}
+	benchSinkFloat = sink
+}
+
+var (
+	benchSinkInt64 int64
+	benchSinkFloat float64
+)

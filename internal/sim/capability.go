@@ -165,6 +165,12 @@ type CompactModel struct {
 	// rule). The engine then skips runs of silent interactions in one
 	// geometric draw instead of sampling them individually.
 	Diagonal bool
+	// Deterministic declares that React never draws from src: the successor
+	// states are a pure function of the ordered state pair. τ-leaping
+	// requires it — a reaction channel's effect is probed once per leap and
+	// applied as a batched count delta, which is only sound when every
+	// firing of the channel has the identical effect.
+	Deterministic bool
 	// Init returns the initial configuration as parallel state/count slices
 	// (counts positive, keys distinct, counts summing to the population
 	// size). It captures the instance the model was derived from, so a
@@ -234,6 +240,22 @@ type CountBased interface {
 	StepMany(k uint64)
 }
 
+// ContinuousStepper is implemented by count-based backends that can run
+// under the continuous-time clock natively: they accrue parallel time
+// inside their own stepping (exponential holding times at rate n/2,
+// following the live population size) and, when leaping is enabled and the
+// model is deterministic, batch whole reaction bundles per draw
+// (τ-leaping). The engine switches the backend into continuous mode once,
+// before stepping, and reads the native clock back through ParallelTime.
+type ContinuousStepper interface {
+	// StartContinuous switches the backend to the continuous clock, drawing
+	// holding times from timeSrc (a stream dedicated to the clock), with
+	// τ-leaping enabled when leap is true and the model supports it.
+	StartContinuous(timeSrc *rng.PRNG, leap bool)
+	// ParallelTime returns the accumulated parallel time.
+	ParallelTime() float64
+}
+
 // Capability dispatch helpers. Everything outside this file asks for a
 // capability through one of these instead of type-asserting against the
 // interface directly (enforced by the capdispatch analyzer, DESIGN.md §11).
@@ -276,3 +298,10 @@ func AsCompactable(v any) (Compactable, bool) { c, ok := v.(Compactable); return
 // AsCountBased reports whether v is a count-based backend that samples its
 // own interaction pairs.
 func AsCountBased(v any) (CountBased, bool) { c, ok := v.(CountBased); return c, ok }
+
+// AsContinuousStepper reports whether v can run under the continuous-time
+// clock natively (accruing parallel time inside its own stepping).
+func AsContinuousStepper(v any) (ContinuousStepper, bool) {
+	c, ok := v.(ContinuousStepper)
+	return c, ok
+}

@@ -1,0 +1,85 @@
+// clock.go is the continuous-time half of the scheduler layer: the paper's
+// analyses are phrased in parallel time, and under the standard
+// continuous-time population model interactions form a Poisson process of
+// rate n/2 per unit parallel time (each of the n agents carries a rate-1/2
+// pairing clock). A TimeKeeper simulates exactly that global clock for
+// complete-topology runs: the jump chain (which pairs interact, in which
+// order) is untouched — holding times are drawn from a separate stream — so
+// a continuous-clock run deals the identical interaction sequence as the
+// discrete run with the same scheduler seed, and merely equips it with
+// native event times. Batch advances draw one Gamma(k) variate for k
+// interactions instead of k exponentials, which keeps silent-skip and
+// τ-leap bundles O(1) per batch.
+
+package sim
+
+import "sspp/internal/rng"
+
+// Timed is the scheduler-side capability behind native event times: a
+// scheduler (or replayed recording) that knows the parallel time at which
+// its last pair was dealt reports it here. The engine uses it as the run's
+// time source, and a Recorder wrapping a Timed scheduler stores per-event
+// times in its Recording (wire version 2).
+type Timed interface {
+	// Time returns the parallel time of the most recently dealt pair (the
+	// start time before any pair is dealt).
+	Time() float64
+}
+
+// TimeKeeper advances the global exponential clock of the continuous-time
+// population model on the complete topology: successive interactions are
+// separated by Exp(rate n/2) holding times, i.e. mean 2/n units of parallel
+// time each. The rate follows the live population size via SetN, so runs
+// with churn accrue time at the correct instantaneous rate.
+type TimeKeeper struct {
+	src     *rng.PRNG
+	invRate float64 // mean holding time per interaction: 2/n
+	t       float64
+}
+
+// NewTimeKeeper builds a clock for population size n (n ≥ 1) starting at
+// parallel time zero, drawing holding times from src. The stream must be
+// dedicated to the clock: sharing the scheduler stream would perturb the
+// jump chain relative to a discrete-clock run with the same seed.
+func NewTimeKeeper(src *rng.PRNG, n int) *TimeKeeper {
+	tk := &TimeKeeper{src: src}
+	tk.SetN(n)
+	return tk
+}
+
+// SetN moves the interaction rate to n/2, the continuous-time rate of a
+// population of n agents. It panics when n < 1.
+func (tk *TimeKeeper) SetN(n int) {
+	if n < 1 {
+		panic("sim: TimeKeeper.SetN called with n < 1")
+	}
+	tk.invRate = 2 / float64(n)
+}
+
+// Advance moves the clock past one interaction: t += Exp(1)·(2/n).
+//
+//sspp:hotpath
+func (tk *TimeKeeper) Advance() {
+	tk.t += tk.src.Exp() * tk.invRate
+}
+
+// AdvanceMany moves the clock past k interactions in one draw: the sum of k
+// unit exponentials is Gamma(k), so t += Gamma(k)·(2/n) has exactly the law
+// of k successive Advance calls while costing O(1). This is what keeps
+// batched stepping (silent skips, τ-leap bundles) cheap under the
+// continuous clock.
+func (tk *TimeKeeper) AdvanceMany(k uint64) {
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		tk.Advance()
+		return
+	}
+	tk.t += tk.src.Gamma(float64(k)) * tk.invRate
+}
+
+// Time returns the current parallel time.
+func (tk *TimeKeeper) Time() float64 { return tk.t }
+
+var _ Timed = (*TimeKeeper)(nil)

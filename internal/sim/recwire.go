@@ -1,11 +1,14 @@
 // recwire.go is the versioned wire format of captured schedules: a Recording
-// encodes to JSON stamped with RecordingVersion, and decoding rejects unknown
+// encodes to JSON stamped with its version, and decoding rejects unknown
 // versions and internally inconsistent payloads up front, so a schedule
 // archived today replays bit-exactly against any future engine that still
-// speaks version 1. Pair-mode recordings store the explicit pair stream;
+// speaks its version. Pair-mode recordings store the explicit pair stream;
 // edge-indexed recordings store the resolving graph's full edge list plus one
 // index per interaction, reconstructing the graph on decode (graph.FromEdges)
 // so replay does not depend on regenerating the topology from (name, seed).
+// Version 1 is the discrete layout; version 2 adds per-interaction event
+// times (continuous-clock captures). Discrete recordings still encode as
+// version 1, byte for byte, so archived version-1 goldens stay stable.
 
 package sim
 
@@ -13,15 +16,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"sspp/internal/graph"
 )
 
-// RecordingVersion identifies the Recording wire layout.
-const RecordingVersion = 1
+// RecordingVersion identifies the newest Recording wire layout this build
+// writes (timed recordings). Discrete recordings encode as version 1.
+const RecordingVersion = 2
 
 // recordingWire is the JSON layout of a Recording. Pair mode fills Pairs;
-// edge-indexed mode fills Topology, N, EdgeList and Edges.
+// edge-indexed mode fills Topology, N, EdgeList and Edges; timed
+// (version 2) recordings additionally fill Times.
 type recordingWire struct {
 	Version int `json:"version"`
 	// Topology is the resolving graph's generator name (edge mode only).
@@ -34,11 +40,19 @@ type recordingWire struct {
 	Edges []int32 `json:"edges,omitempty"`
 	// Pairs holds the flat (a, b) pair stream (pair mode only).
 	Pairs []int32 `json:"pairs,omitempty"`
+	// Times holds one parallel-time stamp per interaction (version 2 only).
+	Times []float64 `json:"times,omitempty"`
 }
 
-// Encode writes the recording as versioned JSON.
+// Encode writes the recording as versioned JSON: version 1 for discrete
+// recordings (the historical byte layout, unchanged), version 2 when the
+// recording carries event times.
 func (rec *Recording) Encode(w io.Writer) error {
-	wire := recordingWire{Version: RecordingVersion}
+	wire := recordingWire{Version: 1}
+	if rec.Timed() {
+		wire.Version = RecordingVersion
+		wire.Times = rec.times
+	}
 	if rec.g != nil {
 		wire.Topology = rec.g.Name()
 		wire.N = rec.g.N()
@@ -57,15 +71,35 @@ func (rec *Recording) Encode(w io.Writer) error {
 
 // DecodeRecording reads a versioned JSON recording, rejecting unknown
 // versions and internally inconsistent payloads (odd pair streams, edge
-// indices outside the stored graph, mixed modes).
+// indices outside the stored graph, mixed modes, event times on a
+// version 1 recording or malformed ones on a version 2).
 func DecodeRecording(r io.Reader) (*Recording, error) {
 	var wire recordingWire
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("sim: decoding recording: %w", err)
 	}
-	if wire.Version != RecordingVersion {
-		return nil, fmt.Errorf("sim: recording version %d not supported (this build speaks version %d)", wire.Version, RecordingVersion)
+	if wire.Version < 1 || wire.Version > RecordingVersion {
+		return nil, fmt.Errorf("sim: recording version %d not supported (this build speaks versions 1-%d)", wire.Version, RecordingVersion)
+	}
+	if wire.Version == 1 && len(wire.Times) > 0 {
+		return nil, fmt.Errorf("sim: version 1 recording carries event times (times require version 2)")
+	}
+	if wire.Version == 2 {
+		interactions := len(wire.Edges)
+		if len(wire.EdgeList) == 0 && wire.Topology == "" && wire.N == 0 {
+			interactions = len(wire.Pairs) / 2
+		}
+		if len(wire.Times) != interactions {
+			return nil, fmt.Errorf("sim: recording stores %d event times for %d interactions", len(wire.Times), interactions)
+		}
+		prev := 0.0
+		for i, t := range wire.Times {
+			if math.IsNaN(t) || math.IsInf(t, 0) || t < prev {
+				return nil, fmt.Errorf("sim: recording event time %g at interaction %d is not part of a finite non-decreasing timeline", t, i)
+			}
+			prev = t
+		}
 	}
 	if wire.Topology != "" || wire.N != 0 || len(wire.EdgeList) > 0 {
 		if len(wire.Pairs) > 0 {
@@ -80,7 +114,7 @@ func DecodeRecording(r io.Reader) (*Recording, error) {
 				return nil, fmt.Errorf("sim: recording edge index %d at interaction %d outside the stored graph (%d edges)", e, i, g.M())
 			}
 		}
-		return &Recording{edges: wire.Edges, g: g}, nil
+		return &Recording{edges: wire.Edges, g: g, times: wire.Times}, nil
 	}
 	if len(wire.Pairs)%2 != 0 {
 		return nil, fmt.Errorf("sim: recording pair stream has odd length %d", len(wire.Pairs))
@@ -90,5 +124,5 @@ func DecodeRecording(r io.Reader) (*Recording, error) {
 			return nil, fmt.Errorf("sim: recording pair entry %d is negative (%d)", i, p)
 		}
 	}
-	return &Recording{pairs: wire.Pairs}, nil
+	return &Recording{pairs: wire.Pairs, times: wire.Times}, nil
 }

@@ -73,11 +73,74 @@ func TestRecordingWireEdgeModeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordingWireTimedRoundTrip covers the version 2 layout: a timed
+// recording stamps version 2, carries one event time per interaction in
+// both modes, and round-trips byte-for-byte; an untimed recording keeps
+// stamping the version 1 bytes archived recordings rely on.
+func TestRecordingWireTimedRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges("ring", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		rec  *Recording
+	}{
+		{"pair mode", &Recording{pairs: []int32{0, 1, 2, 3}, times: []float64{0.25, 1.5}}},
+		{"edge mode", &Recording{edges: []int32{0, 2}, g: g, times: []float64{0.25, 1.5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.rec.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), `"version":2`) {
+				t.Fatalf("timed recording encoded without a version 2 stamp: %s", buf.String())
+			}
+			dec, err := DecodeRecording(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dec.Timed() || dec.Len() != 2 {
+				t.Fatalf("decoded timed=%v len=%d, want a 2-interaction timed recording", dec.Timed(), dec.Len())
+			}
+			var again bytes.Buffer
+			if err := dec.Encode(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				t.Fatal("re-encoding the decoded timed recording changed the bytes")
+			}
+			// Replay deals the recorded times alongside the pairs, and a
+			// wrap-around keeps the clock monotone.
+			s := dec.Replay()
+			td, ok := s.(Timed)
+			if !ok {
+				t.Fatal("timed recording replays without the Timed capability")
+			}
+			wantTimes := []float64{0.25, 1.5, 1.75, 3.0} // second lap offset by 1.5
+			for i, want := range wantTimes {
+				s.Pair(4)
+				if got := td.Time(); got != want {
+					t.Fatalf("replayed time %d = %g, want %g", i, got, want)
+				}
+			}
+		})
+	}
+}
+
 func TestDecodeRecordingWireRejections(t *testing.T) {
 	cases := []struct {
 		name, doc, want string
 	}{
-		{"future version", `{"version":2,"pairs":[0,1]}`, "version 2"},
+		{"future version", `{"version":3,"pairs":[0,1]}`, "version 3"},
+		{"version zero", `{"version":0,"pairs":[0,1]}`, "version 0"},
+		{"times on version 1", `{"version":1,"pairs":[0,1],"times":[0.5]}`, "version 2"},
+		{"times length mismatch", `{"version":2,"pairs":[0,1],"times":[0.5,0.7]}`, "2 event times for 1 interactions"},
+		{"times not monotone", `{"version":2,"pairs":[0,1,2,3],"times":[0.7,0.5]}`, "non-decreasing"},
+		{"negative time", `{"version":2,"pairs":[0,1],"times":[-0.5]}`, "non-decreasing"},
+		{"non-numeric time", `{"version":2,"pairs":[0,1],"times":["nan"]}`, "decoding"},
 		{"mixed modes", `{"version":1,"n":3,"edge_list":[[0,1]],"edges":[0],"pairs":[0,1]}`, "mixes"},
 		{"odd pairs", `{"version":1,"pairs":[0,1,2]}`, "odd length"},
 		{"negative pair", `{"version":1,"pairs":[0,-1]}`, "negative"},

@@ -157,29 +157,52 @@ func (b *Batch) refill(n int) {
 type Recorder struct {
 	inner Scheduler
 	edges EdgePairer // non-nil when inner deals topology edges
+	timed Timed      // non-nil when inner reports native event times
 	rec   *Recording
 }
 
-// NewRecorder builds a recording wrapper around inner.
+// NewRecorder builds a recording wrapper around inner. When inner reports
+// native event times (Timed, e.g. a NextReaction schedule), the recording
+// stores the parallel time of every interaction alongside the pairs and
+// encodes as wire version 2.
 func NewRecorder(inner Scheduler) *Recorder {
 	r := &Recorder{inner: inner, rec: &Recording{}}
 	if ep, ok := inner.(EdgePairer); ok {
 		r.edges = ep
 		r.rec.g = ep.Graph()
 	}
+	if td, ok := inner.(Timed); ok {
+		r.timed = td
+	}
 	return r
 }
 
-// Pair deals the inner scheduler's next pair and records it.
+// Pair deals the inner scheduler's next pair and records it (with its
+// event time when the inner scheduler is time-aware).
 func (r *Recorder) Pair(n int) (int, int) {
+	var a, b int
 	if r.edges != nil {
-		a, b, idx := r.edges.PairEdge(n)
+		var idx int32
+		a, b, idx = r.edges.PairEdge(n)
 		r.rec.edges = append(r.rec.edges, idx)
-		return a, b
+	} else {
+		a, b = r.inner.Pair(n)
+		r.rec.pairs = append(r.rec.pairs, int32(a), int32(b))
 	}
-	a, b := r.inner.Pair(n)
-	r.rec.pairs = append(r.rec.pairs, int32(a), int32(b))
+	if r.timed != nil {
+		r.rec.times = append(r.rec.times, r.timed.Time())
+	}
 	return a, b
+}
+
+// Time returns the inner scheduler's current parallel time (0 when the
+// inner scheduler is not time-aware), so a Recorder around a timed
+// schedule remains a valid time source itself.
+func (r *Recorder) Time() float64 {
+	if r.timed == nil {
+		return 0
+	}
+	return r.timed.Time()
 }
 
 // Recording returns the schedule captured so far. The recording keeps
@@ -198,6 +221,10 @@ type Recording struct {
 	pairs []int32
 	edges []int32      // edge-index mode: one index per interaction
 	g     *graph.Graph // resolves edges; nil in pair mode
+	// times holds the parallel time of each interaction (continuous-clock
+	// captures only; empty for discrete recordings). Encoded as wire
+	// version 2; discrete recordings keep the version 1 byte layout.
+	times []float64
 }
 
 // Len returns the number of recorded interactions.
@@ -212,12 +239,24 @@ func (rec *Recording) Len() int {
 // interaction graph rather than explicit pairs.
 func (rec *Recording) EdgeIndexed() bool { return rec.g != nil }
 
+// Timed reports whether the recording carries native event times (a
+// continuous-clock capture).
+func (rec *Recording) Timed() bool { return len(rec.times) > 0 }
+
 // Replay returns a Scheduler that deals the recorded schedule in order. A
 // consumer that outruns the recording wraps around to its start; replaying
 // an empty recording panics. Pairs recorded for a larger population are
 // folded into [0, n); edge-indexed recordings resolve through their graph
-// and ignore n.
-func (rec *Recording) Replay() Scheduler { return &replayer{rec: rec} }
+// and ignore n. Timed recordings replay as a Timed scheduler: the recorded
+// event times are dealt alongside the pairs, and wrap-arounds keep the
+// clock monotone by restarting the recorded timeline where the previous
+// lap ended.
+func (rec *Recording) Replay() Scheduler {
+	if rec.Timed() {
+		return &timedReplayer{replayer: replayer{rec: rec}}
+	}
+	return &replayer{rec: rec}
+}
 
 type replayer struct {
 	rec  *Recording
@@ -258,6 +297,35 @@ func (r *replayer) Pair(n int) (int, int) {
 	}
 	return a, b
 }
+
+// timedReplayer replays a timed recording, dealing the recorded event time
+// of every interaction alongside the pair. Wrap-arounds restart the
+// recorded timeline where the previous lap ended, keeping Time monotone.
+type timedReplayer struct {
+	replayer
+	offset float64 // accumulated timeline from completed laps
+	t      float64
+}
+
+// Pair deals the next recorded pair and advances the replayed clock to its
+// recorded event time.
+func (r *timedReplayer) Pair(n int) (int, int) {
+	a, b := r.replayer.Pair(n)
+	idx := r.next - 1
+	if r.rec.g == nil {
+		idx = r.next/2 - 1
+	}
+	if idx == 0 && r.t != 0 {
+		r.offset = r.t // wrapped: continue past the previous lap's end
+	}
+	r.t = r.offset + r.rec.times[idx]
+	return a, b
+}
+
+// Time returns the recorded parallel time of the most recently dealt pair.
+func (r *timedReplayer) Time() float64 { return r.t }
+
+var _ Timed = (*timedReplayer)(nil)
 
 // RunSched is Run with an arbitrary scheduler.
 func RunSched(p Protocol, sched Scheduler, opt Options) Result {

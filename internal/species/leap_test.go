@@ -1,0 +1,282 @@
+// leap_test.go exercises the τ-leaping integrator: the continuous stepper
+// must honor StepMany's exact interaction accounting (budgets consume to
+// zero, the clock never drifts), keep the count multiset self-consistent
+// through bundle applications, fall back to exact stepping where leaping is
+// unprofitable, and stay deterministic and allocation-free on the steady
+// path. Distributional equivalence against the exact sampler is gated at
+// the public-API level (clock_test.go at the repo root) and in the nightly
+// soak; these tests pin the mechanics.
+
+package species
+
+import (
+	"math"
+	"testing"
+
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+)
+
+// deterministicToy marks the toy diagonal model as deterministic so
+// StartContinuous(…, true) actually enables leaping.
+func deterministicToy(k int, n int64) sim.CompactModel {
+	m := toyDiagonal(k, n)
+	m.Deterministic = true
+	return m
+}
+
+// silentToy is a model with no reactive channel at all: every ordered pair
+// is silent forever.
+func silentToy(n int64) sim.CompactModel {
+	return sim.CompactModel{
+		StateSpace: 4,
+		Diagonal:   true,
+		Init: func() ([]uint64, []int64) {
+			return []uint64{1, 2}, []int64{n / 2, n - n/2}
+		},
+		React:         func(a, b uint64, _ *rng.PRNG) (uint64, uint64) { return a, b },
+		Leader:        func(s uint64) bool { return s == 1 },
+		Deterministic: true,
+	}
+}
+
+// newContinuous builds a species system on the continuous clock.
+func newContinuous(t testing.TB, m sim.CompactModel, leap bool, sampleSeed, timeSeed uint64) *System {
+	t.Helper()
+	sp, err := NewSystem(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.BindSource(rng.New(sampleSeed))
+	sp.StartContinuous(rng.New(timeSeed), leap)
+	return sp
+}
+
+// TestLeapConservesInvariants leaps a reactive population through a long
+// budget in uneven chunks: the interaction clock must account for every
+// interaction exactly, parallel time must grow monotonically at the Poisson
+// scale, and the count multiset must stay self-consistent throughout.
+func TestLeapConservesInvariants(t *testing.T) {
+	const n = 100_000
+	sp := newContinuous(t, deterministicToy(1<<20, n), true, 3, 4)
+	if !sp.leap {
+		t.Fatal("leaping not enabled for a deterministic model")
+	}
+	var total uint64
+	lastPT := 0.0
+	for _, chunk := range []uint64{1, 17, 1000, 65_536, 1_000_000, 3_000_000} {
+		sp.StepMany(chunk)
+		total += chunk
+		if sp.Clock() != total {
+			t.Fatalf("clock %d after %d interactions", sp.Clock(), total)
+		}
+		pt := sp.ParallelTime()
+		if !(pt > lastPT) || math.IsInf(pt, 0) || math.IsNaN(pt) {
+			t.Fatalf("parallel time %v not increasing past %v", pt, lastPT)
+		}
+		lastPT = pt
+		if err := sp.SelfCheck(); err != nil {
+			t.Fatalf("after %d interactions: %v", total, err)
+		}
+	}
+	// k interactions take Gamma(k)·2/n time: mean 2k/n, and at k ≈ 4e6 the
+	// relative fluctuation is ~1/√k, so a factor-2 corridor is astronomically
+	// safe.
+	want := 2 * float64(total) / float64(n)
+	if lastPT < want/2 || lastPT > want*2 {
+		t.Fatalf("parallel time %v far from the Poisson scale %v", lastPT, want)
+	}
+	if sp.Occupied() < 2 {
+		t.Fatal("the reactive cascade never spread: leaping did not fire")
+	}
+}
+
+// TestLeapMatchesExactMarginals pins the leaped dynamics against the exact
+// sampler distributionally on a small population: after the same interaction
+// budget, per-state mean counts over independent replicas must agree within
+// sampling tolerance.
+func TestLeapMatchesExactMarginals(t *testing.T) {
+	const (
+		n        = 4096
+		budget   = 8192
+		replicas = 60
+		k        = 6
+	)
+	meanCounts := func(leap bool) []float64 {
+		out := make([]float64, k+2)
+		for r := 0; r < replicas; r++ {
+			sp := newContinuous(t, deterministicToy(k, n), leap, uint64(100+r), uint64(900+r))
+			sp.StepMany(budget)
+			for s := uint64(1); s <= uint64(k); s++ {
+				out[s] += float64(sp.Count(s)) / replicas
+			}
+			if err := sp.SelfCheck(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	exact := meanCounts(false)
+	leaped := meanCounts(true)
+	for s := 1; s <= k; s++ {
+		diff := math.Abs(exact[s] - leaped[s])
+		// ε=0.05 τ-selection bounds the within-leap drift; across replicas the
+		// standard error is ~n/√replicas-scaled. A 5% of n corridor holds with
+		// huge margin when the dynamics agree and fails immediately when a
+		// channel is mis-weighted (e.g. a dropped factor in the pair mass).
+		if diff > 0.05*n {
+			t.Fatalf("state %d: exact mean %.1f vs leaped mean %.1f", s, exact[s], leaped[s])
+		}
+	}
+}
+
+// TestLeapAllSilentFastPath: a model with no reactive channel consumes any
+// budget in O(1) per StepMany call while still advancing parallel time.
+func TestLeapAllSilentFastPath(t *testing.T) {
+	const n = 1_000_000
+	sp := newContinuous(t, silentToy(n), true, 5, 6)
+	const budget = 1 << 40 // ~10¹² interactions: only the fast path can afford this
+	sp.StepMany(budget)
+	if sp.Clock() != budget {
+		t.Fatalf("clock %d, want %d", sp.Clock(), uint64(budget))
+	}
+	want := 2 * float64(budget) / float64(n)
+	if pt := sp.ParallelTime(); pt < want/2 || pt > want*2 {
+		t.Fatalf("parallel time %v far from %v", pt, want)
+	}
+	if err := sp.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeapScarceCountsFallBack: with every count below the critical
+// threshold the τ-selection never finds a profitable leap, so the stepper
+// must route through the exact fallback and still account exactly.
+func TestLeapScarceCountsFallBack(t *testing.T) {
+	sp := newContinuous(t, deterministicToy(64, 24), true, 7, 8)
+	const budget = 50_000
+	var maxChunk uint64
+	for done := uint64(0); done < budget; done += 100 {
+		sp.StepMany(100)
+		if sp.exactChunk > maxChunk {
+			maxChunk = sp.exactChunk
+		}
+	}
+	if sp.Clock() != budget {
+		t.Fatalf("clock %d, want %d", sp.Clock(), uint64(budget))
+	}
+	if err := sp.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// At n=24 the τ-selection can never clear leapMinLen while the cascade is
+	// live, so the stepper must have routed through the doubling exact
+	// fallback at some point (the backoff resets once the model goes silent
+	// and the O(1) fast path takes over, hence the running maximum).
+	if maxChunk <= leapExactChunkMin {
+		t.Fatal("exact-fallback backoff never engaged on a scarce population")
+	}
+}
+
+// TestLeapDisabledForRandomizedModels: a model that does not declare
+// Deterministic must never leap — bundled channel firings would collapse
+// its per-interaction randomness.
+func TestLeapDisabledForRandomizedModels(t *testing.T) {
+	m := toyDiagonal(8, 1024) // Deterministic not set
+	sp, err := NewSystem(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.BindSource(rng.New(9))
+	sp.StartContinuous(rng.New(10), true)
+	if sp.leap {
+		t.Fatal("leaping enabled for a model without deterministic dynamics")
+	}
+	sp.StepMany(10_000)
+	if sp.Clock() != 10_000 {
+		t.Fatalf("clock %d, want 10000", sp.Clock())
+	}
+	if pt := sp.ParallelTime(); pt <= 0 {
+		t.Fatalf("continuous-exact stepping accrued no parallel time (%v)", pt)
+	}
+}
+
+// TestContinuousExactPreservesJumpChain: with leaping off, the continuous
+// clock merely equips the discrete jump chain with event times — the count
+// trajectory at matched sampling seeds is identical, bit for bit.
+func TestContinuousExactPreservesJumpChain(t *testing.T) {
+	const n = 10_000
+	discrete, err := NewSystem(deterministicToy(256, n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete.BindSource(rng.New(42))
+	cont := newContinuous(t, deterministicToy(256, n), false, 42, 1234)
+	for i := 0; i < 5; i++ {
+		discrete.StepMany(20_000)
+		cont.StepMany(20_000)
+		if discrete.Occupied() != cont.Occupied() {
+			t.Fatalf("chunk %d: occupied %d vs %d", i, discrete.Occupied(), cont.Occupied())
+		}
+		identical := true
+		discrete.Each(func(key uint64, c int64) bool {
+			if cont.Count(key) != c {
+				identical = false
+				return false
+			}
+			return true
+		})
+		if !identical {
+			t.Fatalf("chunk %d: count multisets diverge", i)
+		}
+	}
+	if cont.ParallelTime() <= 0 {
+		t.Fatal("no parallel time accrued")
+	}
+	if discrete.ParallelTime() != 0 {
+		t.Fatalf("discrete system accrued native parallel time %v", discrete.ParallelTime())
+	}
+}
+
+// TestLeapDeterminism: identical seeds produce identical trajectories and
+// identical parallel times, leaped or not.
+func TestLeapDeterminism(t *testing.T) {
+	run := func() (*System, float64) {
+		sp := newContinuous(t, deterministicToy(1024, 50_000), true, 11, 12)
+		sp.StepMany(2_000_000)
+		return sp, sp.ParallelTime()
+	}
+	a, ptA := run()
+	b, ptB := run()
+	if ptA != ptB {
+		t.Fatalf("parallel times diverge: %v vs %v", ptA, ptB)
+	}
+	if a.Occupied() != b.Occupied() {
+		t.Fatalf("occupied states diverge: %d vs %d", a.Occupied(), b.Occupied())
+	}
+	a.Each(func(key uint64, c int64) bool {
+		if b.Count(key) != c {
+			t.Fatalf("count of %d diverges: %d vs %d", key, c, b.Count(key))
+		}
+		return true
+	})
+}
+
+// TestLeapHotPathsDoNotAllocate pins the zero-allocation contract of the
+// τ-leap steady state (the workspace is reused across leaps) and of the
+// timed exact stepper, alongside the sim-layer clock pins.
+func TestLeapHotPathsDoNotAllocate(t *testing.T) {
+	sp := newContinuous(t, deterministicToy(1<<20, 200_000), true, 13, 14)
+	sp.StepMany(4_000_000) // reach steady state: workspace and sampler sized
+	if allocs := testing.AllocsPerRun(50, func() {
+		sp.StepMany(10_000)
+	}); allocs != 0 {
+		t.Fatalf("leaped StepMany allocates %.1f times per call", allocs)
+	}
+	exact := newContinuous(t, deterministicToy(1<<20, 200_000), false, 13, 14)
+	exact.StepMany(100_000)
+	if allocs := testing.AllocsPerRun(50, func() {
+		exact.StepMany(1_000)
+	}); allocs != 0 {
+		t.Fatalf("timed exact StepMany allocates %.1f times per call", allocs)
+	}
+}

@@ -99,3 +99,48 @@ func benchName(n int) string {
 	}
 	return "n=" + string(rune('0'+n)) + "e" + string(rune('0'+e))
 }
+
+// TestTauLeapThroughputGuard is the continuous-clock acceptance guard:
+// τ-leaping must deliver at least 10× the effective interactions/s of the
+// exact alias-sampler path in a reactive regime at n=10⁶ — the early CIW
+// cascade, where nearly every interaction is reactive and silent-skip buys
+// nothing — and the whole comparison must fit the same <10 s budget as the
+// PR 4 guard.
+func TestTauLeapThroughputGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput guard is not -short")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("throughput guard is not meaningful under coverage instrumentation")
+	}
+	const (
+		n            = 1_000_000
+		interactions = 20_000_000
+		budget       = 10 * time.Second
+	)
+	run := func(leap bool) (time.Duration, *species.System) {
+		sp := newCIWSpecies(t, n)
+		sp.BindSource(rng.New(7))
+		sp.StartContinuous(rng.New(8), leap)
+		start := time.Now()
+		sp.StepMany(interactions)
+		return time.Since(start), sp
+	}
+	exactElapsed, exactSys := run(false)
+	leapElapsed, leapSys := run(true)
+	t.Logf("exact: %d interactions in %s (%d occupied); leaped: %s (%d occupied)",
+		interactions, exactElapsed, exactSys.Occupied(), leapElapsed, leapSys.Occupied())
+	if leapSys.Clock() != interactions || exactSys.Clock() != interactions {
+		t.Fatalf("clocks %d/%d, want %d", exactSys.Clock(), leapSys.Clock(), uint64(interactions))
+	}
+	if err := leapSys.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if exactElapsed+leapElapsed > budget {
+		t.Fatalf("guard took %s total, budget %s", exactElapsed+leapElapsed, budget)
+	}
+	if 10*leapElapsed > exactElapsed {
+		t.Fatalf("τ-leaping %s vs exact %s: speedup %.1f× below the 10× bound",
+			leapElapsed, exactElapsed, float64(exactElapsed)/float64(leapElapsed))
+	}
+}

@@ -3,8 +3,9 @@
 // soak_test.go is the nightly large-n variant of the backend-equivalence
 // harness (build tag "soak"): the same paired-trial KS / Mann–Whitney gate
 // as equiv_test.go, but at populations where the backends genuinely
-// diverge in cost, plus a long species-only run at n=10⁷ exercising the
-// regime the agent backend cannot reach. The equivalence verdicts are
+// diverge in cost, the continuous-clock gate (exact jump chain vs
+// τ-leaping) at the same scale, plus a long species-only run at n=10⁷
+// exercising the regime the agent backend cannot reach. The equivalence verdicts are
 // written as a JSON report (ks-report.json, or $SSPP_SOAK_REPORT) that the
 // nightly CI job publishes as an artifact.
 //
@@ -156,6 +157,71 @@ func TestSoakChurnEquivalenceLargeN(t *testing.T) {
 	t.Logf("%v (n=%d, 10³ churn events per run, %s)", eq, n, time.Since(start).Round(time.Millisecond))
 	if !eq.Passed {
 		t.Fatalf("backends statistically distinguishable under churn: %v", eq)
+	}
+}
+
+// TestSoakTauLeapEquivalenceLargeN is the continuous-clock variant of the
+// nightly gate: paired trials at n=4096 comparing the exact continuous
+// jump chain (per-event stepping with native holding times) against
+// τ-leaped stepping, with the stabilization-time distributions gated by
+// the same KS / Mann–Whitney check as the backend gate. The quick PR gate
+// (clock_test.go at the repo root) runs n=512; this exercises the
+// τ-selection and critical-channel machinery at a population where leaps
+// bundle thousands of firings.
+func TestSoakTauLeapEquivalenceLargeN(t *testing.T) {
+	const (
+		n     = 4096
+		count = 200
+		alpha = 0.01
+	)
+	collect := func(clock string) (samples []float64, failures int) {
+		type outcome struct {
+			took uint64
+			ok   bool
+		}
+		outs := trials.Run(0, count, 9004, func(_ int, src *rng.PRNG) outcome {
+			protoSeed := src.Uint64()
+			schedSeed := src.Uint64()
+			sys, err := sspp.New(sspp.Config{
+				Protocol: sspp.ProtocolCIW, N: n, Seed: protoSeed,
+				Backend: sspp.BackendSpecies, Clock: clock,
+			})
+			if err != nil {
+				return outcome{}
+			}
+			res := sys.Run(
+				sspp.Until(sspp.CorrectOutput),
+				sspp.Confirm(4*n),
+				sspp.SchedulerSeed(schedSeed),
+			)
+			if res.Err != nil || !res.Stabilized {
+				return outcome{}
+			}
+			return outcome{took: res.StabilizedAt, ok: true}
+		})
+		for _, o := range outs {
+			if o.ok {
+				samples = append(samples, float64(o.took))
+			} else {
+				failures++
+			}
+		}
+		return samples, failures
+	}
+	start := time.Now()
+	exact, exactFail := collect(sspp.ClockContinuousExact)
+	leaped, leapFail := collect(sspp.ClockContinuous)
+	if diff := exactFail - leapFail; diff < -2 || diff > 2 {
+		t.Fatalf("failure counts diverge: exact %d, tau-leap %d", exactFail, leapFail)
+	}
+	if len(exact) < count*9/10 || len(leaped) < count*9/10 {
+		t.Fatalf("too many failed trials: exact %d/%d, tau-leap %d/%d ok",
+			len(exact), count, len(leaped), count)
+	}
+	eq := statcheck.CheckEquivalence("ciw/tau-leap", exact, leaped, alpha)
+	t.Logf("%v (n=%d, %s)", eq, n, time.Since(start).Round(time.Millisecond))
+	if !eq.Passed {
+		t.Fatalf("tau-leaped clock statistically distinguishable from the exact jump chain: %v", eq)
 	}
 }
 

@@ -58,6 +58,16 @@ type System struct {
 	diagonal bool
 	samp     sampler
 	src      *rng.PRNG
+
+	// Continuous-clock state (StartContinuous, continuous.go): pt accrues
+	// exponential holding times at rate n/2 from the dedicated timeSrc
+	// stream, and leap enables τ-leaped bulk stepping (leap.go).
+	continuous bool
+	leap       bool
+	pt         float64
+	timeSrc    *rng.PRNG
+	exactChunk uint64
+	lw         leapWorkspace
 }
 
 // The System implements the minimal protocol contract, bulk stepping, and
@@ -291,8 +301,15 @@ func (s *System) BindSource(src *rng.PRNG) { s.src = src }
 // the state pair is drawn from the bound randomness stream.
 func (s *System) Interact(_, _ int) { s.StepMany(1) }
 
-// StepMany executes k interactions of the uniform population model.
+// StepMany executes k interactions of the uniform population model. Under
+// the continuous clock (StartContinuous) the same jump chain additionally
+// accrues parallel time, and with leaping enabled whole reaction bundles
+// are applied per draw instead of sampling interactions one by one.
 func (s *System) StepMany(k uint64) {
+	if s.continuous {
+		s.stepContinuous(k)
+		return
+	}
 	if s.diagonal {
 		s.stepDiagonal(k)
 	} else {

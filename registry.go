@@ -67,6 +67,11 @@ const (
 	// phases). Protocols whose ChurnBounds are equal support replacement
 	// churn only: every leave must be paired with a join at the same instant.
 	CapabilityChurnable = "churnable"
+	// CapabilityContinuous: the protocol steps natively under the
+	// continuous-time clock (ClockContinuous / ClockContinuousExact),
+	// accruing parallel time from Poisson event times — and, for
+	// deterministic species models, τ-leaped bulk stepping.
+	CapabilityContinuous = "continuous-stepper"
 )
 
 // ProtocolInfo describes one registry protocol.
@@ -313,6 +318,9 @@ func capabilitiesOf(p sim.Protocol) []string {
 	if _, ok := sim.AsChurnable(p); ok {
 		caps = append(caps, CapabilityChurnable)
 	}
+	if _, ok := sim.AsContinuousStepper(p); ok {
+		caps = append(caps, CapabilityContinuous)
+	}
 	return caps
 }
 
@@ -365,5 +373,5 @@ func NewCustom(p Protocol) (*System, error) {
 	if p.N() < 2 {
 		return nil, fmt.Errorf("sspp: population size %d < 2", p.N())
 	}
-	return &System{proto: p, events: sim.NewEvents(), cfg: Config{N: p.N()}}, nil
+	return &System{proto: p, events: sim.NewEvents(), cfg: Config{N: p.N()}, clockMode: ClockDiscrete}, nil
 }

@@ -69,6 +69,20 @@ func ConditionFunc(name string, holds func(*System) bool) Condition {
 	}
 }
 
+// MaxParallelTime holds once the system's parallel time (System.ParallelTime
+// — the native event time under the continuous clocks, interactions over the
+// live population size under the discrete one) reaches pt units. The time is
+// system-lifetime, not per-Run, so a fresh system runs for pt units while a
+// resumed one runs only the remainder. Like every condition it is polled on
+// the condition cadence, so the overshoot resolution is one poll.
+func MaxParallelTime(pt float64) Condition {
+	return Condition{
+		name:    "max-parallel-time",
+		holds:   func(s *System) bool { return s.ParallelTime() >= pt },
+		cadence: func(n int) uint64 { return uint64(n/2 + 1) },
+	}
+}
+
 // runSpec is the resolved configuration of one Run call.
 type runSpec struct {
 	cond      Condition
@@ -216,8 +230,12 @@ type Result struct {
 	// Stabilized reports whether the stop condition was reached (and, with
 	// Confirm, had held for the full window).
 	Stabilized bool
-	// ParallelTime is StabilizedAt/n, the paper's time measure (-1 when not
-	// stabilized).
+	// ParallelTime is the paper's time measure at StabilizedAt, counted from
+	// the start of this Run call (-1 when not stabilized). Under the discrete
+	// clock it is interactions over the live population size, accrued per
+	// stepping segment so churn re-anchors it (for churn-free runs exactly
+	// StabilizedAt/n, the historical value, bit for bit); under the
+	// continuous clocks it is the native event time of the Poisson process.
 	ParallelTime float64
 	// StabilizedAt is the interaction count at which the final satisfied
 	// stretch of the condition began (0 when not stabilized). Without
@@ -398,6 +416,46 @@ func (s *System) Run(opts ...RunOption) Result {
 	var pending []int
 	var t, since uint64
 	fi := 0
+	// Parallel-time plumbing. Under the continuous clocks some component
+	// carries native event time — the protocol's own continuous stepper, the
+	// TimeKeeper, or a Timed scheduler (the next-reaction scheduler topologize
+	// builds) — and the run reads it back relative to the run's start. Under
+	// the discrete clock the run derives time as interactions over the live
+	// population size, closed into a segment at every churn event so each
+	// interaction contributes 1/n_live (churn-free runs reduce to exactly
+	// t/n₀, the historical value bit for bit).
+	continuous := s.clockMode == ClockContinuous || s.clockMode == ClockContinuousExact
+	var timedSched sim.Timed
+	if continuous {
+		if _, ok := sim.AsContinuousStepper(s.proto); !ok {
+			timedSched, _ = sched.(sim.Timed)
+		}
+	}
+	var pt0 float64
+	if continuous {
+		pt0 = s.ParallelTime()
+	}
+	var rBase float64   // parallel time accrued by closed discrete segments
+	var segStart uint64 // interaction count opening the current segment
+	ptRun := func() float64 {
+		if continuous {
+			return s.ParallelTime() - pt0
+		}
+		return rBase + float64(t-segStart)/float64(n)
+	}
+	var ptSince float64 // ptRun() at the moment since was last set
+	// advance accrues system-level parallel time for one just-stepped chunk
+	// (the Timed scheduler carries its own clock; everything else goes
+	// through advanceClock).
+	advance := func(step uint64) {
+		if timedSched != nil {
+			if step != 0 {
+				s.pt = timedSched.Time()
+			}
+			return
+		}
+		s.advanceClock(step)
+	}
 	// fire applies every event scheduled for the current interaction count,
 	// in order (leaves before joins within an instant); a failing event
 	// aborts the run with Result.Err.
@@ -412,7 +470,19 @@ func (s *System) Run(opts ...RunOption) Result {
 				res.Err = err
 				return false
 			}
-			n = s.N()
+			if nn := s.N(); nn != n {
+				// Churn changed the population: close the discrete-time
+				// segment at the old rate and re-anchor the clocks at the new
+				// one, so every interaction contributes 1/n_live.
+				if !continuous {
+					rBase += float64(t-segStart) / float64(n)
+					segStart = t
+				}
+				if s.tk != nil {
+					s.tk.SetN(nn)
+				}
+				n = nn
+			}
 			outcomes[fi].Fired = true
 			outcomes[fi].N = n
 			pending = append(pending, fi)
@@ -444,7 +514,7 @@ func (s *System) Run(opts ...RunOption) Result {
 		if res.Err == nil && held && t-since >= spec.confirm {
 			res.Stabilized = true
 			res.StabilizedAt = since
-			res.ParallelTime = float64(since) / float64(n0)
+			res.ParallelTime = ptSince
 		}
 		if len(outcomes) > 0 {
 			el := EventList(outcomes)
@@ -486,9 +556,10 @@ func (s *System) Run(opts ...RunOption) Result {
 		if fi < len(spec.events) && spec.events[fi].At < next {
 			next = spec.events[fi].At
 		}
-		s.clock += next - t
+		step := next - t
+		s.clock += step
 		if countBased {
-			cb.StepMany(next - t)
+			cb.StepMany(step)
 			t = next
 		} else if tracer != nil {
 			for t < next {
@@ -504,6 +575,7 @@ func (s *System) Run(opts ...RunOption) Result {
 				t++
 			}
 		}
+		advance(step)
 		if !fire() {
 			break
 		}
@@ -520,6 +592,7 @@ func (s *System) Run(opts ...RunOption) Result {
 			if now != held {
 				if now {
 					since = t
+					ptSince = ptRun()
 				}
 				held = now
 			}
@@ -565,10 +638,14 @@ func (s *System) workloadCaps() workload.Caps {
 func (s *System) Step(schedulerSeed uint64, k uint64) {
 	if s.graph == nil {
 		sim.Steps(s.proto, rng.New(schedulerSeed), k) // the monomorphic historical fast path
-	} else {
-		sim.StepsSched(s.proto, sim.NewEdgeSampler(s.graph, rng.New(schedulerSeed)), k)
+		s.clock += k
+		s.advanceClock(k)
+		return
 	}
-	s.clock += k
+	// Graph systems route through StepSched so topologize picks the clock's
+	// scheduler (edge sampler or next-reaction) — bit-identical schedules
+	// under the discrete clock.
+	s.StepSched(rng.New(schedulerSeed), k)
 }
 
 // StepSched executes exactly k interactions under an arbitrary Scheduler,
@@ -586,6 +663,12 @@ func (s *System) StepSched(sched Scheduler, k uint64) {
 	}
 	sim.StepsSched(s.proto, sched, k)
 	s.clock += k
+	if td, ok := sched.(sim.Timed); ok &&
+		(s.clockMode == ClockContinuous || s.clockMode == ClockContinuousExact) {
+		s.pt = td.Time()
+		return
+	}
+	s.advanceClock(k)
 }
 
 // RunToSafeSet runs until the configuration enters the safe set of Lemma 6.1

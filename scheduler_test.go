@@ -193,10 +193,12 @@ func TestRecordingEncodeDecodeRoundTrip(t *testing.T) {
 
 // TestRecordingGoldenWire pins the version-1 wire layout byte-for-byte: the
 // golden archives below must keep decoding (and re-encoding to the identical
-// bytes) for as long as the engine speaks RecordingVersion 1.
+// bytes) for as long as the engine accepts version 1 — discrete recordings
+// still encode as version 1, so the re-encode checks double as a guard that
+// the version 2 (timed) extension never perturbs archived discrete bytes.
 func TestRecordingGoldenWire(t *testing.T) {
-	if RecordingVersion != 1 {
-		t.Fatalf("RecordingVersion = %d; the golden archives pin version 1", RecordingVersion)
+	if RecordingVersion != 2 {
+		t.Fatalf("RecordingVersion = %d; the golden archives pin versions 1-2", RecordingVersion)
 	}
 	golden := map[string]struct {
 		wire string
@@ -248,7 +250,8 @@ func TestRecordingGoldenWire(t *testing.T) {
 // inconsistent payloads fail the decode up front.
 func TestDecodeRecordingRejectsBadArchives(t *testing.T) {
 	bad := map[string]string{
-		"future version": `{"version":2,"pairs":[0,1]}`,
+		"future version": `{"version":3,"pairs":[0,1]}`,
+		"timeless v2":    `{"version":2,"pairs":[0,1]}`,
 		"mixed modes":    `{"version":1,"topology":"ring","n":4,"edge_list":[[0,1]],"edges":[0],"pairs":[0,1]}`,
 		"odd pairs":      `{"version":1,"pairs":[0,1,2]}`,
 		"negative pair":  `{"version":1,"pairs":[0,-1]}`,

@@ -76,6 +76,7 @@ import (
 
 	"sspp/internal/core"
 	"sspp/internal/graph"
+	"sspp/internal/rng"
 	"sspp/internal/sim"
 )
 
@@ -114,6 +115,15 @@ type Config struct {
 	// deterministically from Seed. Non-complete topologies require the agent
 	// backend (the species backend has no agent adjacency — see DESIGN.md §9).
 	Topology Topology
+	// Clock selects the simulation clock: ClockDiscrete ("" or "discrete",
+	// the historical interaction-counting clock — bit-identical schedules and
+	// results), ClockContinuous ("continuous", the continuous-time population
+	// model: interactions form a Poisson process of rate n/2 per unit
+	// parallel time, with τ-leaped bulk stepping on the species backend for
+	// deterministic models), or ClockContinuousExact ("continuous-exact",
+	// the continuous clock without τ-leaping — the exact jump chain equipped
+	// with native event times). See DESIGN.md §12.
+	Clock string
 }
 
 // System is a running population: one protocol instance plus the engine
@@ -122,13 +132,51 @@ type Config struct {
 // returns nil for protocols without rank outputs, and Inject reports an
 // error for protocols without adversarial-injection support.
 type System struct {
-	proto   sim.Protocol
-	events  *sim.Events
-	cfg     Config
-	spec    *protocolSpec // nil for NewCustom systems
-	backend string        // resolved backend (BackendAgent or BackendSpecies)
-	graph   *graph.Graph  // materialized interaction graph; nil for the complete topology
-	clock   uint64        // engine-counted interactions (Clocked protocols report their own)
+	proto     sim.Protocol
+	events    *sim.Events
+	cfg       Config
+	spec      *protocolSpec   // nil for NewCustom systems
+	backend   string          // resolved backend (BackendAgent or BackendSpecies)
+	graph     *graph.Graph    // materialized interaction graph; nil for the complete topology
+	clock     uint64          // engine-counted interactions (Clocked protocols report their own)
+	clockMode string          // resolved Config.Clock (ClockDiscrete default)
+	tk        *sim.TimeKeeper // continuous clock on the complete topology, agent backend
+	pt        float64         // accumulated parallel time (see ParallelTime)
+}
+
+// The simulation clocks accepted by Config.Clock.
+const (
+	// ClockDiscrete counts interactions; parallel time is derived as
+	// interactions divided by the live population size. "" selects it,
+	// keeping pre-clock configurations bit-identical.
+	ClockDiscrete = "discrete"
+	// ClockContinuous runs the continuous-time population model natively:
+	// exponential holding times at rate n/2, and — on the species backend
+	// with a deterministic model — τ-leaped bulk stepping that fires whole
+	// reaction bundles per draw.
+	ClockContinuous = "continuous"
+	// ClockContinuousExact is the continuous clock without τ-leaping: the
+	// exact jump chain of the discrete scheduler equipped with native event
+	// times (the reference arm the leaping gate compares against).
+	ClockContinuousExact = "continuous-exact"
+)
+
+// clockSeedSalt decorrelates the holding-time stream from the protocol seed
+// (and from the topology and species salts), so equipping a run with the
+// continuous clock never perturbs its jump chain.
+const clockSeedSalt = 0x636C_6F63_6BD1_B54A
+
+// resolveClock maps a Config.Clock value to its canonical constant.
+func resolveClock(clock string) (string, error) {
+	switch clock {
+	case "", ClockDiscrete:
+		return ClockDiscrete, nil
+	case ClockContinuous, ClockContinuousExact:
+		return clock, nil
+	default:
+		return "", fmt.Errorf("sspp: unknown clock %q (want %q, %q or %q)",
+			clock, ClockDiscrete, ClockContinuous, ClockContinuousExact)
+	}
 }
 
 // New builds a System running the protocol named by cfg.Protocol (default:
@@ -161,7 +209,22 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
-	return &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: backend, graph: g}, nil
+	clock, err := resolveClock(cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: backend, graph: g, clockMode: clock}
+	if clock != ClockDiscrete {
+		timeSrc := rng.New(cfg.Seed ^ clockSeedSalt)
+		if cs, ok := sim.AsContinuousStepper(p); ok {
+			cs.StartContinuous(timeSrc, clock == ClockContinuous)
+		} else if g == nil {
+			sys.tk = sim.NewTimeKeeper(timeSrc, cfg.N)
+		}
+		// On a non-complete topology the per-run next-reaction scheduler
+		// carries the clock itself (see topologize).
+	}
+	return sys, nil
 }
 
 // ProtocolName returns the registry name of the system's protocol
@@ -205,6 +268,44 @@ func (s *System) Interactions() uint64 {
 		return c.Clock()
 	}
 	return s.clock
+}
+
+// ParallelTime returns the parallel time elapsed so far. Under the
+// discrete clock it is the deterministic count of interactions divided by
+// the live population size (accrued per stepping chunk, so it tracks churn);
+// under the continuous clocks it is the native event time of the underlying
+// Poisson process — read from the protocol's own continuous stepper, the
+// TimeKeeper, or the next-reaction scheduler, whichever carries the clock.
+func (s *System) ParallelTime() float64 {
+	if s.clockMode != ClockDiscrete && s.clockMode != "" {
+		if cs, ok := sim.AsContinuousStepper(s.proto); ok {
+			return cs.ParallelTime()
+		}
+	}
+	if s.tk != nil {
+		return s.tk.Time()
+	}
+	return s.pt
+}
+
+// advanceClock accrues parallel time for k just-executed interactions on
+// whichever clock the system carries — except the protocol's own continuous
+// stepper, which accrues natively, and the next-reaction scheduler, whose
+// time the stepping loops read back directly.
+func (s *System) advanceClock(k uint64) {
+	if k == 0 {
+		return
+	}
+	if s.clockMode != ClockDiscrete && s.clockMode != "" {
+		if _, ok := sim.AsContinuousStepper(s.proto); ok {
+			return
+		}
+	}
+	if s.tk != nil {
+		s.tk.AdvanceMany(k)
+		return
+	}
+	s.pt += float64(k) / float64(s.N())
 }
 
 // DefaultBudget returns the default interaction budget: a generous
@@ -322,6 +423,9 @@ func StateBits(n, r int) float64 {
 type Snapshot struct {
 	// Interactions is the total interactions executed so far.
 	Interactions uint64
+	// ParallelTime is the parallel time elapsed so far (see
+	// System.ParallelTime for the clock semantics).
+	ParallelTime float64
 	// Resetting, Ranking, Verifying are the role counts.
 	Resetting, Ranking, Verifying int
 	// Leaders is the number of agents outputting "leader".
@@ -346,6 +450,7 @@ func (s *System) Snapshot() Snapshot {
 	}
 	return Snapshot{
 		Interactions: ss.Interactions,
+		ParallelTime: s.ParallelTime(),
 		Resetting:    ss.Resetting,
 		Ranking:      ss.Ranking,
 		Verifying:    ss.Verifying,

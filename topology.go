@@ -183,6 +183,13 @@ func (s *System) topologize(sched Scheduler) (Scheduler, error) {
 		return sched, nil
 	}
 	if src, ok := sched.(*rng.PRNG); ok {
+		if s.clockMode == ClockContinuous || s.clockMode == ClockContinuousExact {
+			// Under the continuous clocks the scheduler carries the event
+			// clock itself: the next-reaction scheduler deals the same
+			// uniform-edge jump chain in distribution and timestamps every
+			// deal, starting from the parallel time already accrued.
+			return sim.NewNextReaction(s.graph, src, s.ParallelTime()), nil
+		}
 		return sim.NewEdgeSampler(s.graph, src), nil
 	}
 	if gs, ok := sched.(sim.GraphScheduler); ok && gs.Graph() != nil {

@@ -250,7 +250,8 @@ func TestWorkloadChurnCapabilityValidation(t *testing.T) {
 
 // TestWorkloadDynamicPopulation: a drifting-n schedule on ciw keeps the
 // engine's view of the population consistent — N() tracks the events, the
-// run recovers, and ParallelTime stays anchored at the starting size.
+// run recovers, and ParallelTime accrues per segment at the live population
+// size (each interaction contributes 1/n_live, not 1/n₀).
 func TestWorkloadDynamicPopulation(t *testing.T) {
 	const n0 = 32
 	sys, err := New(Config{Protocol: ProtocolCIW, N: n0, Seed: 4})
@@ -271,8 +272,14 @@ func TestWorkloadDynamicPopulation(t *testing.T) {
 	if !res.Stabilized {
 		t.Fatal("ciw did not re-stabilize after the population steps")
 	}
-	if got := float64(res.StabilizedAt) / float64(n0); res.ParallelTime != got {
-		t.Fatalf("ParallelTime %.3f not anchored at n0=%d (want %.3f)", res.ParallelTime, n0, got)
+	// Per-segment parallel time: [0,100) at n=32, [100,300) at 40, then the
+	// remainder at 24 — not StabilizedAt/n₀.
+	want := 100.0/32 + 200.0/40 + float64(res.StabilizedAt-300)/24
+	if res.ParallelTime != want {
+		t.Fatalf("ParallelTime %.6f not accrued at the live population sizes (want %.6f)", res.ParallelTime, want)
+	}
+	if anchored := float64(res.StabilizedAt) / float64(n0); res.ParallelTime == anchored {
+		t.Fatalf("ParallelTime %.6f is still anchored at n0=%d", res.ParallelTime, n0)
 	}
 	outs := res.EventOutcomes()
 	if len(outs) != 24 {
