@@ -1,11 +1,12 @@
 // backend.go implements backend selection and the public species surface.
 // A System can run its protocol on one of two simulation backends: the
-// agent backend stores one struct per agent (the default, and the only
-// choice for protocols with rich coupled state like ElectLeader_r), while
-// the species backend (internal/species) stores the population as a
-// multiset of states and samples interactions from the counts, reaching
-// populations of 10⁶–10⁸ agents. Protocols advertise a species form through
-// the compactable capability; Config.Backend selects explicitly, and
+// agent backend stores one struct per agent (the default), while the
+// species backend (internal/species) stores the population as a multiset of
+// states and samples interactions from the counts, reaching populations of
+// 10⁶–10⁸ agents. Protocols advertise a species form through the
+// compactable capability — every built-in protocol has one, including
+// ElectLeader_r, whose rich coupled state is interned behind canonical keys
+// (internal/core/compact.go); Config.Backend selects explicitly, and
 // BackendAuto picks the species backend for compactable protocols once the
 // population crosses SpeciesAutoThreshold.
 
@@ -54,6 +55,11 @@ const speciesSeedSalt = 0xA5A5_5A5A_0F0F_F0F0
 func resolveBackend(cfg Config, spec *protocolSpec) (string, error) {
 	_, compactable := sim.AsCompactable(spec.zero)
 	species := func() (string, error) {
+		if cfg.SyntheticCoins {
+			return "", fmt.Errorf("sspp: synthetic-coin mode has no species form "+
+				"(the Appendix B coin state is per-agent identity) — protocol %q with synthetic coins needs Backend: %q",
+				spec.name, BackendAgent)
+		}
 		if !cfg.Topology.IsComplete() {
 			return "", fmt.Errorf("sspp: the species backend supports only the complete topology "+
 				"(state-pair sampling has no agent adjacency; see the capability table, DESIGN.md §9) — "+

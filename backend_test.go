@@ -25,11 +25,13 @@ func TestBackendSelection(t *testing.T) {
 		{"default agent", Config{Protocol: ProtocolCIW, N: 16, Seed: 1}, BackendAgent, false},
 		{"explicit agent", Config{Protocol: ProtocolCIW, N: 16, Seed: 1, Backend: BackendAgent}, BackendAgent, false},
 		{"explicit species", Config{Protocol: ProtocolCIW, N: 16, Seed: 1, Backend: BackendSpecies}, BackendSpecies, false},
-		{"species needs compactable", Config{Protocol: ProtocolElectLeader, N: 16, R: 4, Seed: 1, Backend: BackendSpecies}, "", true},
+		{"species on electleader", Config{Protocol: ProtocolElectLeader, N: 16, R: 4, Seed: 1, Backend: BackendSpecies}, BackendSpecies, false},
+		{"species rejects synthetic coins", Config{Protocol: ProtocolElectLeader, N: 16, R: 4, Seed: 1, Backend: BackendSpecies, SyntheticCoins: true}, "", true},
 		{"species on fastle", Config{Protocol: ProtocolFastLE, N: 16, Seed: 1, Backend: BackendSpecies}, "", true},
 		{"auto below threshold", Config{Protocol: ProtocolCIW, N: 1024, Seed: 1, Backend: BackendAuto}, BackendAgent, false},
 		{"auto above threshold", Config{Protocol: ProtocolCIW, N: SpeciesAutoThreshold, Seed: 1, Backend: BackendAuto}, BackendSpecies, false},
-		{"auto non-compactable stays agent", Config{Protocol: ProtocolElectLeader, N: 256, R: 4, Seed: 1, Backend: BackendAuto}, BackendAgent, false},
+		{"auto electleader below threshold stays agent", Config{Protocol: ProtocolElectLeader, N: 256, R: 4, Seed: 1, Backend: BackendAuto}, BackendAgent, false},
+		{"auto electleader above threshold goes species", Config{Protocol: ProtocolElectLeader, N: SpeciesAutoThreshold, R: 64, Seed: 1, Backend: BackendAuto}, BackendSpecies, false},
 		{"unknown backend", Config{Protocol: ProtocolCIW, N: 16, Seed: 1, Backend: "quantum"}, "", true},
 	}
 	for _, tc := range cases {
@@ -111,6 +113,62 @@ func TestSpeciesPerAgentSurfacesDegrade(t *testing.T) {
 	}
 	if sys.CorrectRanking() {
 		t.Fatal("all-rank-1 start reported as a permutation")
+	}
+}
+
+// TestElectLeaderSpeciesEndToEnd: the paper's protocol runs on the species
+// backend through the public engine, stabilizes into its safe set, and
+// degrades its per-agent surfaces (identities do not exist under counts).
+func TestElectLeaderSpeciesEndToEnd(t *testing.T) {
+	sys, err := New(Config{Protocol: ProtocolElectLeader, N: 128, R: 16, Seed: 5, Backend: BackendSpecies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Backend() != BackendSpecies {
+		t.Fatalf("backend %q", sys.Backend())
+	}
+	res := sys.Run(Until(SafeSet), SchedulerSeed(9))
+	if res.Err != nil || !res.Stabilized {
+		t.Fatalf("species electleader did not stabilize: %+v", res)
+	}
+	if res.Condition != "safe-set" {
+		t.Fatalf("condition %q: the compact model's safe set was not dispatched", res.Condition)
+	}
+	if sys.Leaders() != 1 || !sys.Correct() || !sys.CorrectRanking() {
+		t.Fatalf("post-stabilization outputs: leaders=%d correct=%v ranking=%v",
+			sys.Leaders(), sys.Correct(), sys.CorrectRanking())
+	}
+	if got := sys.Ranks(); got != nil {
+		t.Fatalf("Ranks = %v on a count-based backend", got)
+	}
+	if _, ok := sys.Leader(); ok {
+		t.Fatal("Leader index exists without agent identities")
+	}
+	if err := sys.Inject(AdversaryTwoLeaders, 7); err == nil {
+		t.Fatal("Inject accepted on the species backend")
+	}
+}
+
+// TestElectLeaderSpeciesMillionAgents: the scale target of the compaction —
+// a population of 10⁶ agents builds and steps on the species backend (the
+// agent instance serves only as the configuration template). Bounded steps:
+// full stabilization at this scale is the nightly soak's job. The modest r
+// keeps the per-state payload (the O(r) ranking channel) small; throughput
+// as a function of r is experiment S3's subject.
+func TestElectLeaderSpeciesMillionAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n smoke test")
+	}
+	sys, err := New(Config{Protocol: ProtocolElectLeader, N: 1_000_000, R: 64, Seed: 1, Backend: BackendSpecies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(SchedulerSeed(2), MaxInteractions(200_000))
+	if res.Err != nil {
+		t.Fatalf("species electleader at n=10⁶: %v", res.Err)
+	}
+	if res.Interactions != 200_000 {
+		t.Fatalf("ran %d interactions, want the full 200000 budget", res.Interactions)
 	}
 }
 
@@ -229,8 +287,15 @@ func TestEnsembleBackendValidation(t *testing.T) {
 	g := base
 	g.Backend = BackendSpecies
 	g.Protocols = []string{ProtocolElectLeader}
+	if _, err := NewEnsemble(g); err != nil {
+		t.Errorf("species grid with electleader rejected: %v", err)
+	}
+
+	g = base
+	g.Backend = BackendSpecies
+	g.Protocols = []string{ProtocolFastLE}
 	if _, err := NewEnsemble(g); err == nil {
-		t.Error("species grid with electleader accepted")
+		t.Error("species grid with a non-compactable protocol accepted")
 	}
 
 	g = base

@@ -31,6 +31,7 @@ var capabilityProbes = []struct {
 		_, ok := p.(interface{ CorrectRanking() bool })
 		return ok
 	}},
+	{"leader-indexer", func(p sim.Protocol) bool { _, ok := sim.AsLeaderIndexer(p); return ok }},
 }
 
 // TestCapabilityDispatchMatrix enumerates protocol × capability × backend
@@ -44,21 +45,22 @@ func TestCapabilityDispatchMatrix(t *testing.T) {
 	rows := []row{
 		{ProtocolElectLeader, BackendAgent, map[string]bool{
 			CapabilityRanker: true, CapabilitySafeSet: true, CapabilityInjectable: true,
-			CapabilitySnapshotter: true, "ranking-checker": true, "clocked": true,
+			CapabilitySnapshotter: true, CapabilityCompactable: true,
+			"ranking-checker": true, "clocked": true, "leader-indexer": true,
 		}},
 		{ProtocolCIW, BackendAgent, map[string]bool{
 			CapabilityRanker: true, CapabilitySafeSet: true, CapabilityInjectable: true,
-			CapabilityCompactable: true, "ranking-checker": true,
+			CapabilityCompactable: true, "ranking-checker": true, "leader-indexer": true,
 		}},
 		{ProtocolNameRank, BackendAgent, map[string]bool{
 			CapabilityRanker: true, CapabilitySafeSet: true, CapabilityCompactable: true,
-			"ranking-checker": true,
+			"ranking-checker": true, "leader-indexer": true,
 		}},
 		{ProtocolLooseLE, BackendAgent, map[string]bool{
-			CapabilityInjectable: true, CapabilityCompactable: true,
+			CapabilityInjectable: true, CapabilityCompactable: true, "leader-indexer": true,
 		}},
 		{ProtocolFastLE, BackendAgent, map[string]bool{
-			CapabilitySafeSet: true,
+			CapabilitySafeSet: true, "leader-indexer": true,
 		}},
 		// The species backend swaps the protocol for its count-based form:
 		// per-agent capabilities (ranks, injection) disappear, the safe set
@@ -74,6 +76,14 @@ func TestCapabilityDispatchMatrix(t *testing.T) {
 		}},
 		{ProtocolLooseLE, BackendSpecies, map[string]bool{
 			"count-based": true, "clocked": true, "ranking-checker": true,
+		}},
+		// ElectLeader_r's species form (internal/core/compact.go): the safe
+		// set survives — the compact model checks Lemma 6.1 over counts —
+		// but per-agent surfaces (ranks, injection, snapshots, the leader's
+		// index) do not exist in a multiset.
+		{ProtocolElectLeader, BackendSpecies, map[string]bool{
+			CapabilitySafeSet: true, "count-based": true, "clocked": true,
+			"ranking-checker": true,
 		}},
 	}
 	for _, r := range rows {

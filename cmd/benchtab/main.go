@@ -48,8 +48,10 @@ type jsonTable struct {
 // registry (per-event recovery columns over Ensemble workload cells). v5:
 // the continuous-clock layer — the S2 table joined the registry (exact vs
 // tau-leaped continuous stepping, with a clock column and native parallel
-// times).
-const schemaVersion = 5
+// times). v6: ElectLeader_r's species form — the S3 table joined the
+// registry (faceted rows: agent-vs-species throughput over (n, r) plus
+// extended-range safe-set arrival with T1's normalization column).
+const schemaVersion = 6
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {

@@ -8,15 +8,19 @@
 // rules.
 //
 // Type assertions and type switches against the capability interfaces are
-// legal only in internal/sim/capability.go (where the helpers live). Test
-// files are exempt: asserting a capability is how tests state expectations
-// about the table itself.
+// legal only in internal/sim/capability.go (where the helpers live), and an
+// anonymous interface literal whose method-name set exactly matches a
+// capability is the same dispatch with the name erased — flagged too.
+// Narrower probes (a proper subset of a capability's methods) stay legal.
+// Test files are exempt: asserting a capability is how tests state
+// expectations about the table itself.
 package capdispatch
 
 import (
 	"go/ast"
 	"go/types"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"sspp/internal/analyzers/analysis"
@@ -29,10 +33,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // capabilities is the closed set of dispatch interfaces from
-// internal/sim/capability.go. Adding a capability means adding it here and
-// adding its As* helper next to the interface — which is the point.
+// internal/sim/capability.go. Adding a capability means adding it here, in
+// capabilityMethods below, and adding its As* helper next to the interface —
+// which is the point.
 var capabilities = map[string]bool{
 	"Ranker":            true,
+	"LeaderIndexer":     true,
 	"SafeSetter":        true,
 	"Injectable":        true,
 	"Snapshotter":       true,
@@ -43,6 +49,28 @@ var capabilities = map[string]bool{
 	"Compactable":       true,
 	"CountBased":        true,
 	"ContinuousStepper": true,
+}
+
+// capabilityMethods maps each capability to its exact method-name set, in
+// sorted order. An anonymous interface assertion whose method names equal a
+// capability's set is the same ad-hoc dispatch with the name erased — the
+// historical `interface{ LeaderIndex() (int, bool) }` in system.go predated
+// sim.LeaderIndexer exactly this way. Proper subsets stay legal: probing one
+// method of a wider capability (e.g. `interface{ CorrectRanking() bool }`)
+// is a narrower question than capability dispatch.
+var capabilityMethods = map[string][]string{
+	"Ranker":            {"CorrectRanking", "RankOutput"},
+	"LeaderIndexer":     {"LeaderIndex"},
+	"SafeSetter":        {"InSafeSet"},
+	"Injectable":        {"Inject", "InjectTransient"},
+	"Snapshotter":       {"SnapshotInto"},
+	"Clocked":           {"Clock"},
+	"Churnable":         {"ChurnBounds", "JoinAgent", "LeaveAgent"},
+	"CountChurnable":    {"CanChurn", "ChurnBounds", "JoinState", "LeaveState"},
+	"StateKeyer":        {"StateKey"},
+	"Compactable":       {"Compact"},
+	"CountBased":        {"BindSource", "StepMany"},
+	"ContinuousStepper": {"ParallelTime", "StartContinuous"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -78,25 +106,55 @@ func run(pass *analysis.Pass) error {
 }
 
 // check reports texpr when it names a capability interface defined in the
-// internal/sim package.
+// internal/sim package, or is an anonymous interface whose method-name set
+// exactly matches one of the capabilities.
 func check(pass *analysis.Pass, texpr ast.Expr) {
 	tv, ok := pass.TypesInfo.Types[texpr]
 	if !ok || tv.Type == nil {
 		return
 	}
-	named, ok := tv.Type.(*types.Named)
-	if !ok {
-		return
+	switch t := tv.Type.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil || !capabilities[obj.Name()] {
+			return
+		}
+		if !strings.HasSuffix(obj.Pkg().Path(), "internal/sim") {
+			return
+		}
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			return
+		}
+		pass.Reportf(texpr.Pos(), "type assertion against capability interface sim.%s outside internal/sim/capability.go; dispatch through sim.As%s so the capability table stays the single source of truth", obj.Name(), obj.Name())
+	case *types.Interface:
+		if name := matchCapabilityShape(t); name != "" {
+			pass.Reportf(texpr.Pos(), "anonymous interface assertion has the method set of capability sim.%s; dispatch through sim.As%s so the capability table stays the single source of truth", name, name)
+		}
 	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || !capabilities[obj.Name()] {
-		return
+}
+
+// matchCapabilityShape returns the capability whose method-name set the
+// interface equals exactly, or "".
+func matchCapabilityShape(iface *types.Interface) string {
+	names := make([]string, iface.NumMethods())
+	for i := range names {
+		names[i] = iface.Method(i).Name()
 	}
-	if !strings.HasSuffix(obj.Pkg().Path(), "internal/sim") {
-		return
+	sort.Strings(names)
+	for cap, methods := range capabilityMethods {
+		if len(methods) != len(names) {
+			continue
+		}
+		equal := true
+		for i := range methods {
+			if methods[i] != names[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return cap
+		}
 	}
-	if _, isIface := named.Underlying().(*types.Interface); !isIface {
-		return
-	}
-	pass.Reportf(texpr.Pos(), "type assertion against capability interface sim.%s outside internal/sim/capability.go; dispatch through sim.As%s so the capability table stays the single source of truth", obj.Name(), obj.Name())
+	return ""
 }

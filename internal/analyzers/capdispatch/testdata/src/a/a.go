@@ -40,3 +40,43 @@ func allowlisted(p sim.Protocol) bool {
 	_, ok := p.(sim.Compactable) //sspp:allow capdispatch -- fixture: documented escape hatch
 	return ok
 }
+
+func adHocNamed(p sim.Protocol) (int, bool) {
+	if li, ok := p.(sim.LeaderIndexer); ok { // want `capability interface sim\.LeaderIndexer outside internal/sim/capability\.go`
+		return li.LeaderIndex()
+	}
+	return 0, false
+}
+
+// An anonymous interface with a capability's exact method-name set is the
+// same ad-hoc dispatch with the name erased.
+func adHocAnonymous(p sim.Protocol) (int, bool) {
+	if li, ok := p.(interface{ LeaderIndex() (int, bool) }); ok { // want `anonymous interface assertion has the method set of capability sim\.LeaderIndexer`
+		return li.LeaderIndex()
+	}
+	return 0, false
+}
+
+func adHocAnonymousSwitch(p sim.Protocol) bool {
+	switch p.(type) {
+	case interface{ InSafeSet() bool }: // want `anonymous interface assertion has the method set of capability sim\.SafeSetter`
+		return true
+	}
+	return false
+}
+
+// A proper subset of a capability's method set is a narrower probe, not
+// capability dispatch: legal.
+func subsetProbe(p sim.Protocol) bool {
+	_, ok := p.(interface{ CorrectRanking() bool })
+	return ok
+}
+
+// A superset is not the capability either.
+func supersetProbe(p sim.Protocol) bool {
+	_, ok := p.(interface {
+		LeaderIndex() (int, bool)
+		Flush() error
+	})
+	return ok
+}

@@ -12,6 +12,10 @@ type Ranker interface {
 	RankOutput(i int) int32
 }
 
+type LeaderIndexer interface {
+	LeaderIndex() (int, bool)
+}
+
 type SafeSetter interface {
 	InSafeSet() bool
 }
@@ -23,6 +27,11 @@ type Compactable interface {
 func AsRanker(p any) (Ranker, bool) {
 	r, ok := p.(Ranker)
 	return r, ok
+}
+
+func AsLeaderIndexer(p any) (LeaderIndexer, bool) {
+	li, ok := p.(LeaderIndexer)
+	return li, ok
 }
 
 func AsSafeSetter(p any) (SafeSetter, bool) {

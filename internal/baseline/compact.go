@@ -19,9 +19,10 @@ import (
 	"sspp/internal/sim"
 )
 
-// The baselines all have species forms; the paper's ElectLeader_r does not
-// (its per-agent state couples to neighbors through message queues and
-// probation clocks far too rich to count by state).
+// The baselines all have species forms. The paper's ElectLeader_r has one
+// too (internal/core/compact.go): its rich composite states are interned
+// behind canonical keys, with Release-based table eviction keeping the
+// intern table at O(occupied states).
 var (
 	_ sim.Compactable = (*CIW)(nil)
 	_ sim.Compactable = (*LooseLE)(nil)

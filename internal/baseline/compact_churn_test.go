@@ -1,0 +1,103 @@
+// compact_churn_test.go covers the count-level churn hooks of the baseline
+// species forms (CompactModel.Churn) and the StateKey encoding bridge: join
+// classes must land in the states the adversary class names, CIW's Rescale
+// must track the live population, and LooseLE's per-agent StateKey must
+// reproduce the Init multiset exactly.
+
+package baseline
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+	"sspp/internal/species"
+)
+
+func TestCIWCompactChurnHooks(t *testing.T) {
+	const n = 8
+	c := NewCIW(n)
+	cm := c.Compact()
+	sp, err := species.NewSystem(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	for _, class := range []string{"", "clean-rankers"} {
+		k, err := cm.Churn.Join(class, n+1, sp, src)
+		if err != nil || k != 1 {
+			t.Fatalf("join class %q: key %d err %v, want the clean rank 1", class, k, err)
+		}
+	}
+	k, err := cm.Churn.Join("random-garbage", n+1, sp, src)
+	if err != nil || k < 1 || k > n+1 {
+		t.Fatalf("random-garbage join: key %d err %v, want a rank in [1, %d]", k, err, n+1)
+	}
+	k, err = cm.Churn.Join("duplicate-ranks", n+1, sp, src)
+	if err != nil || sp.Count(k) == 0 {
+		t.Fatalf("duplicate-ranks join: key %d (count %d) err %v, want an occupied rank", k, sp.Count(k), err)
+	}
+	if _, err := cm.Churn.Join("no-leader", n+1, sp, src); err == nil {
+		t.Fatal("class no-leader accepted as a CIW join state")
+	}
+
+	// Growing keeps existing keys valid; shrinking clamps them to the new
+	// wrap bound so the key space stays [1, n].
+	bound, remap := cm.Churn.Rescale(n + 2)
+	if bound != n+3 || remap != nil {
+		t.Fatalf("grow rescale: bound %d remap %v, want %d and no remap", bound, remap != nil, n+3)
+	}
+	bound, remap = cm.Churn.Rescale(4)
+	if bound != 5 || remap == nil {
+		t.Fatalf("shrink rescale: bound %d remap %v, want 5 with a clamping remap", bound, remap != nil)
+	}
+	if remap(7) != 4 || remap(3) != 3 {
+		t.Fatalf("shrink remap: 7→%d 3→%d, want out-of-range ranks clamped to 4 and in-range kept", remap(7), remap(3))
+	}
+}
+
+func TestLooseLEStateKeyAndJoinClasses(t *testing.T) {
+	const (
+		n   = 6
+		tau = int32(4)
+	)
+	l := NewLooseLE(n, tau)
+	cm := l.Compact()
+
+	// StateKey must reproduce the Init multiset agent by agent.
+	counts := make(map[uint64]int64, 4)
+	for i := 0; i < n; i++ {
+		counts[l.StateKey(i)]++
+	}
+	keys, occ := cm.Init()
+	if len(keys) != len(counts) {
+		t.Fatalf("Init occupies %d states, StateKey tallies %d", len(keys), len(counts))
+	}
+	for j, k := range keys {
+		if counts[k] != occ[j] {
+			t.Fatalf("state %#x: Init count %d, StateKey tally %d", k, occ[j], counts[k])
+		}
+	}
+
+	src := rng.New(9)
+	joins := []struct {
+		class string
+		want  uint64
+	}{
+		{"", looseKey(false, tau)},
+		{"no-leader", looseKey(false, 0)},
+		{"two-leaders", looseKey(true, tau)},
+	}
+	for _, j := range joins {
+		k, err := cm.Churn.Join(j.class, n, nil, src)
+		if err != nil || k != j.want {
+			t.Fatalf("join class %q: key %#x err %v, want %#x", j.class, k, err, j.want)
+		}
+	}
+	k, err := cm.Churn.Join("random-garbage", n, nil, src)
+	if err != nil || int32(k>>1) > tau {
+		t.Fatalf("random-garbage join: key %#x err %v, want a timer in [0, %d]", k, err, tau)
+	}
+	if _, err := cm.Churn.Join("duplicate-ranks", n, nil, src); err == nil {
+		t.Fatal("class duplicate-ranks accepted as a LooseLE join state")
+	}
+}

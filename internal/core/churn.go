@@ -18,7 +18,7 @@ import "sspp/internal/coin"
 func (p *Protocol) ReplaceAgent(i int) {
 	p.untrack(i)
 	a := &p.agents[i]
-	a.Coin = coin.NewState(coin.WidthFor(int(p.consts.Ranking.IDSpace)), p.src.Uint64())
+	a.Coin = coin.NewState(coin.WidthFor(int(p.dyn.consts.Ranking.IDSpace)), p.src.Uint64())
 	if p.synthetic {
 		p.samplers[i] = a.Coin.Sample
 	}

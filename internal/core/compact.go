@@ -1,0 +1,292 @@
+// compact.go implements the Compactable capability for ElectLeader_r: the
+// composite (ranking, verify, detect, probation) per-agent state is too rich
+// for a packed key, so the model interns canonical encodings (key.go) in a
+// table it owns — the NameRank pattern (internal/baseline/compact.go) — and
+// runs the exact same pair dynamics (dynamics.go) over deep copies of the
+// interned states. Unlike the baselines, ElectLeader_r's reachable state
+// space is effectively unbounded (probation timers, countdowns and message
+// multisets make almost every interaction mint fresh states), so the model
+// also wires the engine's Release hook: dead table entries are evicted and
+// their keys recycled, bounding the table at O(occupied states) instead of
+// O(interactions).
+//
+// The model draws all protocol randomness from the instance's own PRNG and
+// deliberately ignores the engine-passed source: with matched seeds, an
+// agent-level instance and a species run of its compact model consume the
+// identical random sequence, which is what makes the exact-mirror
+// equivalence test (compact_test.go) bit-for-bit rather than statistical.
+
+package core
+
+import (
+	"fmt"
+
+	"sspp/internal/coin"
+	"sspp/internal/detect"
+	"sspp/internal/reset"
+	"sspp/internal/rng"
+	"sspp/internal/sim"
+	"sspp/internal/verify"
+)
+
+var _ sim.Compactable = (*Protocol)(nil)
+
+// compactModel is the interning machinery behind Compact: a table of
+// canonical agent states indexed by key, the intern map from canonical
+// encoding to key, and the scratch that keeps the per-interaction deep
+// copies allocation-free once warm.
+type compactModel struct {
+	// dyn shares the instance's constants, parameters and event sink, but
+	// owns its scratch and free lists: a species run must not disturb the
+	// template instance's recycling pools.
+	dyn    dynamics
+	n      int
+	sample coin.Sampler
+	clock  uint64
+
+	tab    []Agent           // interned canonical states, indexed by key
+	names  []string          // canonical encodings, parallel to tab
+	intern map[string]uint64 // canonical encoding → key
+	free   []uint64          // recycled keys (released table slots)
+	enc    []byte            // encoding scratch
+
+	u, v Agent // React's working copies
+	jw   Agent // Join's working copy
+
+	// Safe-set scratch: epoch-tagged rank-distinctness array plus the
+	// coherence-walk buffers, mirroring Protocol's (correct.go).
+	rankEpoch []uint64
+	epoch     uint64
+	cohRanks  []int32
+	cohStates []*detect.State
+	coh       *detect.CohScratch
+}
+
+// keyOf interns a's canonical encoding and returns its key, deep-copying the
+// state into the table on first sight. Keys of released states are reused,
+// so a key is only meaningful while its state stays occupied — exactly the
+// engine's contract for Release-bearing models.
+func (m *compactModel) keyOf(a *Agent) uint64 {
+	m.enc = appendAgentKey(m.enc[:0], a)
+	if id, ok := m.intern[string(m.enc)]; ok {
+		return id
+	}
+	var id uint64
+	if k := len(m.free); k > 0 {
+		id = m.free[k-1]
+		m.free = m.free[:k-1]
+	} else {
+		id = uint64(len(m.tab))
+		m.tab = append(m.tab, Agent{})
+		m.names = append(m.names, "")
+	}
+	m.dyn.copyAgentInto(&m.tab[id], a)
+	name := string(m.enc)
+	m.intern[name] = id
+	m.names[id] = name
+	return id
+}
+
+// release evicts key's table entry: the intern mapping dies, the per-role
+// states return to the free lists, and the key becomes reusable.
+func (m *compactModel) release(key uint64) {
+	name := m.names[key]
+	if name == "" {
+		return
+	}
+	delete(m.intern, name)
+	m.names[key] = ""
+	a := &m.tab[key]
+	m.dyn.releaseAR(a)
+	m.dyn.releaseSV(a)
+	*a = Agent{}
+	m.free = append(m.free, key)
+}
+
+// react applies one ElectLeader_r interaction to the ordered state pair: the
+// interned states are deep-copied into working agents, the shared pair
+// dynamics run, and the successors are interned. The engine's source is
+// ignored — see the package comment.
+//
+//sspp:hotpath
+func (m *compactModel) react(a, b uint64, _ *rng.PRNG) (uint64, uint64) {
+	m.dyn.copyAgentInto(&m.u, &m.tab[a])
+	m.dyn.copyAgentInto(&m.v, &m.tab[b])
+	m.clock++
+	m.dyn.interactPair(&m.u, &m.v, m.sample, m.sample, m.clock)
+	return m.keyOf(&m.u), m.keyOf(&m.v)
+}
+
+// join returns the key of an agent joining under the named adversary class.
+// The class names mirror internal/adversary (which cannot be imported here:
+// it depends on this package). Classes that corrupt per-agent fields with
+// the adversary's randomness (random-garbage) have no count-level form.
+func (m *compactModel) join(class string, _ int, _ sim.CountView, _ *rng.PRNG) (uint64, error) {
+	jw := &m.jw
+	switch class {
+	case "", "clean-rankers":
+		m.dyn.reinitRanker(jw)
+	case "triggered":
+		m.dyn.releaseAR(jw)
+		m.dyn.releaseSV(jw)
+		jw.Role = RoleResetting
+		jw.Reset = reset.Triggered(m.dyn.consts.Reset)
+		jw.Countdown = 0
+		jw.Rank = 0
+	default:
+		return 0, fmt.Errorf("core: class %q not realizable as an electleader species join state", class)
+	}
+	return m.keyOf(jw), nil
+}
+
+// safeSet mirrors Protocol.InSafeSet (correct.go) over the count multiset:
+// all agents verifiers with a distinct in-range rank, no detector in ⊤, at
+// most two adjacent generations with the behind one off probation, then the
+// per-generation message-coherence walk. detect.Coherent is order-
+// independent, so the unspecified CountView iteration order is safe.
+func (m *compactModel) safeSet(v sim.CountView) bool {
+	if v.N() != m.n {
+		return false
+	}
+	m.epoch++
+	var genCount, probCount [verify.Generations]int64
+	ok := true
+	v.Each(func(key uint64, c int64) bool {
+		a := &m.tab[key]
+		// A duplicated full state duplicates its rank, so c must be 1.
+		if c != 1 || a.Role != RoleVerifying || a.SV == nil {
+			ok = false
+			return false
+		}
+		r := a.Rank
+		if r < 1 || int(r) > m.n || m.rankEpoch[r-1] == m.epoch {
+			ok = false
+			return false
+		}
+		m.rankEpoch[r-1] = m.epoch
+		if a.SV.DC != nil && a.SV.DC.Err {
+			ok = false
+			return false
+		}
+		g := a.SV.Generation % verify.Generations
+		genCount[g]++
+		if a.SV.Probation != 0 {
+			probCount[g]++
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	distinct := 0
+	for g := 0; g < verify.Generations; g++ {
+		if genCount[g] > 0 {
+			distinct++
+		}
+	}
+	switch distinct {
+	case 1:
+	case 2:
+		adjacent := false
+		for g := 0; g < verify.Generations; g++ {
+			next := (g + 1) % verify.Generations
+			if genCount[g] > 0 && genCount[next] > 0 && probCount[g] == 0 {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			return false
+		}
+	default:
+		return false
+	}
+	if m.coh == nil {
+		m.coh = detect.NewCohScratch()
+	}
+	for gen := uint8(0); gen < verify.Generations; gen++ {
+		if genCount[gen] == 0 {
+			continue
+		}
+		m.cohRanks = m.cohRanks[:0]
+		m.cohStates = m.cohStates[:0]
+		v.Each(func(key uint64, _ int64) bool {
+			a := &m.tab[key]
+			if a.SV.Generation%verify.Generations == gen {
+				m.cohRanks = append(m.cohRanks, a.Rank)
+				m.cohStates = append(m.cohStates, a.SV.DC)
+			}
+			return true
+		})
+		if !detect.Coherent(m.dyn.vp.Detect, m.cohRanks, m.cohStates, m.coh) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compact describes ElectLeader_r in species form: interned canonical state
+// keys over the shared pair dynamics, with Release-based table eviction. The
+// model captures the instance — a species run starts from exactly this
+// instance's configuration and consumes its protocol PRNG. Per-agent
+// identity surfaces (LeaderIndex, snapshots, transient injection) do not
+// survive compaction; the engine degrades them per the capability table
+// (DESIGN.md §8). Synthetic-coin mode has no species form at all: the coin
+// state is per-agent identity by construction (Appendix B), and the backend
+// resolver rejects the combination before ever calling Compact.
+func (p *Protocol) Compact() sim.CompactModel {
+	if p.synthetic {
+		panic("core: synthetic-coin mode has no species form (per-agent coin state); run the agent backend")
+	}
+	return newCompactModel(p).model(p)
+}
+
+// newCompactModel builds the interning machinery for a species run of p.
+// Split from Compact so the exact-mirror test can reach the intern table.
+func newCompactModel(p *Protocol) *compactModel {
+	return &compactModel{
+		dyn: dynamics{
+			n:       p.dyn.n,
+			consts:  p.dyn.consts,
+			vp:      p.dyn.vp,
+			events:  p.dyn.events,
+			scratch: detect.NewScratch(),
+		},
+		n:         p.n,
+		sample:    coin.FromPRNG(p.src),
+		intern:    make(map[string]uint64),
+		rankEpoch: make([]uint64, p.n),
+	}
+}
+
+// model assembles the sim.CompactModel view over m, capturing p for Init.
+func (m *compactModel) model(p *Protocol) sim.CompactModel {
+	return sim.CompactModel{
+		Init: func() ([]uint64, []int64) {
+			order := make([]uint64, 0, 8)
+			counts := make(map[uint64]int64, 8)
+			for i := range p.agents {
+				k := m.keyOf(&p.agents[i])
+				if counts[k] == 0 {
+					order = append(order, k)
+				}
+				counts[k]++
+			}
+			occ := make([]int64, len(order))
+			for i, k := range order {
+				occ[i] = counts[k]
+			}
+			return order, occ
+		},
+		React:   m.react,
+		Leader:  func(key uint64) bool { return rankOutputOf(&m.tab[key]) == 1 },
+		Rank:    func(key uint64) int32 { return rankOutputOf(&m.tab[key]) },
+		SafeSet: m.safeSet,
+		Churn: &sim.CompactChurn{
+			MinN: p.n,
+			MaxN: p.n,
+			Join: m.join,
+		},
+		Release: m.release,
+	}
+}

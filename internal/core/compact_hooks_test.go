@@ -1,0 +1,136 @@
+// compact_hooks_test.go covers the species-form churn and safe-set hooks of
+// the compact model directly: join classes must intern the same states the
+// agent-level churn path installs, and the count-level safe set must agree
+// with Protocol.InSafeSet on the configurations TestInSafeSetConditions
+// pins at the agent level.
+
+package core
+
+import (
+	"testing"
+
+	"sspp/internal/rng"
+	"sspp/internal/species"
+)
+
+func TestCompactJoinClasses(t *testing.T) {
+	p := mustNew(t, 8, 2)
+	m := newCompactModel(p)
+	cm := m.model(p)
+	src := rng.New(3)
+
+	clean, err := cm.Churn.Join("", p.n, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := cm.Churn.Join("clean-rankers", p.n, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != named {
+		t.Fatalf("join %#x under %q and %#x under %q: the canonical clean join state must intern once",
+			clean, "", named, "clean-rankers")
+	}
+	if m.tab[clean].Role != RoleRanking {
+		t.Fatalf("clean join state has role %v, want a fresh ranker", m.tab[clean].Role)
+	}
+
+	trig, err := cm.Churn.Join("triggered", p.n, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := &m.tab[trig]; a.Role != RoleResetting || a.Rank != 0 {
+		t.Fatalf("triggered join state has role %v rank %d, want a resetting agent with no rank", a.Role, a.Rank)
+	}
+
+	// Classes that corrupt per-agent fields with adversary randomness have
+	// no count-level form.
+	if _, err := cm.Churn.Join("random-garbage", p.n, nil, src); err == nil {
+		t.Fatal("random-garbage accepted as a species join class")
+	}
+	// Replacement churn only: the model pins the population size.
+	if cm.Churn.MinN != p.n || cm.Churn.MaxN != p.n {
+		t.Fatalf("churn bounds [%d, %d], want replacement-only [%d, %d]", cm.Churn.MinN, cm.Churn.MaxN, p.n, p.n)
+	}
+}
+
+// shrunkView misreports the population size by one, exercising the safe
+// set's population check.
+type shrunkView struct{ *species.System }
+
+func (v shrunkView) N() int { return v.System.N() - 1 }
+
+// TestCompactSafeSetMirrorsAgentLevel mirrors TestInSafeSetConditions over
+// the count multiset: for each pinned configuration, the compact model's
+// safe set must return exactly what Protocol.InSafeSet returns.
+func TestCompactSafeSetMirrorsAgentLevel(t *testing.T) {
+	allVerifiers := func(p *Protocol) {
+		for i := 0; i < p.n; i++ {
+			p.ForceVerifier(i, int32(i+1))
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(p *Protocol)
+		want   bool
+	}{
+		{"fresh rankers", func(*Protocol) {}, false},
+		{"single-generation verifiers", allVerifiers, true},
+		{"behind generation on probation", func(p *Protocol) {
+			allVerifiers(p)
+			p.SetGeneration(0, 1)
+		}, false},
+		{"adjacent generations, behind off probation", func(p *Protocol) {
+			allVerifiers(p)
+			p.SetGeneration(0, 1)
+			for i := 1; i < p.n; i++ {
+				p.SetProbation(i, 0)
+			}
+		}, true},
+		{"generation gap 2", func(p *Protocol) {
+			allVerifiers(p)
+			p.SetGeneration(0, 2)
+			for i := 1; i < p.n; i++ {
+				p.SetProbation(i, 0)
+			}
+		}, false},
+		{"duplicate rank", func(p *Protocol) {
+			allVerifiers(p)
+			p.ForceVerifier(0, 2)
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustNew(t, 8, 2)
+			tc.mutate(p)
+			m := newCompactModel(p)
+			sp, err := species.NewSystem(m.model(p), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.safeSet(sp); got != tc.want {
+				t.Fatalf("species safe set = %v, want %v", got, tc.want)
+			}
+			if agent := p.InSafeSet(); agent != tc.want {
+				t.Fatalf("agent-level safe set = %v disagrees with the pinned expectation %v", agent, tc.want)
+			}
+			if tc.want {
+				// A population-size mismatch must fail the safe set
+				// regardless of the configuration.
+				if m.safeSet(shrunkView{sp}) {
+					t.Fatal("safe set accepted a view with the wrong population size")
+				}
+			}
+		})
+	}
+}
+
+// TestCompactPublicEntry exercises the exported Compact method (the mirror
+// tests build the model through newCompactModel to reach the intern table).
+func TestCompactPublicEntry(t *testing.T) {
+	p := mustNew(t, 8, 2)
+	cm := p.Compact()
+	if cm.Init == nil || cm.React == nil || cm.SafeSet == nil || cm.Churn == nil || cm.Release == nil {
+		t.Fatal("Compact must populate the full model surface")
+	}
+}

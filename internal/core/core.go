@@ -90,18 +90,19 @@ const (
 // Protocol is one ElectLeader_r instance. It implements sim.Protocol. It is
 // not safe for concurrent use.
 type Protocol struct {
-	n      int
-	r      int
-	consts Constants
-	vp     verify.Params
+	n int
+	r int
+
+	// dyn is the identity-free transition machinery (dynamics.go): the
+	// constants, verify/detect parameters, event sink, detect scratch and
+	// per-role free lists, shared verbatim with the compact model.
+	dyn dynamics
 
 	agents   []Agent
 	samplers []coin.Sampler
 
 	synthetic bool
 	src       *rng.PRNG
-	events    *sim.Events
-	scratch   *detect.Scratch
 	clock     uint64
 
 	// Incremental predicate counters (counters.go). Maintained by
@@ -115,11 +116,6 @@ type Protocol struct {
 	rankExcess int                     // Σ_rank max(0, rankCount-1)
 	rankOOR    int                     // agents with out-of-range rank output
 	leaderSum  int                     // Σ of indices of rank-1 agents
-
-	// Free lists recycling the O(g²) per-role states across role
-	// transitions (counters.go), cutting GC pressure in reset-heavy runs.
-	arFree []*ranking.State
-	svFree []*verify.State
 
 	// Reusable buffers of the safe-set coherence check (correct.go).
 	coh       *detect.CohScratch
@@ -185,16 +181,19 @@ func New(n, r int, opts ...Option) (*Protocol, error) {
 	dp := detect.NewParamsWithRefresh(n, r, consts.DetectRefresh)
 	dp.SetNoBalance(consts.DisableLoadBalance)
 	p := &Protocol{
-		n:         n,
-		r:         r,
-		consts:    consts,
-		vp:        verify.Params{PMax: consts.PMax, Detect: dp, HardOnly: consts.DisableSoftReset},
+		n: n,
+		r: r,
+		dyn: dynamics{
+			n:       n,
+			consts:  consts,
+			vp:      verify.Params{PMax: consts.PMax, Detect: dp, HardOnly: consts.DisableSoftReset},
+			events:  cfg.events,
+			scratch: detect.NewScratch(),
+		},
 		agents:    make([]Agent, n),
 		samplers:  make([]coin.Sampler, n),
 		synthetic: cfg.synthetic,
 		src:       rng.New(cfg.seed),
-		events:    cfg.events,
-		scratch:   detect.NewScratch(),
 		rankCount: make([]int32, n),
 	}
 	width := coin.WidthFor(int(consts.Ranking.IDSpace))
@@ -221,72 +220,30 @@ func (p *Protocol) N() int { return p.n }
 func (p *Protocol) R() int { return p.r }
 
 // Constants returns the protocol's constants.
-func (p *Protocol) Constants() Constants { return p.consts }
+func (p *Protocol) Constants() Constants { return p.dyn.consts }
 
 // VerifyParams returns the StableVerify_r parameters (tests and the
 // adversary package need them to build type-valid states).
-func (p *Protocol) VerifyParams() verify.Params { return p.vp }
+func (p *Protocol) VerifyParams() verify.Params { return p.dyn.vp }
 
 // Clock returns the number of interactions applied so far.
 func (p *Protocol) Clock() uint64 { return p.clock }
 
 // Events returns the attached event sink (possibly nil).
-func (p *Protocol) Events() *sim.Events { return p.events }
+func (p *Protocol) Events() *sim.Events { return p.dyn.events }
 
 // Agent returns agent i's state for inspection. Mutations should go through
 // the Force* methods, which keep states type-valid.
 func (p *Protocol) Agent(i int) *Agent { return &p.agents[i] }
 
-// reinitRanker is the Reset routine (Protocol 6): agent i becomes a fresh
-// ranker with a clean qAR and a full countdown. Discarded states are
-// recycled through the free lists.
-func (p *Protocol) reinitRanker(i int) {
-	p.releaseSV(i)
-	a := &p.agents[i]
-	a.Role = RoleRanking
-	a.Reset = reset.State{}
-	a.Countdown = p.consts.CountdownMax
-	ar := a.AR // reuse the agent's own state in place when it has one
-	if ar == nil {
-		ar = p.popAR()
-	}
-	a.AR = ranking.ReinitInto(p.consts.Ranking, ar)
-	a.Rank = 0
-}
+// reinitRanker is the Reset routine (Protocol 6) on agent i (dynamics.go).
+func (p *Protocol) reinitRanker(i int) { p.dyn.reinitRanker(&p.agents[i]) }
 
-// triggerReset is TriggerReset (Protocol 5): agent i becomes a triggered
-// resetter, discarding all other state.
-func (p *Protocol) triggerReset(i int) {
-	p.releaseAR(i)
-	p.releaseSV(i)
-	a := &p.agents[i]
-	a.Role = RoleResetting
-	a.Reset = reset.Triggered(p.consts.Reset)
-	a.Rank = 0
-	p.events.IncAt(EventHardReset, p.clock)
-}
+// triggerReset is TriggerReset (Protocol 5) on agent i (dynamics.go).
+func (p *Protocol) triggerReset(i int) { p.dyn.triggerReset(&p.agents[i], p.clock) }
 
-// becomeVerifier is Protocol 1 lines 7–8: the ranker commits its computed
-// rank and enters verification with q0,SV.
-func (p *Protocol) becomeVerifier(i int) {
-	a := &p.agents[i]
-	rank := int32(1)
-	if a.AR != nil {
-		rank = a.AR.Rank
-	}
-	if rank < 1 {
-		rank = 1
-	}
-	if int(rank) > p.n {
-		rank = int32(p.n)
-	}
-	p.releaseAR(i)
-	a.Role = RoleVerifying
-	a.Rank = rank
-	a.SV = verify.ReinitInto(p.vp, rank, p.popSV())
-	a.Countdown = 0
-	p.events.IncAt(EventBecameVerifier, p.clock)
-}
+// becomeVerifier is Protocol 1 lines 7–8 on agent i (dynamics.go).
+func (p *Protocol) becomeVerifier(i int) { p.dyn.becomeVerifier(&p.agents[i], p.clock) }
 
 // Interact applies one ElectLeader_r interaction (Protocol 1) to the ordered
 // pair (a, b). Only the two participating agents can change, so the
@@ -302,7 +259,9 @@ func (p *Protocol) Interact(a, b int) {
 	p.track(b)
 }
 
-// interact is the tracking-free transition body of Interact.
+// interact is the tracking-free transition body of Interact: the clock
+// tick, the synthetic-coin observation (the only per-agent-identity piece
+// of the transition), then the shared pair dynamics.
 //
 //sspp:hotpath
 func (p *Protocol) interact(a, b int) {
@@ -311,63 +270,5 @@ func (p *Protocol) interact(a, b int) {
 	if p.synthetic {
 		coin.Observe(&u.Coin, &v.Coin)
 	}
-
-	// Lines 1–2: PropagateReset when the initiator is a resetter.
-	if u.Role == RoleResetting {
-		uo, vo := reset.Step(p.consts.Reset,
-			true, &u.Reset, v.Role == RoleResetting, &v.Reset)
-		p.applyResetOutcome(a, uo)
-		p.applyResetOutcome(b, vo)
-	}
-
-	// Lines 3–5: two rankers execute AssignRanks_r and tick countdowns.
-	if u.Role == RoleRanking && v.Role == RoleRanking {
-		ranking.Interact(p.consts.Ranking, u.AR, v.AR, p.samplers[a], p.samplers[b])
-		if u.Countdown > 0 {
-			u.Countdown--
-		}
-		if v.Countdown > 0 {
-			v.Countdown--
-		}
-	}
-
-	// Lines 6–8: rankers whose countdown expired, or who meet a verifier,
-	// become verifiers — sequentially, so one transition can pull the
-	// partner along (the epidemic of Lemma F.1).
-	for _, pair := range [2][2]int{{a, b}, {b, a}} {
-		i, j := pair[0], pair[1]
-		ai, aj := &p.agents[i], &p.agents[j]
-		if ai.Role == RoleRanking && (ai.Countdown <= 0 || aj.Role == RoleVerifying) {
-			p.becomeVerifier(i)
-		}
-	}
-
-	// Lines 9–10: two verifiers execute StableVerify_r.
-	if u.Role == RoleVerifying && v.Role == RoleVerifying {
-		uAct, vAct := verify.Interact(p.vp,
-			u.Rank, u.SV, v.Rank, v.SV,
-			p.samplers[a], p.samplers[b], p.scratch, p.events, p.clock)
-		if uAct == verify.ActHardReset {
-			p.triggerReset(a)
-		}
-		if vAct == verify.ActHardReset {
-			p.triggerReset(b)
-		}
-	}
-}
-
-// applyResetOutcome applies a PropagateReset outcome to agent i.
-func (p *Protocol) applyResetOutcome(i int, o reset.Outcome) {
-	switch o {
-	case reset.OutInfected:
-		p.releaseAR(i)
-		p.releaseSV(i)
-		a := &p.agents[i]
-		a.Role = RoleResetting
-		a.Rank = 0
-		p.events.IncAt(EventInfected, p.clock)
-	case reset.OutAwaken:
-		p.reinitRanker(i)
-		p.events.IncAt(EventAwaken, p.clock)
-	}
+	p.dyn.interactPair(u, v, p.samplers[a], p.samplers[b], p.clock)
 }

@@ -12,8 +12,11 @@ import (
 // RankOutput returns agent i's current rank output: committed rank for
 // verifiers, the AssignRanks_r belief for rankers (initialized to 1, per
 // Appendix D), and the degenerate belief 1 for resetters.
-func (p *Protocol) RankOutput(i int) int32 {
-	a := &p.agents[i]
+func (p *Protocol) RankOutput(i int) int32 { return rankOutputOf(&p.agents[i]) }
+
+// rankOutputOf is the identity-free output mapping shared by the agent
+// backend (RankOutput) and the species-form compact model (compact.go).
+func rankOutputOf(a *Agent) int32 {
 	switch a.Role {
 	case RoleVerifying:
 		return a.Rank
@@ -138,7 +141,7 @@ func (p *Protocol) messagesCoherent() bool {
 				p.cohStates = append(p.cohStates, a.SV.DC)
 			}
 		}
-		if !detect.Coherent(p.vp.Detect, p.cohRanks, p.cohStates, p.coh) {
+		if !detect.Coherent(p.dyn.vp.Detect, p.cohRanks, p.cohStates, p.coh) {
 			return false
 		}
 	}

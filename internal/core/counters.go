@@ -118,42 +118,14 @@ func (p *Protocol) snapshotCounters() counterSnapshot {
 	}
 }
 
-// releaseAR returns agent i's ranker state to the free list.
-func (p *Protocol) releaseAR(i int) {
-	a := &p.agents[i]
-	if a.AR != nil {
-		p.arFree = append(p.arFree, a.AR)
-		a.AR = nil
-	}
-}
+// releaseAR returns agent i's ranker state to the free list (dynamics.go).
+func (p *Protocol) releaseAR(i int) { p.dyn.releaseAR(&p.agents[i]) }
 
-// releaseSV returns agent i's verifier state to the free list.
-func (p *Protocol) releaseSV(i int) {
-	a := &p.agents[i]
-	if a.SV != nil {
-		p.svFree = append(p.svFree, a.SV)
-		a.SV = nil
-	}
-}
+// releaseSV returns agent i's verifier state to the free list (dynamics.go).
+func (p *Protocol) releaseSV(i int) { p.dyn.releaseSV(&p.agents[i]) }
 
 // popAR pops a recycled ranker state, or nil when the free list is empty.
-func (p *Protocol) popAR() *ranking.State {
-	if n := len(p.arFree); n > 0 {
-		s := p.arFree[n-1]
-		p.arFree[n-1] = nil
-		p.arFree = p.arFree[:n-1]
-		return s
-	}
-	return nil
-}
+func (p *Protocol) popAR() *ranking.State { return p.dyn.popAR() }
 
 // popSV pops a recycled verifier state, or nil when the free list is empty.
-func (p *Protocol) popSV() *verify.State {
-	if n := len(p.svFree); n > 0 {
-		s := p.svFree[n-1]
-		p.svFree[n-1] = nil
-		p.svFree = p.svFree[:n-1]
-		return s
-	}
-	return nil
-}
+func (p *Protocol) popSV() *verify.State { return p.dyn.popSV() }

@@ -1,32 +1,57 @@
 // key.go provides a canonical binary encoding of full agent states, used by
 // the observed-state-space experiment (T15): counting distinct keys over a
 // run measures how much of the 2^O(r²·log n) theoretical state space a real
-// execution actually visits.
+// execution actually visits — and by the species-backend compact model
+// (compact.go), whose intern table maps each canonical encoding to one
+// counted species. The encoding is therefore collision-critical: every
+// timer and rank is written at full width (Rank and Countdown exceed 2¹⁶
+// well before the n = 10⁶ populations the species backend targets), and a
+// presence byte separates a nil sub-state from a zero-valued one.
 
 package core
+
+// appendI32 appends v as 4 little-endian bytes.
+func appendI32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
 
 // AgentKey appends a canonical encoding of agent i's full state to b and
 // returns the extended slice. Two agents (or one agent at two times) with
 // equal keys are in the identical protocol state, including every timer,
-// message and observation.
+// message and observation. The synthetic per-agent coin (Appendix B) is
+// deliberately excluded: the real-randomness dynamics never read it, and
+// the compact model refuses synthetic instances outright.
 func (p *Protocol) AgentKey(i int, b []byte) []byte {
-	a := &p.agents[i]
+	return appendAgentKey(b, &p.agents[i])
+}
+
+// appendAgentKey is AgentKey over a bare agent, detached from any Protocol:
+// the compact model encodes scratch agents that belong to no population.
+func appendAgentKey(b []byte, a *Agent) []byte {
 	b = append(b, byte(a.Role))
 	switch a.Role {
 	case RoleResetting:
-		b = append(b, byte(a.Reset.Count), byte(a.Reset.Count>>8),
-			byte(a.Reset.Delay), byte(a.Reset.Delay>>8))
+		b = appendI32(b, a.Reset.Count)
+		b = appendI32(b, a.Reset.Delay)
 	case RoleRanking:
-		b = append(b, byte(a.Countdown), byte(a.Countdown>>8), byte(a.Countdown>>16))
-		if a.AR != nil {
+		b = appendI32(b, a.Countdown)
+		if a.AR == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
 			b = a.AR.AppendKey(b)
 		}
 	case RoleVerifying:
-		b = append(b, byte(a.Rank), byte(a.Rank>>8))
-		if a.SV != nil {
-			b = append(b, a.SV.Generation,
-				byte(a.SV.Probation), byte(a.SV.Probation>>8), byte(a.SV.Probation>>16))
-			if a.SV.DC != nil {
+		b = appendI32(b, a.Rank)
+		if a.SV == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1, a.SV.Generation)
+			b = appendI32(b, a.SV.Probation)
+			if a.SV.DC == nil {
+				b = append(b, 0)
+			} else {
+				b = append(b, 1)
 				b = a.SV.DC.AppendKey(b)
 			}
 		}

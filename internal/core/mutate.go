@@ -31,7 +31,7 @@ func (p *Protocol) ForceVerifier(i int, rank int32) {
 	if sv == nil {
 		sv = p.popSV()
 	}
-	a.SV = verify.ReinitInto(p.vp, rank, sv)
+	a.SV = verify.ReinitInto(p.dyn.vp, rank, sv)
 	a.Countdown = 0
 	a.Reset = reset.State{}
 	p.track(i)
@@ -53,7 +53,7 @@ func (p *Protocol) ForceTriggered(i int) {
 	p.releaseSV(i)
 	a := &p.agents[i]
 	a.Role = RoleResetting
-	a.Reset = reset.Triggered(p.consts.Reset)
+	a.Reset = reset.Triggered(p.dyn.consts.Reset)
 	a.Rank = 0
 	p.track(i)
 }
@@ -64,8 +64,8 @@ func (p *Protocol) ForceDormant(i int, delay int32) {
 	if delay < 1 {
 		delay = 1
 	}
-	if delay > p.consts.Reset.DMax {
-		delay = p.consts.Reset.DMax
+	if delay > p.dyn.consts.Reset.DMax {
+		delay = p.dyn.consts.Reset.DMax
 	}
 	p.untrack(i)
 	p.releaseAR(i)
@@ -97,8 +97,8 @@ func (p *Protocol) SetProbation(i int, v int32) {
 	if v < 0 {
 		v = 0
 	}
-	if v > p.consts.PMax {
-		v = p.consts.PMax
+	if v > p.dyn.consts.PMax {
+		v = p.dyn.consts.PMax
 	}
 	p.untrack(i)
 	a.SV.Probation = v
@@ -115,8 +115,8 @@ func (p *Protocol) SetCountdown(i int, v int32) {
 	if v < 0 {
 		v = 0
 	}
-	if v > p.consts.CountdownMax {
-		v = p.consts.CountdownMax
+	if v > p.dyn.consts.CountdownMax {
+		v = p.dyn.consts.CountdownMax
 	}
 	a.Countdown = v
 }
@@ -129,7 +129,7 @@ func (p *Protocol) TamperMessages(i int) bool {
 	if a.Role != RoleVerifying || a.SV == nil || a.SV.DC == nil {
 		return false
 	}
-	return detect.TamperForeignMessage(p.vp.Detect, a.Rank, a.SV.DC)
+	return detect.TamperForeignMessage(p.dyn.vp.Detect, a.Rank, a.SV.DC)
 }
 
 // DuplicateMessage copies a circulating message from verifier src into
@@ -140,5 +140,5 @@ func (p *Protocol) DuplicateMessage(src, dst int) bool {
 	if as.Role != RoleVerifying || ad.Role != RoleVerifying || as.SV == nil || ad.SV == nil {
 		return false
 	}
-	return detect.DuplicateMessageInto(p.vp.Detect, as.Rank, as.SV.DC, ad.Rank, ad.SV.DC)
+	return detect.DuplicateMessageInto(p.dyn.vp.Detect, as.Rank, as.SV.DC, ad.Rank, ad.SV.DC)
 }

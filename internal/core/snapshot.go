@@ -23,8 +23,8 @@ var (
 func (p *Protocol) SnapshotInto(s *sim.Snapshot) {
 	s.Resetting, s.Ranking, s.Verifying = p.Roles()
 	s.Leaders = p.Leaders()
-	s.HardResets = p.events.Count(EventHardReset)
-	s.SoftResets = p.events.Count(verify.EventSoftReset)
-	s.Tops = p.events.Count(verify.EventTop)
+	s.HardResets = p.dyn.events.Count(EventHardReset)
+	s.SoftResets = p.dyn.events.Count(verify.EventSoftReset)
+	s.Tops = p.dyn.events.Count(verify.EventTop)
 	s.InSafeSet = p.InSafeSet()
 }

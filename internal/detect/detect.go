@@ -208,40 +208,66 @@ func (s *State) MessageCount() int {
 }
 
 // Clone returns a deep copy of the state.
-func (s *State) Clone() *State {
-	out := &State{
-		Err:       s.Err,
-		Signature: s.Signature,
-		Counter:   s.Counter,
-		Msgs:      make([][]msg, len(s.Msgs)),
-		Obs:       append([]int32(nil), s.Obs...),
+func (s *State) Clone() *State { return s.CloneInto(nil) }
+
+// CloneInto deep-copies s into dst, reusing dst's row and observation
+// buffers; a nil dst allocates a fresh state. The species-backend compact
+// model copies interned representatives into reaction scratch on every
+// interaction, so this path must not allocate once the buffers have grown.
+func (s *State) CloneInto(dst *State) *State {
+	if dst == nil {
+		dst = &State{}
+	}
+	dst.Err, dst.Signature, dst.Counter = s.Err, s.Signature, s.Counter
+	dst.Obs = append(dst.Obs[:0], s.Obs...)
+	if cap(dst.Msgs) >= len(s.Msgs) {
+		dst.Msgs = dst.Msgs[:len(s.Msgs)]
+	} else {
+		rows := make([][]msg, len(s.Msgs))
+		copy(rows, dst.Msgs) // keep already-grown row buffers
+		dst.Msgs = rows
 	}
 	for i, row := range s.Msgs {
-		out.Msgs[i] = append([]msg(nil), row...)
+		dst.Msgs[i] = append(dst.Msgs[i][:0], row...)
 	}
-	return out
+	return dst
+}
+
+// appendI32 appends v as 4 little-endian bytes.
+func appendI32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // AppendKey appends a canonical encoding of the state to b and returns the
 // extended slice. Two states with the same key are semantically identical:
-// the in-row message order (which BalanceLoad permutes) is canonicalized by
-// sorting on ID. The model checker uses keys to deduplicate configurations.
+// the in-row message order (which BalanceLoad permutes) is canonicalized to
+// the (content, id) row order of sortMsgs — the invariant clean executions
+// already maintain, so the common case encodes in place without copying.
+// Every field is encoded at full width: signatures range over [1, 2g²·n²]
+// and counters over [0, RefreshRate], both of which overflow narrower
+// encodings long before the n = 10⁶ populations the species backend runs.
+// The model checker and the compact-model intern tables use keys to
+// deduplicate configurations, so a truncation here is a state collision.
 func (s *State) AppendKey(b []byte) []byte {
 	if s.Err {
 		return append(b, 0xFF)
 	}
-	b = append(b, byte(s.Signature), byte(s.Signature>>8), byte(s.Counter))
+	b = appendI32(b, s.Signature)
+	b = appendI32(b, s.Counter)
 	for _, row := range s.Msgs {
-		sorted := append([]msg(nil), row...)
-		slices.SortFunc(sorted, func(a, c msg) int { return int(a.id) - int(c.id) })
+		if !msgsSorted(row) {
+			row = append([]msg(nil), row...)
+			sortMsgs(row)
+		}
 		b = append(b, 0xFE)
-		for _, m := range sorted {
-			b = append(b, byte(m.id), byte(m.id>>8), byte(m.content), byte(m.content>>8))
+		for _, m := range row {
+			b = appendI32(b, m.id)
+			b = appendI32(b, m.content)
 		}
 	}
 	b = append(b, 0xFD)
 	for _, o := range s.Obs {
-		b = append(b, byte(o), byte(o>>8))
+		b = appendI32(b, o)
 	}
 	return b
 }

@@ -177,6 +177,7 @@ func All() map[string]Generator {
 		"A4":      A4LoadBalanceAblation,
 		"S1":      S1SpeciesBackend,
 		"S2":      S2TauLeapClock,
+		"S3":      S3ElectLeaderSpecies,
 		"T-ring":  TRingTopology,
 		"T-churn": TChurnWorkload,
 	}
@@ -198,7 +199,7 @@ func IDs() []string {
 }
 
 // idKey orders the experiments for presentation: T1, F1, F2, T2..T16, the
-// ablations A1..A4, the scale experiments S1..S2, then the topology and
+// ablations A1..A4, the scale experiments S1..S3, then the topology and
 // churn experiments.
 func idKey(id string) int {
 	if id == "T-ring" {

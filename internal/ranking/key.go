@@ -21,9 +21,23 @@ func (s *State) AppendKey(b []byte) []byte {
 	b = appendI32(b, s.Label.Serial)
 	b = appendI32(b, s.SleepT)
 	b = appendI32(b, s.Rank)
-	b = append(b, byte(len(s.Channel)))
-	for _, c := range s.Channel {
-		b = appendI32(b, c)
+	// The channel is run-length encoded: a length prefix (nil and empty are
+	// distinct states — channelSum treats nil as "no channel"), then
+	// (run length, value) pairs over maximal runs. Maximal runs make the
+	// encoding canonical, and channels are overwhelmingly long runs of equal
+	// serials (all zeros on a fresh ranker), so the encoding is O(runs)
+	// bytes instead of O(r) — which is what keeps the species backend's
+	// intern table cheap at large r.
+	b = appendI32(b, int32(len(s.Channel)))
+	for i := 0; i < len(s.Channel); {
+		v := s.Channel[i]
+		j := i + 1
+		for j < len(s.Channel) && s.Channel[j] == v {
+			j++
+		}
+		b = appendI32(b, int32(j-i))
+		b = appendI32(b, v)
+		i = j
 	}
 	return b
 }

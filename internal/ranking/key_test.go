@@ -1,0 +1,83 @@
+// key_test.go checks the canonical state encoding of key.go: equal states
+// share a key, any field difference separates keys, and the run-length
+// encoded channel stays O(runs) bytes — the property the species backend's
+// intern table depends on at large r.
+
+package ranking
+
+import (
+	"bytes"
+	"testing"
+)
+
+// keyState returns a state with every encoded field away from its zero
+// value, so a key collision from a dropped field would show up.
+func keyState() *State {
+	return &State{
+		Phase:     PhaseSheriff,
+		LE:        LEState{Drawn: true, ID: 7, MinID: 3, Count: 2, Done: true, Leader: true},
+		LowBadge:  1,
+		HighBadge: 4,
+		DeputyID:  2,
+		Counter:   5,
+		HasLabel:  true,
+		Label:     Label{Deputy: 2, Serial: 9},
+		SleepT:    1,
+		Rank:      3,
+		Channel:   []int32{0, 0, 0, 4, 4},
+	}
+}
+
+func TestAppendKeyCanonical(t *testing.T) {
+	a, b := keyState(), keyState()
+	if !bytes.Equal(a.AppendKey(nil), b.AppendKey(nil)) {
+		t.Fatal("equal states must encode to equal keys")
+	}
+	// Same channel length and value multiset, different run structure.
+	b.Channel = []int32{0, 0, 4, 4, 0}
+	if bytes.Equal(a.AppendKey(nil), b.AppendKey(nil)) {
+		t.Fatal("distinct channels must encode to distinct keys")
+	}
+	b = keyState()
+	b.Rank = 4
+	if bytes.Equal(a.AppendKey(nil), b.AppendKey(nil)) {
+		t.Fatal("distinct ranks must encode to distinct keys")
+	}
+	b = keyState()
+	b.LE.Leader = false
+	if bytes.Equal(a.AppendKey(nil), b.AppendKey(nil)) {
+		t.Fatal("distinct leader bits must encode to distinct keys")
+	}
+	// AppendKey extends the slice it is given.
+	prefix := []byte{0xAA, 0x55}
+	key := a.AppendKey(prefix)
+	if !bytes.Equal(key[:2], prefix) || len(key) <= 2 {
+		t.Fatalf("AppendKey must append after the existing prefix, got %d bytes", len(key))
+	}
+}
+
+func TestAppendKeyChannelRunLengthEncoding(t *testing.T) {
+	// A constant channel of any length is one run: the key size must not
+	// grow with r. A fresh ranker's channel is exactly this shape, which is
+	// what keeps interning cheap on the species backend.
+	small, large := keyState(), keyState()
+	small.Channel = make([]int32, 8)
+	large.Channel = make([]int32, 4096)
+	ks, kl := small.AppendKey(nil), large.AppendKey(nil)
+	if len(ks) != len(kl) {
+		t.Fatalf("constant channels encode in %d and %d bytes; one run must cost O(1)", len(ks), len(kl))
+	}
+	if bytes.Equal(ks, kl) {
+		t.Fatal("the length prefix must separate channels of different lengths")
+	}
+	// An alternating channel is all runs of one: the encoding degrades to
+	// O(len) but must stay canonical.
+	alt := keyState()
+	alt.Channel = []int32{1, 2, 1, 2}
+	if !bytes.Equal(alt.AppendKey(nil), alt.AppendKey(nil)) {
+		t.Fatal("encoding must be deterministic")
+	}
+	if len(alt.AppendKey(nil)) <= len(ks) {
+		t.Fatal("an all-singleton-runs channel must cost more than a one-run channel")
+	}
+}

@@ -21,6 +21,14 @@ type Ranker interface {
 	CorrectRanking() bool
 }
 
+// LeaderIndexer is implemented by protocols that can name the index of the
+// unique leader agent (ok false while zero or several agents output
+// "leader"). It is a per-agent identity surface: count-based backends do not
+// implement it, and the engine's Leader() degrades to (-1, false) there.
+type LeaderIndexer interface {
+	LeaderIndex() (int, bool)
+}
+
 // SafeSetter is implemented by protocols with a checkable safe set: a set of
 // configurations that is closed under every interaction and in which the
 // output is correct — correct forever, the paper's notion of stabilization
@@ -197,6 +205,16 @@ type CompactModel struct {
 	// (joins and leaves changing n mid-run); the species system then exposes
 	// the CountChurnable capability.
 	Churn *CompactChurn
+	// Release, when non-nil, is called by the engine after a state's count
+	// returns to zero (never mid-transition: only once the full interaction
+	// or churn event has settled). Models that intern rich states behind
+	// their keys use it to evict dead table entries and recycle the key —
+	// without it, a protocol whose reachable state space is effectively
+	// unbounded (ElectLeader_r's timers and message multisets) would grow
+	// its intern table linearly with the interaction count. After Release,
+	// the model may hand the same key out again for a different state, so
+	// the engine must not cache released keys.
+	Release func(key uint64)
 }
 
 // CompactChurn is the churn declaration of a CompactModel: how joins pick
@@ -266,6 +284,10 @@ type ContinuousStepper interface {
 
 // AsRanker reports whether v exposes the full-ranking output capability.
 func AsRanker(v any) (Ranker, bool) { r, ok := v.(Ranker); return r, ok }
+
+// AsLeaderIndexer reports whether v can name the unique leader agent's
+// index (a per-agent identity surface; absent on count-based backends).
+func AsLeaderIndexer(v any) (LeaderIndexer, bool) { l, ok := v.(LeaderIndexer); return l, ok }
 
 // AsSafeSetter reports whether v exposes a checkable safe set.
 func AsSafeSetter(v any) (SafeSetter, bool) { s, ok := v.(SafeSetter); return s, ok }

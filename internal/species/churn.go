@@ -78,6 +78,7 @@ func (s *System) LeaveState(src *rng.PRNG) (uint64, error) {
 	}
 	s.add(key, -1)
 	s.setN(s.n - 1)
+	s.reap(key)
 	return key, nil
 }
 
@@ -138,6 +139,7 @@ func (s *System) remapKeys(remap func(uint64) uint64) {
 	for _, m := range moves {
 		s.add(m.from, -m.count)
 		s.add(m.to, m.count)
+		s.reap(m.from)
 	}
 }
 
@@ -176,6 +178,11 @@ func (s *System) ApplyDeltas(deltas []workload.KeyDelta) error {
 				return fmt.Errorf("species: recorded delta state %#x outside the rescaled state space %d", d.Key, len(s.dense))
 			}
 			s.add(d.Key, d.Delta)
+		}
+	}
+	for _, d := range deltas {
+		if d.Delta < 0 {
+			s.reap(d.Key)
 		}
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 type equivConfig struct {
 	protocol string
 	n        int
+	r        int // trade-off parameter (electleader only; 0 otherwise)
 	trials   int
 	baseSeed uint64
 	// budget overrides the per-run interaction budget (0: the protocol's
@@ -48,7 +49,7 @@ func collectSamples(t *testing.T, cfg equivConfig, backend string, workers int) 
 		protoSeed := src.Uint64()
 		schedSeed := src.Uint64()
 		sys, err := sspp.New(sspp.Config{
-			Protocol: cfg.protocol, N: cfg.n, Seed: protoSeed, Backend: backend,
+			Protocol: cfg.protocol, N: cfg.n, R: cfg.r, Seed: protoSeed, Backend: backend,
 		})
 		if err != nil {
 			return outcome{}
@@ -85,6 +86,7 @@ func equivCases(t *testing.T) []equivConfig {
 		{protocol: sspp.ProtocolCIW, n: 512, trials: trialsN, baseSeed: 1001},
 		{protocol: sspp.ProtocolLooseLE, n: 512, trials: trialsN, baseSeed: 1002},
 		{protocol: sspp.ProtocolNameRank, n: 512, trials: trialsN, baseSeed: 1003},
+		{protocol: sspp.ProtocolElectLeader, n: 512, r: 128, trials: trialsN, baseSeed: 1004},
 	}
 }
 

@@ -59,6 +59,7 @@ func TestSoakBackendEquivalenceLargeN(t *testing.T) {
 		{protocol: sspp.ProtocolCIW, n: 4096, trials: report.Trials, baseSeed: 9001},
 		{protocol: sspp.ProtocolLooseLE, n: 4096, trials: report.Trials, baseSeed: 9002,
 			budget: 8 * 4096 * 4096},
+		{protocol: sspp.ProtocolElectLeader, n: 4096, r: 512, trials: report.Trials, baseSeed: 9005},
 	} {
 		start := time.Now()
 		agent, agentFail := collectSamples(t, cfg, sspp.BackendAgent, 0)

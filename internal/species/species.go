@@ -229,6 +229,20 @@ func (s *System) add(key uint64, delta int64) {
 	}
 }
 
+// reap notifies the model when state key's count has returned to zero after
+// a fully settled transition or churn event, so interning models
+// (CompactModel.Release) can evict the dead table entry and recycle the key.
+// Callers must only reap after every add of the enclosing event has been
+// applied: a key consumed and re-produced by the same reaction still has
+// agents and must stay live.
+//
+//sspp:hotpath
+func (s *System) reap(key uint64) {
+	if s.model.Release != nil && s.Count(key) == 0 {
+		s.model.Release(key)
+	}
+}
+
 // N returns the population size.
 func (s *System) N() int { return s.n }
 
@@ -359,6 +373,7 @@ func (s *System) stepDiagonal(k uint64) {
 		s.add(key, -2)
 		s.add(k1, 1)
 		s.add(k2, 1)
+		s.reap(key)
 	}
 }
 
@@ -380,6 +395,10 @@ func (s *System) stepAll(k uint64) {
 		s.add(kb, -1)
 		s.add(k1, 1)
 		s.add(k2, 1)
+		s.reap(ka)
+		if kb != ka {
+			s.reap(kb)
+		}
 	}
 }
 
@@ -421,6 +440,10 @@ func (s *System) ApplyPair(a, b uint64) error {
 	s.add(b, -1)
 	s.add(k1, 1)
 	s.add(k2, 1)
+	s.reap(a)
+	if b != a {
+		s.reap(b)
+	}
 	return nil
 }
 

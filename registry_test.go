@@ -10,7 +10,7 @@ import (
 // matrix of DESIGN.md §7.
 func TestProtocolsCatalogue(t *testing.T) {
 	wantCaps := map[string][]string{
-		ProtocolElectLeader: {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilitySnapshotter, CapabilityChurnable},
+		ProtocolElectLeader: {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilitySnapshotter, CapabilityCompactable, CapabilityChurnable},
 		ProtocolCIW:         {CapabilityRanker, CapabilitySafeSet, CapabilityInjectable, CapabilityCompactable, CapabilityChurnable},
 		ProtocolNameRank:    {CapabilityRanker, CapabilitySafeSet, CapabilityCompactable},
 		ProtocolLooseLE:     {CapabilityInjectable, CapabilityCompactable, CapabilityChurnable},

@@ -308,11 +308,18 @@ func (s *System) Run(opts ...RunOption) Result {
 	// Safe-set fallback: protocols without a checkable safe set are measured
 	// at the output level instead — correct output held through a
 	// confirmation window (20·n interactions unless Confirm was given).
+	// Defaulted quantities derived from n (this window, the poll cadence,
+	// the observation cadence) track the LIVE population: churn events
+	// recompute them below, so a grown population is not measured on the
+	// starting size's scales. Explicit Confirm/PollEvery/Observe cadences
+	// stay exactly as given.
+	confirmDefaulted := false
 	if spec.cond.safeSet {
 		if _, ok := sim.AsSafeSetter(s.proto); !ok {
 			spec.cond = CorrectOutput
 			if spec.confirm == 0 {
 				spec.confirm = uint64(20 * n)
+				confirmDefaulted = true
 			}
 		}
 	}
@@ -341,8 +348,9 @@ func (s *System) Run(opts ...RunOption) Result {
 			}
 		}
 	}
+	pollDefaulted := spec.poll == 0
 	poll := spec.poll
-	if poll == 0 {
+	if pollDefaulted {
 		poll = spec.cond.cadence(n)
 	}
 	sched := spec.sched
@@ -402,8 +410,9 @@ func (s *System) Run(opts ...RunOption) Result {
 		}
 		tracer = newTraceRecorder(s)
 	}
+	obsDefaulted := spec.observe != nil && spec.obsEvery == 0
 	obsEvery := spec.obsEvery
-	if spec.observe != nil && obsEvery == 0 {
+	if obsDefaulted {
 		obsEvery = uint64(n)
 	}
 
@@ -482,6 +491,20 @@ func (s *System) Run(opts ...RunOption) Result {
 					s.tk.SetN(nn)
 				}
 				n = nn
+				// Re-derive every defaulted n-anchored cadence from the live
+				// population. Anchoring them at n₀ forever would confirm a 10×
+				// grown population over a window 10× too short (and poll /
+				// observe it 10× too often); the already-scheduled nextPoll and
+				// nextObs marks stand — only the spacing after them changes.
+				if confirmDefaulted {
+					spec.confirm = uint64(20 * n)
+				}
+				if pollDefaulted {
+					poll = spec.cond.cadence(n)
+				}
+				if obsDefaulted {
+					obsEvery = uint64(n)
+				}
 			}
 			outcomes[fi].Fired = true
 			outcomes[fi].N = n

@@ -1,0 +1,48 @@
+// speciesrand_test.go covers the Rand handle user species models draw
+// randomness through: every method must forward to the bound scheduler
+// stream, keeping a randomized user model runnable end to end.
+
+package sspp
+
+import "testing"
+
+func TestSpeciesModelRandHandle(t *testing.T) {
+	const n = 64
+	sys, err := NewSpecies(SpeciesModel{
+		States: 2,
+		Init: func() ([]uint64, []int64) {
+			return []uint64{0, 1}, []int64{n - 1, 1}
+		},
+		React: func(a, b uint64, rnd *Rand) (uint64, uint64) {
+			// Draw through every Rand method; the draws also perturb the
+			// epidemic so a broken forwarder would surface as a stall or a
+			// panic on the nil stream.
+			u := rnd.Uint64()
+			i := rnd.Intn(4)
+			f := rnd.Float64()
+			flip := rnd.Bool()
+			if a == 1 || b == 1 {
+				return 1, 1
+			}
+			if u%16 == 0 && i == 0 && f < 0.25 && flip {
+				return 1, b // spontaneous infection, rare
+			}
+			return a, b
+		},
+		Leader:  func(key uint64) bool { return key == 1 },
+		Correct: func(v StateCounts) bool { return v.Count(1) == n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(Until(CorrectOutput), SchedulerSeed(3), MaxInteractions(1_000_000))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Stabilized {
+		t.Fatalf("randomized epidemic did not finish: %+v", res)
+	}
+	if got := CorrectOutput.String(); got != res.Condition {
+		t.Fatalf("CorrectOutput.String() = %q, Result.Condition = %q", got, res.Condition)
+	}
+}

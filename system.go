@@ -326,7 +326,7 @@ func (s *System) DefaultBudget() uint64 {
 // ElectLeader_r (the core tracks the leader incrementally); a scan for the
 // baselines.
 func (s *System) Leader() (int, bool) {
-	if li, ok := s.proto.(interface{ LeaderIndex() (int, bool) }); ok {
+	if li, ok := sim.AsLeaderIndexer(s.proto); ok {
 		return li.LeaderIndex()
 	}
 	return -1, false
