@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"runtime"
 	"testing"
+
+	"sspp/internal/sim"
 )
 
 // TestBackendSelection: "" and "agent" stay agent-level, "species" requires
@@ -146,6 +148,50 @@ func TestElectLeaderSpeciesEndToEnd(t *testing.T) {
 	}
 	if err := sys.Inject(AdversaryTwoLeaders, 7); err == nil {
 		t.Fatal("Inject accepted on the species backend")
+	}
+}
+
+// TestSpeciesCleanStartFastPath pins the clean-start constructor wiring
+// (registry compactClean → System.New): an electleader species build through
+// the fast path must be bit-for-bit equivalent to the instance-backed
+// compactProto path at matched seeds — same stabilization time, same events,
+// same snapshot — because the fast path is an optimization, not a semantics
+// change.
+func TestSpeciesCleanStartFastPath(t *testing.T) {
+	cfg := Config{Protocol: ProtocolElectLeader, N: 256, R: 32, Seed: 11, Backend: BackendSpecies}
+	fast, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-fast-path build, assembled by hand: construct the agent
+	// instance and compact it away, exactly as New did before compactClean.
+	spec, err := specFor(cfg.Protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sim.NewEvents()
+	p, err := spec.build(cfg, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err = compactProto(p, cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	slow := &System{proto: p, events: ev, cfg: cfg, spec: spec, backend: BackendSpecies, clockMode: ClockDiscrete}
+
+	resFast := fast.Run(Until(SafeSet), SchedulerSeed(3))
+	resSlow := slow.Run(Until(SafeSet), SchedulerSeed(3))
+	if resFast.Err != nil || resSlow.Err != nil {
+		t.Fatalf("run errors: fast=%v slow=%v", resFast.Err, resSlow.Err)
+	}
+	if resFast != resSlow {
+		t.Fatalf("results diverged:\nfast: %+v\nslow: %+v", resFast, resSlow)
+	}
+	if sf, ss := fast.Snapshot(), slow.Snapshot(); sf != ss {
+		t.Fatalf("snapshots diverged:\nfast: %+v\nslow: %+v", sf, ss)
+	}
+	if fast.Events() != slow.Events() {
+		t.Fatalf("event counts diverged:\nfast: %s\nslow: %s", fast.Events(), slow.Events())
 	}
 }
 

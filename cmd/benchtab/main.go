@@ -19,8 +19,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"sspp"
@@ -50,8 +48,10 @@ type jsonTable struct {
 // tau-leaped continuous stepping, with a clock column and native parallel
 // times). v6: ElectLeader_r's species form — the S3 table joined the
 // registry (faceted rows: agent-vs-species throughput over (n, r) plus
-// extended-range safe-set arrival with T1's normalization column).
-const schemaVersion = 6
+// extended-range safe-set arrival with T1's normalization column). v7: the
+// serve layer — the S4 table joined the registry (cold-vs-warm sppd cache
+// latency, hit ratios under overlapping request mixes).
+const schemaVersion = 7
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
@@ -150,32 +150,6 @@ func run() error {
 	return nil
 }
 
-// parseTopology maps a -topology flag value to a public Topology.
-func parseTopology(name string) (sspp.Topology, error) {
-	switch {
-	case name == "" || name == "complete":
-		return sspp.Complete(), nil
-	case name == "ring":
-		return sspp.Ring(), nil
-	case name == "torus":
-		return sspp.Torus2D(), nil
-	case strings.HasPrefix(name, "random-regular="):
-		d, err := strconv.Atoi(strings.TrimPrefix(name, "random-regular="))
-		if err != nil {
-			return sspp.Topology{}, fmt.Errorf("bad -topology degree in %q: %v", name, err)
-		}
-		return sspp.RandomRegular(d), nil
-	case strings.HasPrefix(name, "erdos-renyi="):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(name, "erdos-renyi="), 64)
-		if err != nil {
-			return sspp.Topology{}, fmt.Errorf("bad -topology density in %q: %v", name, err)
-		}
-		return sspp.ErdosRenyi(p), nil
-	default:
-		return sspp.Topology{}, fmt.Errorf("unknown -topology %q (want complete, ring, torus, random-regular=D or erdos-renyi=P)", name)
-	}
-}
-
 // runCompare crosses every registry protocol over shared parameter points
 // and starting classes through the public Ensemble — one engine, every
 // protocol — and renders the pivoted comparison (text or CompareResult
@@ -189,7 +163,7 @@ func runCompare(quick bool, seeds int, baseSeed uint64, workers int, jsonOut boo
 			seeds = 3
 		}
 	}
-	top, err := parseTopology(topology)
+	top, err := sspp.ParseTopology(topology)
 	if err != nil {
 		return err
 	}

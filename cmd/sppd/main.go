@@ -1,0 +1,56 @@
+// Command sppd serves simulations over HTTP: Ensemble grid specs go in,
+// content-addressed cell results come out (internal/serve). Repeated and
+// overlapping grids are served from the result cache byte-identically to a
+// fresh computation, and the endpoints expose SSE checkpoint feeds and
+// bit-exact trial replays (README "sppd" and DESIGN.md §12).
+//
+// Usage:
+//
+//	sppd                       # listen on 127.0.0.1:8377, in-memory cache only
+//	sppd -addr :9000           # explicit listen address
+//	sppd -workers 4            # bound concurrent cell simulations
+//	sppd -cache 10000          # in-memory LRU capacity (cells)
+//	sppd -dir /var/lib/sppd    # persist results and replays on disk
+//
+// The first line on stdout is always "sppd listening on <resolved addr>",
+// printed after the listener is bound — scripts (and examples/client) can
+// pass -addr 127.0.0.1:0 and parse the resolved port from it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"sspp/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sppd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "max concurrent cell simulations (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "in-memory result cache capacity in cells (0 = 4096)")
+		dir     = flag.String("dir", "", "on-disk store directory (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	srv, err := serve.NewServer(serve.Options{Workers: *workers, CacheEntries: *cache, Dir: *dir})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sppd listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

@@ -124,8 +124,10 @@ func gridSeeds(s int) int {
 
 // Ensemble executes a Grid across a worker pool. Build with NewEnsemble.
 type Ensemble struct {
-	grid    Grid
-	workers int
+	grid     Grid
+	workers  int
+	obsEvery uint64
+	obsFn    func(TrialObservation)
 }
 
 // EnsembleOption configures NewEnsemble.
@@ -135,6 +137,42 @@ type EnsembleOption func(*Ensemble)
 // GOMAXPROCS). Results are byte-identical for every value.
 func Workers(k int) EnsembleOption {
 	return func(e *Ensemble) { e.workers = k }
+}
+
+// TrialObservation is one Observe checkpoint of one ensemble trial.
+type TrialObservation struct {
+	// Cell is the trial's cell index in grid declaration order — the index
+	// into EnsembleResult.Cells (protocols outermost, then topologies,
+	// clocks, points, adversaries).
+	Cell int
+	// Seed is the trial's seed index within the cell.
+	Seed int
+	// Snapshot is the population snapshot at the checkpoint.
+	Snapshot Snapshot
+}
+
+// ObserveTrials streams every trial's Observe checkpoints during Run: fn
+// receives a TrialObservation every cadence interactions of every trial
+// (plus the final state of each run, per Observe's contract). Trials run
+// concurrently across the worker pool, so fn must be safe for concurrent
+// use; checkpoints of one trial arrive in order, but checkpoints of
+// different trials interleave arbitrarily.
+//
+// Observation is inert on agent-backend trials under the discrete clock —
+// their results are bit-identical with and without it. Species-backend and
+// continuous-clock trials step in chunks whose boundaries the observation
+// cadence shifts (geometric silent-skips, τ-leaps and bulk time draws are
+// truncated at chunk ends), so attaching an observer there can perturb
+// their sampled randomness; callers that cache or compare results across
+// observed and unobserved runs (cmd/sppd) must restrict observation to the
+// inert combination.
+func ObserveTrials(cadence uint64, fn func(TrialObservation)) EnsembleOption {
+	return func(e *Ensemble) {
+		if fn != nil {
+			e.obsEvery = cadence
+			e.obsFn = fn
+		}
+	}
 }
 
 // NewEnsemble validates the grid and returns an Ensemble ready to Run.
@@ -586,10 +624,74 @@ func deriveSeedStreams(baseSeed uint64, seeds int) []seedStreams {
 	return out
 }
 
+// gridAxes is the resolved axis layout of a grid: every axis slice with its
+// empty-means-default resolution applied, plus the strides of the cell-index
+// arithmetic shared by Run, cell aggregation and TrialRecording.
+type gridAxes struct {
+	protos     []string
+	topos      []Topology
+	topoNames  []string // "" when the grid did not cross topologies
+	clocks     []string
+	clockNames []string // "" when the grid did not cross clocks
+	advs       []Adversary
+	perClock   int // cells per clock value: |points| × |advs|
+	perTopo    int // cells per topology value: |clocks| × perClock
+	perProto   int // cells per protocol value: |topos| × perTopo
+}
+
+// cells returns the total cell count of the grid.
+func (ax *gridAxes) cells() int { return len(ax.protos) * ax.perProto }
+
+// axes resolves the grid's axis slices and strides.
+func (g *Grid) axes() gridAxes {
+	ax := gridAxes{
+		protos:     g.Protocols,
+		topos:      g.Topologies,
+		topoNames:  []string{""},
+		clocks:     g.Clocks,
+		clockNames: []string{""},
+		advs:       g.Adversaries,
+	}
+	if len(ax.protos) == 0 {
+		ax.protos = []string{""}
+	}
+	if len(g.Topologies) > 0 {
+		ax.topoNames = make([]string, len(ax.topos))
+		for i, top := range ax.topos {
+			ax.topoNames[i] = top.Name()
+		}
+	} else {
+		ax.topos = []Topology{Complete()}
+	}
+	if len(g.Clocks) > 0 {
+		ax.clockNames = ax.clocks
+	} else {
+		ax.clocks = []string{""}
+	}
+	if len(ax.advs) == 0 {
+		ax.advs = []Adversary{""}
+	}
+	ax.perClock = len(g.Points) * len(ax.advs)
+	ax.perTopo = len(ax.clocks) * ax.perClock
+	ax.perProto = len(ax.topos) * ax.perTopo
+	return ax
+}
+
+// at resolves cell index ci to its grid coordinates (declaration order).
+func (ax *gridAxes) at(g *Grid, ci int) (proto, clock string, top Topology, pt Point, class Adversary) {
+	proto = ax.protos[ci/ax.perProto]
+	top = ax.topos[ci%ax.perProto/ax.perTopo]
+	clock = ax.clocks[ci%ax.perTopo/ax.perClock]
+	pt = g.Points[ci%ax.perClock/len(ax.advs)]
+	class = ax.advs[ci%len(ax.advs)]
+	return
+}
+
 // runTrial executes one (protocol, topology, point, adversary, seed) trial:
 // build, optionally inject, run to the stabilization condition — and, in
-// TransientK mode, corrupt and run again, reporting the recovery.
-func (e *Ensemble) runTrial(proto, clock string, top Topology, pt Point, class Adversary, st seedStreams) trialOutcome {
+// TransientK mode, corrupt and run again, reporting the recovery. ci and s
+// identify the trial for the ObserveTrials hook.
+func (e *Ensemble) runTrial(ci, s int, proto, clock string, top Topology, pt Point, class Adversary, st seedStreams) trialOutcome {
 	g := e.grid
 	advSrc, schedSrc := st.adv, st.sched
 	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
@@ -607,6 +709,11 @@ func (e *Ensemble) runTrial(proto, clock string, top Topology, pt Point, class A
 		MaxInteractions(g.MaxInteractions)}
 	if g.Confirm > 0 {
 		opts = append(opts, Confirm(g.Confirm))
+	}
+	if e.obsFn != nil {
+		opts = append(opts, Observe(e.obsEvery, func(snap Snapshot) {
+			e.obsFn(TrialObservation{Cell: ci, Seed: s, Snapshot: snap})
+		}))
 	}
 	res := sys.Run(opts...)
 	if !res.Stabilized {
@@ -646,46 +753,15 @@ func (e *Ensemble) runTrial(proto, clock string, top Topology, pt Point, class A
 // then topologies, then clocks, then points, then adversaries).
 func (e *Ensemble) Run() *EnsembleResult {
 	g := e.grid
-	protos := g.Protocols
-	if len(protos) == 0 {
-		protos = []string{""}
-	}
-	topos := g.Topologies
-	topoNames := []string{""}
-	if len(g.Topologies) > 0 {
-		topoNames = make([]string, len(topos))
-		for i, top := range topos {
-			topoNames[i] = top.Name()
-		}
-	} else {
-		topos = []Topology{Complete()}
-	}
-	clocks := g.Clocks
-	clockNames := []string{""}
-	if len(g.Clocks) > 0 {
-		clockNames = clocks
-	} else {
-		clocks = []string{""}
-	}
-	advs := g.Adversaries
-	if len(advs) == 0 {
-		advs = []Adversary{""}
-	}
-	perClock := len(g.Points) * len(advs)
-	perTopo := len(clocks) * perClock
-	perProto := len(topos) * perTopo
-	cells := len(protos) * perProto
+	ax := g.axes()
+	cells := ax.cells()
 	jobs := cells * g.Seeds
 	streams := deriveSeedStreams(g.BaseSeed, g.Seeds)
 
 	outs := trials.Run(e.workers, jobs, g.BaseSeed, func(j int, _ *rng.PRNG) trialOutcome {
 		ci, s := j/g.Seeds, j%g.Seeds
-		proto := protos[ci/perProto]
-		top := topos[ci%perProto/perTopo]
-		clock := clocks[ci%perTopo/perClock]
-		pt := g.Points[ci%perClock/len(advs)]
-		class := advs[ci%len(advs)]
-		return e.runTrial(proto, clock, top, pt, class, streams[s])
+		proto, clock, top, pt, class := ax.at(&g, ci)
+		return e.runTrial(ci, s, proto, clock, top, pt, class, streams[s])
 	})
 
 	out := &EnsembleResult{
@@ -697,18 +773,18 @@ func (e *Ensemble) Run() *EnsembleResult {
 		Cells:         make([]Cell, 0, cells),
 	}
 	if len(g.Topologies) > 0 {
-		out.Topologies = topoNames
+		out.Topologies = ax.topoNames
 	}
 	if len(g.Clocks) > 0 {
-		out.Clocks = clockNames
+		out.Clocks = ax.clockNames
 	}
 	for ci := 0; ci < cells; ci++ {
 		cell := Cell{
-			Protocol:  protos[ci/perProto],
-			Topology:  topoNames[ci%perProto/perTopo],
-			Clock:     clockNames[ci%perTopo/perClock],
-			Point:     g.Points[ci%perClock/len(advs)],
-			Adversary: advs[ci%len(advs)],
+			Protocol:  ax.protos[ci/ax.perProto],
+			Topology:  ax.topoNames[ci%ax.perProto/ax.perTopo],
+			Clock:     ax.clockNames[ci%ax.perTopo/ax.perClock],
+			Point:     g.Points[ci%ax.perClock/len(ax.advs)],
+			Adversary: ax.advs[ci%len(ax.advs)],
 			Seeds:     g.Seeds,
 			Samples:   []float64{},
 		}
@@ -756,4 +832,73 @@ func (e *Ensemble) Run() *EnsembleResult {
 		out.Cells = append(out.Cells, cell)
 	}
 	return out
+}
+
+// TrialRecording re-executes the (cell, seed) trial identified by ci (the
+// index into EnsembleResult.Cells) and s (the seed index) with a recording
+// scheduler, returning the captured schedule and the trial's derived
+// protocol seed. The pair (recording, protoSeed) fully determines the trial
+// through the public API: rebuild the trial's Config with Seed set to
+// protoSeed, run it under WithScheduler(rec.Replay()) and the same budget,
+// and the run is bit-identical to the ensemble's — the replay surface of
+// cmd/sppd.
+//
+// Supported for clean-start cells (no adversary class, no TransientK, no
+// Workload) on the complete topology and the agent backend: those are
+// exactly the trials whose outcome is a pure function of (protoSeed,
+// schedule). Cells with adversarial starts or faults additionally consume a
+// private adversary stream that the public API cannot re-derive, species
+// cells consume scheduler randomness in chunk-shaped draws rather than
+// pairs, and non-complete topologies sample edge indices through a
+// graph-bound scheduler; all three return an error.
+func (e *Ensemble) TrialRecording(ci, s int) (*Recording, uint64, error) {
+	g := e.grid
+	ax := g.axes()
+	if ci < 0 || ci >= ax.cells() {
+		return nil, 0, fmt.Errorf("sspp: cell index %d out of range [0, %d)", ci, ax.cells())
+	}
+	seeds := gridSeeds(g.Seeds)
+	if s < 0 || s >= seeds {
+		return nil, 0, fmt.Errorf("sspp: seed index %d out of range [0, %d)", s, seeds)
+	}
+	proto, clock, top, pt, class := ax.at(&g, ci)
+	if class != "" {
+		return nil, 0, fmt.Errorf("sspp: trial recording requires a clean start (cell %d starts from adversary class %q, drawn from a stream the public replay cannot re-derive)", ci, class)
+	}
+	if g.TransientK > 0 || g.Workload != nil {
+		return nil, 0, fmt.Errorf("sspp: trial recording does not cover TransientK or Workload grids (their fault streams are not part of the schedule)")
+	}
+	if !top.IsComplete() {
+		return nil, 0, fmt.Errorf("sspp: trial recording requires the complete topology (cell %d uses %q; capture edge-indexed schedules with NewRecorder directly)", ci, top.Name())
+	}
+	spec, err := specFor(proto)
+	if err != nil {
+		return nil, 0, err
+	}
+	backend, err := resolveBackend(Config{Backend: g.Backend, N: pt.N, Topology: top}, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if backend != BackendAgent {
+		return nil, 0, fmt.Errorf("sspp: trial recording requires the agent backend (cell %d resolves to %q, which consumes scheduler randomness in bulk draws, not pairs)", ci, backend)
+	}
+	st := deriveSeedStreams(g.BaseSeed, seeds)[s]
+	schedSrc := st.sched
+	rec := NewRecorder(&schedSrc)
+	sys, err := New(Config{Protocol: proto, N: pt.N, R: pt.R, Seed: st.protoSeed,
+		SyntheticCoins: g.SyntheticCoins, Tau: g.Tau, Backend: g.Backend, Topology: top,
+		Clock: clock})
+	if err != nil {
+		return nil, 0, err
+	}
+	opts := []RunOption{Until(SafeSet), WithScheduler(rec),
+		MaxInteractions(g.MaxInteractions)}
+	if g.Confirm > 0 {
+		opts = append(opts, Confirm(g.Confirm))
+	}
+	res := sys.Run(opts...)
+	if res.Err != nil {
+		return nil, 0, res.Err
+	}
+	return rec.Recording(), st.protoSeed, nil
 }

@@ -241,6 +241,89 @@ func (p *Protocol) Compact() sim.CompactModel {
 	return newCompactModel(p).model(p)
 }
 
+// model assembles the sim.CompactModel view over m, capturing p for Init.
+func (m *compactModel) model(p *Protocol) sim.CompactModel {
+	return m.modelWith(func() ([]uint64, []int64) {
+		order := make([]uint64, 0, 8)
+		counts := make(map[uint64]int64, 8)
+		for i := range p.agents {
+			k := m.keyOf(&p.agents[i])
+			if counts[k] == 0 {
+				order = append(order, k)
+			}
+			counts[k]++
+		}
+		occ := make([]int64, len(order))
+		for i, k := range order {
+			occ[i] = counts[k]
+		}
+		return order, occ
+	})
+}
+
+// CompactClean builds ElectLeader_r's species form directly in the clean
+// post-awakening configuration — one interned clean-ranker state with count
+// n — without constructing the O(n·r) agent instance Compact starts from.
+// The clean start is identity-free by construction (every agent a fresh
+// ranker, and canonical keys exclude the inert coin state), so the result is
+// bit-for-bit equivalent to core.New(n, r, opts...).Compact() at matched
+// seeds: New consumes no PRNG draws during construction, and reinitRanker is
+// deterministic, so both forms enter React with identical intern tables and
+// identical sampling streams (pinned by TestCompactCleanMirrorsCompact).
+// Synthetic-coin mode has no species form and is rejected.
+func CompactClean(n, r int, opts ...Option) (sim.CompactModel, error) {
+	m, err := newCleanCompactModel(n, r, opts...)
+	if err != nil {
+		return sim.CompactModel{}, err
+	}
+	return m.cleanModel(), nil
+}
+
+// cleanModel assembles the species form over the clean post-awakening
+// configuration: a single interned fresh-ranker state holding all n agents.
+func (m *compactModel) cleanModel() sim.CompactModel {
+	return m.modelWith(func() ([]uint64, []int64) {
+		var clean Agent
+		m.dyn.reinitRanker(&clean)
+		return []uint64{m.keyOf(&clean)}, []int64{int64(m.n)}
+	})
+}
+
+// newCleanCompactModel builds the interning machinery of CompactClean
+// without an instance. Split from CompactClean so the equivalence test can
+// reach the intern table, mirroring newCompactModel's role for Compact.
+func newCleanCompactModel(n, r int, opts ...Option) (*compactModel, error) {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.synthetic {
+		return nil, fmt.Errorf("core: synthetic-coin mode has no species form (per-agent coin state); run the agent backend")
+	}
+	consts := DefaultConstants(n, r)
+	if cfg.consts != nil {
+		consts = *cfg.consts
+	}
+	if err := consts.Validate(n); err != nil {
+		return nil, err
+	}
+	dp := detect.NewParamsWithRefresh(n, r, consts.DetectRefresh)
+	dp.SetNoBalance(consts.DisableLoadBalance)
+	return &compactModel{
+		dyn: dynamics{
+			n:       n,
+			consts:  consts,
+			vp:      verify.Params{PMax: consts.PMax, Detect: dp, HardOnly: consts.DisableSoftReset},
+			events:  cfg.events,
+			scratch: detect.NewScratch(),
+		},
+		n:         n,
+		sample:    coin.FromPRNG(rng.New(cfg.seed)),
+		intern:    make(map[string]uint64),
+		rankEpoch: make([]uint64, n),
+	}, nil
+}
+
 // newCompactModel builds the interning machinery for a species run of p.
 // Split from Compact so the exact-mirror test can reach the intern table.
 func newCompactModel(p *Protocol) *compactModel {
@@ -259,32 +342,19 @@ func newCompactModel(p *Protocol) *compactModel {
 	}
 }
 
-// model assembles the sim.CompactModel view over m, capturing p for Init.
-func (m *compactModel) model(p *Protocol) sim.CompactModel {
+// modelWith assembles the sim.CompactModel view over m with the given
+// initial-configuration builder (Compact interns an instance's agents;
+// CompactClean interns the single clean-ranker state).
+func (m *compactModel) modelWith(init func() ([]uint64, []int64)) sim.CompactModel {
 	return sim.CompactModel{
-		Init: func() ([]uint64, []int64) {
-			order := make([]uint64, 0, 8)
-			counts := make(map[uint64]int64, 8)
-			for i := range p.agents {
-				k := m.keyOf(&p.agents[i])
-				if counts[k] == 0 {
-					order = append(order, k)
-				}
-				counts[k]++
-			}
-			occ := make([]int64, len(order))
-			for i, k := range order {
-				occ[i] = counts[k]
-			}
-			return order, occ
-		},
+		Init:    init,
 		React:   m.react,
 		Leader:  func(key uint64) bool { return rankOutputOf(&m.tab[key]) == 1 },
 		Rank:    func(key uint64) int32 { return rankOutputOf(&m.tab[key]) },
 		SafeSet: m.safeSet,
 		Churn: &sim.CompactChurn{
-			MinN: p.n,
-			MaxN: p.n,
+			MinN: m.n,
+			MaxN: m.n,
 			Join: m.join,
 		},
 		Release: m.release,

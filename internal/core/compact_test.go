@@ -159,6 +159,82 @@ func TestCompactModelReleaseRecyclesKeys(t *testing.T) {
 	}
 }
 
+// TestCompactCleanMirrorsCompact pins the clean-start constructor against
+// the instance-backed one at matched seeds: both forms must intern the same
+// single clean-ranker configuration and, driven through the identical
+// recorded schedule, leave bit-identical multisets (same counts under the
+// same canonical encodings) at every checkpoint — the equivalence that lets
+// System skip the O(n·r) agent-instance transient on species builds.
+func TestCompactCleanMirrorsCompact(t *testing.T) {
+	const (
+		n    = 256
+		r    = 16
+		seed = 42
+	)
+	template, err := New(n, r, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldM := newCompactModel(template)
+	oldSp, err := species.NewSystem(oldM.model(template), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanM, err := newCleanCompactModel(n, r, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanModel := cleanM.cleanModel()
+	newSp, err := species.NewSystem(cleanModel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys, counts := cleanModel.Init()
+	if len(keys) != 1 || counts[0] != n {
+		t.Fatalf("clean start interned %d states (counts %v), want the single fresh-ranker state × %d", len(keys), counts, n)
+	}
+
+	// Drive both species systems through the same reference agent run: the
+	// reference supplies the pair schedule as state keys, translated through
+	// each model's own intern table. Canonical encodings must agree at every
+	// checkpoint — the two tables may assign different numeric keys, so the
+	// comparison goes through the names.
+	ref, err := New(n, r, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(77)
+	for i := 0; i < mirrorSteps; i++ {
+		a := src.Intn(n)
+		b := src.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		if err := oldSp.ApplyPair(oldM.keyOf(&ref.agents[a]), oldM.keyOf(&ref.agents[b])); err != nil {
+			t.Fatalf("interaction %d (old form): %v", i, err)
+		}
+		if err := newSp.ApplyPair(cleanM.keyOf(&ref.agents[a]), cleanM.keyOf(&ref.agents[b])); err != nil {
+			t.Fatalf("interaction %d (clean form): %v", i, err)
+		}
+		ref.Interact(a, b)
+		if (i+1)%mirrorEvery == 0 {
+			compareCounts(t, i+1, ref, oldSp, oldM)
+			compareCounts(t, i+1, ref, newSp, cleanM)
+		}
+	}
+	compareCounts(t, mirrorSteps, ref, oldSp, oldM)
+	compareCounts(t, mirrorSteps, ref, newSp, cleanM)
+}
+
+// TestCompactCleanRefusesSyntheticCoins pins the capability boundary for the
+// clean-start constructor, mirroring TestCompactRefusesSyntheticCoins.
+func TestCompactCleanRefusesSyntheticCoins(t *testing.T) {
+	if _, err := CompactClean(32, 4, WithSyntheticCoins()); err == nil {
+		t.Fatal("CompactClean accepted synthetic-coin mode")
+	}
+}
+
 // TestCompactRefusesSyntheticCoins pins the capability boundary: the
 // Appendix B coin state is per-agent identity, so synthetic-mode instances
 // must not silently compact.

@@ -178,6 +178,7 @@ func All() map[string]Generator {
 		"S1":      S1SpeciesBackend,
 		"S2":      S2TauLeapClock,
 		"S3":      S3ElectLeaderSpecies,
+		"S4":      S4ServeCache,
 		"T-ring":  TRingTopology,
 		"T-churn": TChurnWorkload,
 	}

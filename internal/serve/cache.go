@@ -1,0 +1,55 @@
+// cache.go is the in-memory result cache: a plain LRU over marshaled cell
+// bytes, keyed by content address. Values are immutable once inserted
+// (results are deterministic, so a key can only ever map to one byte
+// string), which keeps the concurrency story trivial: the cache hands out
+// the stored slice itself and callers must not mutate it.
+package serve
+
+import "container/list"
+
+// lruCache is an LRU map from content address to marshaled CellResult
+// bytes. Not safe for concurrent use; the Server serializes access.
+type lruCache struct {
+	max   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // address -> element holding *lruEntry
+}
+
+type lruEntry struct {
+	key   string
+	bytes []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes for key (nil if absent) and marks the entry
+// most recently used.
+func (c *lruCache) get(key string) []byte {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).bytes
+}
+
+// put inserts the bytes under key, evicting least-recently-used entries
+// over capacity. Re-inserting an existing key only refreshes its recency:
+// results are deterministic, so the bytes cannot have changed.
+func (c *lruCache) put(key string, b []byte) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, bytes: b})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.order.Len() }

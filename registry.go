@@ -96,7 +96,13 @@ type protocolSpec struct {
 	selfStabilizing bool
 	validate        func(cfg Config) error
 	build           func(cfg Config, ev *sim.Events) (sim.Protocol, error)
-	budget          func(cfg Config) uint64
+	// compactClean, when non-nil, builds the protocol's species form directly
+	// in its clean starting configuration, skipping the agent instance build
+	// would construct (for ElectLeader_r: the O(n·r) fresh-ranker transient).
+	// Species-backend Systems use it on clean builds; it must be bit-for-bit
+	// equivalent to compacting a fresh build at the same Config.
+	compactClean func(cfg Config, ev *sim.Events) (sim.CompactModel, error)
+	budget       func(cfg Config) uint64
 	// zero is a typed nil of the protocol's concrete type: capabilities are
 	// a property of the type, so they are probed with type assertions on
 	// this value without constructing an instance.
@@ -232,6 +238,11 @@ var protocolSpecs = map[string]*protocolSpec{
 				return nil, err
 			}
 			return &electProtocol{Protocol: p}, nil
+		},
+		compactClean: func(cfg Config, ev *sim.Events) (sim.CompactModel, error) {
+			// Synthetic coins never reach here: resolveBackend rejects the
+			// combination before the species build path runs.
+			return core.CompactClean(cfg.N, cfg.R, core.WithSeed(cfg.Seed), core.WithEvents(ev))
 		},
 		budget: func(cfg Config) uint64 {
 			n, r := float64(cfg.N), float64(cfg.R)

@@ -1,0 +1,53 @@
+#!/bin/sh
+# sppd smoke gate: boot the simulation service, submit the same small grid
+# twice, and require (a) the warm repeat to be byte-identical to the cold
+# compute and (b) the X-Sppd-Cache provenance to show the repeat was served
+# entirely from cache — the service's two headline contracts, end to end
+# over real HTTP. Runs in seconds; CI runs it on every push.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${TMPDIR:-/tmp}/sppd-smoke"
+mkdir -p "$OUT"
+
+go build -o "$OUT/sppd" ./cmd/sppd
+"$OUT/sppd" -addr 127.0.0.1:0 -workers 2 > "$OUT/banner" &
+SPPD_PID=$!
+trap 'kill "$SPPD_PID" 2>/dev/null || true' EXIT
+
+# The first stdout line is "sppd listening on <addr>", printed after bind.
+# Generous poll budget (30s): the bind itself is instant, but loaded CI
+# machines can delay process start-up well past a human-scale timeout.
+i=0
+while [ ! -s "$OUT/banner" ] && [ "$i" -lt 300 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+ADDR=$(sed -n 's/^sppd listening on //p' "$OUT/banner")
+if [ -z "$ADDR" ]; then
+    echo "sppd did not announce a listen address" >&2
+    cat "$OUT/banner" >&2
+    exit 1
+fi
+
+GRID='{"points":[{"n":48,"r":8}],"seeds":2}'
+curl -sS -D "$OUT/h1" -o "$OUT/r1" -X POST -H 'Content-Type: application/json' -d "$GRID" "http://$ADDR/v1/grids"
+curl -sS -D "$OUT/h2" -o "$OUT/r2" -X POST -H 'Content-Type: application/json' -d "$GRID" "http://$ADDR/v1/grids"
+
+if ! cmp -s "$OUT/r1" "$OUT/r2"; then
+    echo "FAIL: warm repeat is not byte-identical to the cold compute" >&2
+    exit 1
+fi
+if ! grep -qi 'x-sppd-cache: computed=1 dedup=0 memory=0 disk=0' "$OUT/h1"; then
+    echo "FAIL: cold submission provenance is not computed=1" >&2
+    cat "$OUT/h1" >&2
+    exit 1
+fi
+if ! grep -qi 'x-sppd-cache: computed=0 dedup=0 memory=1 disk=0' "$OUT/h2"; then
+    echo "FAIL: warm repeat was not served from the in-memory cache" >&2
+    cat "$OUT/h2" >&2
+    exit 1
+fi
+curl -sS "http://$ADDR/v1/healthz" | grep -q '"ok": true'
+
+echo "sppd smoke: OK (warm repeat byte-identical, served from cache)"

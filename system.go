@@ -78,6 +78,7 @@ import (
 	"sspp/internal/graph"
 	"sspp/internal/rng"
 	"sspp/internal/sim"
+	"sspp/internal/species"
 )
 
 // Config configures a System.
@@ -200,13 +201,31 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	ev := sim.NewEvents()
-	p, err := spec.build(cfg, ev)
-	if err != nil {
-		return nil, fmt.Errorf("sspp: %w", err)
-	}
-	if backend == BackendSpecies {
-		if p, err = compactProto(p, cfg.Seed); err != nil {
-			return nil, err
+	var p sim.Protocol
+	if backend == BackendSpecies && spec.compactClean != nil {
+		// Clean-start fast path: build the species form directly instead of
+		// constructing the agent instance only to compact it away (for
+		// ElectLeader_r that instance costs O(n·r) before the first
+		// interaction). Bit-for-bit equivalent to the compactProto path —
+		// pinned by TestCompactCleanMirrorsCompact and the system-level
+		// equivalence test in backend_test.go.
+		model, err := spec.compactClean(cfg, ev)
+		if err != nil {
+			return nil, fmt.Errorf("sspp: %w", err)
+		}
+		sp, err := species.NewSystem(model, cfg.Seed^speciesSeedSalt)
+		if err != nil {
+			return nil, fmt.Errorf("sspp: %w", err)
+		}
+		p = species.Capable(sp)
+	} else {
+		if p, err = spec.build(cfg, ev); err != nil {
+			return nil, fmt.Errorf("sspp: %w", err)
+		}
+		if backend == BackendSpecies {
+			if p, err = compactProto(p, cfg.Seed); err != nil {
+				return nil, err
+			}
 		}
 	}
 	clock, err := resolveClock(cfg.Clock)

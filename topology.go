@@ -21,6 +21,8 @@ package sspp
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"sspp/internal/graph"
 	"sspp/internal/rng"
@@ -114,6 +116,56 @@ func (t Topology) Name() string {
 		return "complete"
 	}
 	return t.name
+}
+
+// ParseTopology maps a topology name back to a Topology: the inverse of
+// Name for every built-in family, so topology names round-trip through JSON
+// exports, grid specs (cmd/sppd) and command-line flags. Both parameter
+// spellings are accepted — the Name() form ("random-regular(8)",
+// "erdos-renyi(0.1)") and the flag form cmd/benchtab historically used
+// ("random-regular=8", "erdos-renyi=0.1"). "" parses as the complete graph.
+// User topologies built with NewTopology carry arbitrary names and cannot be
+// reconstructed from one.
+func ParseTopology(name string) (Topology, error) {
+	parseArg := func(family string) (string, bool) {
+		if rest, ok := strings.CutPrefix(name, family+"("); ok {
+			if arg, ok := strings.CutSuffix(rest, ")"); ok {
+				return arg, true
+			}
+			return "", false
+		}
+		return strings.CutPrefix(name, family+"=")
+	}
+	switch {
+	case name == "" || name == "complete":
+		return Complete(), nil
+	case name == "ring":
+		return Ring(), nil
+	case name == "torus":
+		return Torus2D(), nil
+	case strings.HasPrefix(name, "random-regular"):
+		arg, ok := parseArg("random-regular")
+		if !ok {
+			return Topology{}, fmt.Errorf("sspp: malformed random-regular topology %q (want random-regular(D))", name)
+		}
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return Topology{}, fmt.Errorf("sspp: bad random-regular degree in %q: %v", name, err)
+		}
+		return RandomRegular(d), nil
+	case strings.HasPrefix(name, "erdos-renyi"):
+		arg, ok := parseArg("erdos-renyi")
+		if !ok {
+			return Topology{}, fmt.Errorf("sspp: malformed erdos-renyi topology %q (want erdos-renyi(P))", name)
+		}
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return Topology{}, fmt.Errorf("sspp: bad erdos-renyi density in %q: %v", name, err)
+		}
+		return ErdosRenyi(p), nil
+	default:
+		return Topology{}, fmt.Errorf("sspp: unknown topology %q (want complete, ring, torus, random-regular(D) or erdos-renyi(P))", name)
+	}
 }
 
 // IsComplete reports whether the topology is the complete graph — the

@@ -463,3 +463,39 @@ func benchRun(b *testing.B, top Topology) {
 func BenchmarkRunCompleteDefault(b *testing.B)  { benchRun(b, Topology{}) }
 func BenchmarkRunCompleteExplicit(b *testing.B) { benchRun(b, Complete()) }
 func BenchmarkRunRing(b *testing.B)             { benchRun(b, Ring()) }
+
+// TestParseTopologyRoundTrip pins ParseTopology as the inverse of Name for
+// every built-in family, in both the Name() spelling and the historical
+// benchtab flag spelling; unknown and malformed names are rejected.
+func TestParseTopologyRoundTrip(t *testing.T) {
+	for _, top := range []Topology{
+		Complete(), Ring(), Torus2D(), RandomRegular(8), ErdosRenyi(0.1),
+	} {
+		got, err := ParseTopology(top.Name())
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", top.Name(), err)
+		}
+		if got.Name() != top.Name() {
+			t.Fatalf("ParseTopology(%q).Name() = %q", top.Name(), got.Name())
+		}
+	}
+	for name, want := range map[string]string{
+		"":                  "complete",
+		"random-regular=8":  "random-regular(8)",
+		"erdos-renyi=0.1":   "erdos-renyi(0.1)",
+		"erdos-renyi=0.125": "erdos-renyi(0.125)",
+	} {
+		got, err := ParseTopology(name)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", name, err)
+		}
+		if got.Name() != want {
+			t.Fatalf("ParseTopology(%q).Name() = %q, want %q", name, got.Name(), want)
+		}
+	}
+	for _, name := range []string{"mesh", "random-regular(x)", "random-regular(8", "erdos-renyi", "erdos-renyi(pi)"} {
+		if _, err := ParseTopology(name); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted", name)
+		}
+	}
+}
