@@ -23,6 +23,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -81,6 +82,18 @@ type Options struct {
 	Dir string
 	// MaxCells bounds the cross product of a single grid (0: 4096).
 	MaxCells int
+	// MaxBodyBytes bounds the POST /v1/grids request body (0: 1 MiB).
+	MaxBodyBytes int64
+	// MaxN bounds Point.N in submitted grids (0: 10,000,000 — the species
+	// backend handles that comfortably; raise it for bigger deployments).
+	MaxN int
+	// MaxSeeds bounds the per-cell trial count (0: 10,000).
+	MaxSeeds int
+	// MaxTrialInteractions bounds an explicit per-trial interaction budget
+	// (0: 1<<40). A spec's MaxInteractions of 0 — "use the protocol's
+	// default budget" — is always allowed: that default scales with n,
+	// which MaxN already bounds.
+	MaxTrialInteractions uint64
 }
 
 // flight is one in-progress cell computation; concurrent requests for the
@@ -116,9 +129,13 @@ type job struct {
 // Server implements the sppd API over a result cache and a bounded
 // simulation pool.
 type Server struct {
-	sem      chan struct{}
-	maxCells int
-	store    *diskStore // nil without Options.Dir
+	sem           chan struct{}
+	maxCells      int
+	maxBody       int64
+	maxN          int
+	maxSeeds      int
+	maxTrialInter uint64
+	store         *diskStore // nil without Options.Dir
 
 	mu     sync.Mutex
 	cache  *lruCache
@@ -156,13 +173,33 @@ func NewServer(opts Options) (*Server, error) {
 	if maxCells <= 0 {
 		maxCells = 4096
 	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	maxN := opts.MaxN
+	if maxN <= 0 {
+		maxN = 10_000_000
+	}
+	maxSeeds := opts.MaxSeeds
+	if maxSeeds <= 0 {
+		maxSeeds = 10_000
+	}
+	maxTrialInter := opts.MaxTrialInteractions
+	if maxTrialInter == 0 {
+		maxTrialInter = 1 << 40
+	}
 	s := &Server{
-		sem:      make(chan struct{}, workers),
-		maxCells: maxCells,
-		cache:    newLRUCache(entries),
-		flight:   make(map[string]*flight),
-		jobs:     make(map[string]*job),
-		watch:    make(map[string][]*job),
+		sem:           make(chan struct{}, workers),
+		maxCells:      maxCells,
+		maxBody:       maxBody,
+		maxN:          maxN,
+		maxSeeds:      maxSeeds,
+		maxTrialInter: maxTrialInter,
+		cache:         newLRUCache(entries),
+		flight:        make(map[string]*flight),
+		jobs:          make(map[string]*job),
+		watch:         make(map[string][]*job),
 	}
 	if opts.Dir != "" {
 		store, err := newDiskStore(opts.Dir)
@@ -221,12 +258,42 @@ func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// checkLimits enforces the server's per-request resource caps on a decoded
+// grid spec — the endpoint is unauthenticated, so a single submission must
+// not be able to pin unbounded memory or CPU. maxCells bounds only the
+// cross-product count; these bound the cost of each cell.
+func (s *Server) checkLimits(spec *GridSpec) error {
+	for _, pt := range spec.Points {
+		if pt.N > s.maxN {
+			return fmt.Errorf("point n=%d is over this server's %d-agent limit", pt.N, s.maxN)
+		}
+	}
+	if spec.Seeds > s.maxSeeds {
+		return fmt.Errorf("seeds=%d is over this server's %d-seed limit", spec.Seeds, s.maxSeeds)
+	}
+	if spec.MaxInteractions > s.maxTrialInter {
+		return fmt.Errorf("max_interactions=%d is over this server's %d-interaction limit",
+			spec.MaxInteractions, s.maxTrialInter)
+	}
+	return nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec GridSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"grid spec over this server's %d-byte body limit", tooLarge.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad grid spec: %v", err)
+		return
+	}
+	if err := s.checkLimits(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	cells, err := spec.Cells()
@@ -602,11 +669,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		w.Write(frame)
 	}
 	flusher.Flush()
-	// The stored replay always ends with the terminal frame once the job
-	// is done, so a post-completion subscriber returns immediately.
+	// A post-completion subscriber returns immediately — but the job may
+	// have finished between subscribe() (replay copied) and here, with the
+	// terminal frame enqueued on ch rather than in the replay, so drain ch
+	// before returning.
 	select {
 	case <-j.done:
-		return
+		for {
+			select {
+			case frame := <-ch:
+				w.Write(frame)
+				flusher.Flush()
+			default:
+				return
+			}
+		}
 	default:
 	}
 	for {
@@ -654,8 +731,30 @@ func (s *Server) lookupCell(key string) (b []byte, source string) {
 	return nil, ""
 }
 
+// validHash reports whether key is a well-formed cell content address:
+// exactly 64 lowercase hex characters (the SHA-256 encoding hash.go
+// emits). The router percent-decodes path segments, so an unvalidated
+// {hash} could smuggle "../" into diskStore paths; anything but a
+// canonical address is rejected before it reaches the cache or the store.
+func validHash(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("hash")
+	if !validHash(key) {
+		httpError(w, http.StatusNotFound, "no cached cell %q (addresses are 64 lowercase hex characters)", key)
+		return
+	}
 	b, source := s.lookupCell(key)
 	if b == nil {
 		httpError(w, http.StatusNotFound, "no cached cell %q (cells appear once a grid computes them)", key)
@@ -668,6 +767,10 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("hash")
+	if !validHash(key) {
+		httpError(w, http.StatusNotFound, "no cached cell %q (addresses are 64 lowercase hex characters)", key)
+		return
+	}
 	seed := 0
 	if q := r.URL.Query().Get("seed"); q != "" {
 		var err error
@@ -700,10 +803,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A replay re-runs one full trial, so it takes a pool slot like any
-	// other simulation.
+	// other simulation. Released by defer so a panicking trial (recovered
+	// by net/http) cannot leak the slot and shrink the pool.
 	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
 	rec, protoSeed, err := ens.TrialRecording(0, seed)
-	<-s.sem
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -455,6 +457,76 @@ func TestReplayRoundTrip(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("adversarial replay: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestHardening covers the server's abuse guards: content-address
+// validation on the cell endpoints (the router percent-decodes path
+// segments, so an unvalidated {hash} could walk "../" into the disk
+// store), the request body size limit, and the per-request resource caps.
+func TestRequestHardening(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{
+		Workers: 1, Dir: dir,
+		MaxBodyBytes: 512, MaxN: 100, MaxSeeds: 4, MaxTrialInteractions: 1 << 20,
+	})
+	// Plant a decoy .json outside the store's cells/ directory; an encoded
+	// "../" traversal segment would resolve the cell path onto it.
+	if err := os.WriteFile(filepath.Join(dir, "secret.json"),
+		[]byte(`{"schema_version":1,"hash":"decoy"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{
+		"/v1/cells/..%2Fsecret",                          // traversal into the store dir
+		"/v1/cells/..%2F..%2Fsecret",                     // traversal out of the store dir
+		"/v1/cells/" + strings.Repeat("A", 64),           // uppercase: not canonical
+		"/v1/cells/" + strings.Repeat("a", 63),           // wrong length
+		"/v1/cells/" + strings.Repeat("g", 64),           // not hex
+		"/v1/cells/..%2Fsecret/replay",                   // traversal via the replay endpoint
+		"/v1/cells/" + strings.Repeat("A", 64) + "/replay",
+	} {
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Oversized request bodies reject with 413 before decoding.
+	resp, err := http.Post(ts.URL+"/v1/grids", "application/json",
+		strings.NewReader(strings.Repeat(" ", 1024)+`{"points":[{"n":32,"r":8}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Per-request resource caps reject before any cell is registered.
+	for name, spec := range map[string]GridSpec{
+		"n over cap":     {Points: []sspp.Point{{N: 1000, R: 8}}, Seeds: 1},
+		"seeds over cap": {Points: []sspp.Point{{N: 32, R: 8}}, Seeds: 10},
+		"budget over cap": {Points: []sspp.Point{{N: 32, R: 8}}, Seeds: 1,
+			MaxInteractions: 1 << 30},
+	} {
+		code, body, _ := submit(t, ts, spec, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s, want 400", name, code, body)
+		}
+	}
+
+	// A grid inside every limit still computes.
+	if code, body, _ := submit(t, ts, smallGrid(), ""); code != http.StatusOK {
+		t.Errorf("in-limit grid: status %d, body %s, want 200", code, body)
 	}
 }
 
